@@ -1,0 +1,72 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one table or figure from the paper's evaluation and
+prints it as ``paper vs measured`` rows (collected into
+``bench_output.txt`` by the top-level run).  pytest-benchmark wraps the
+dominant computation of each bench so the harness also reports wall-clock
+cost; reproduction numbers ride along in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.sim import run_unit
+from repro.uarch.pipeline import SimStats, simulate_trace
+
+
+def measure(source_or_unit, model, max_steps=4_000_000,
+            args=None) -> SimStats:
+    """Interpret + time a program on a processor model."""
+    unit = parse_unit(source_or_unit) if isinstance(source_or_unit, str) \
+        else source_or_unit
+    result = run_unit(unit, collect_trace=True, max_steps=max_steps,
+                      args=args)
+    assert result.reason == "ret", result.reason
+    return simulate_trace(result.trace, model)
+
+
+def delta_for_pass(program, spec: str, model) -> float:
+    """Relative speedup (positive = pass helped) of a pass pipeline."""
+    base = measure(program.unit(), model, max_steps=program.max_steps)
+    unit = program.unit()
+    run_passes(unit, spec)
+    opt = measure(unit, model, max_steps=program.max_steps)
+    return base.cycles / opt.cycles - 1.0
+
+
+#: Rendered tables accumulated during the session; the bench conftest
+#: prints them in the terminal summary (past pytest's output capture) so
+#: `pytest benchmarks/ --benchmark-only | tee bench_output.txt` records
+#: every paper-vs-measured row without needing ``-s``.
+COLLECTED_TABLES: List[str] = []
+
+
+def report(title: str, header: List[str],
+           rows: List[Tuple], extra: Optional[str] = None) -> None:
+    """Render one reproduction table (emitted in the session summary)."""
+    lines = ["", "=== %s ===" % title]
+    widths = [max(len(str(header[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    lines.append(line)
+    lines.append("-" * len(line))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(row, widths)))
+    if extra:
+        lines.append(extra)
+    text = "\n".join(lines)
+    COLLECTED_TABLES.append(text)
+    sys.stdout.write(text + "\n")      # visible immediately under -s
+    sys.stdout.flush()
+
+
+def pct(value: float) -> str:
+    return "%+.2f%%" % (value * 100.0)
+
+

@@ -1,0 +1,178 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. SCHED cost function: critical-path priority vs source order vs reverse
+   order — the paper's claim that the cost function is the heuristic's
+   seat ("By changing the cost functions ... different scheduling
+   heuristics can be implemented").
+2. Basic-block vs extended-basic-block scheduling — the paper's future
+   work ("We expect the impact to become much higher once we extend the
+   pass to schedule across basic blocks").
+3. LSD on/off — isolates how much of the Figs. 4/5 speedup is the Loop
+   Stream Detector rather than plain decode-line count.
+4. Branch-predictor table size — the aliasing effects of §III.C.g only
+   exist because the tables are small and untagged.
+"""
+
+import dataclasses
+
+from _bench_util import measure, pct, report
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.passes.scheduler import (
+    DependenceDAG,
+    ListSchedulingPass,
+    critical_path_cost,
+)
+from repro.uarch.profiles import core2
+from repro.workloads import kernels
+
+SPLIT_HASH = """
+.text
+.globl main
+main:
+    movl $0x9e3779b9, %ebx
+    movl $0x85ebca6b, %ecx
+    movl $0xc2b2ae35, %edx
+    movl $17, %edi
+    movl $99, %r8d
+    movq $3000, %rbp
+.Lloop:
+    imull $0x5bd1e995, %ecx, %r10d
+    xorl %edi, %ebx
+    subl %ebx, %ecx
+.Lsplit1:
+    subl %ebx, %edx
+    movl %ebx, %edi
+    shrl $12, %edi
+    xorl %edi, %edx
+.Lsplit2:
+    leal (%r8,%rdi), %eax
+    movl %eax, %ecx
+    sarl %ecx
+    xorl %r10d, %ecx
+    movl %ecx, %r11d
+    xorb $1, %r11b
+    leal 2(%r11), %r8d
+    subq $1, %rbp
+    jne .Lloop
+    movl %edx, %eax
+    ret
+"""
+
+
+def _source_order_cost(dag: DependenceDAG):
+    return [float(len(dag.entries) - i) for i in range(len(dag.entries))]
+
+
+def _anti_critical_cost(dag: DependenceDAG):
+    return [-c for c in critical_path_cost(dag)]
+
+
+def test_sched_cost_function_ablation(once):
+    from repro.passes.manager import register_func_pass
+
+    @register_func_pass("SCHED_SRC")
+    class SourceOrderSched(ListSchedulingPass):
+        cost_function = staticmethod(_source_order_cost)
+
+    @register_func_pass("SCHED_ANTI")
+    class AntiCriticalSched(ListSchedulingPass):
+        cost_function = staticmethod(_anti_critical_cost)
+
+    def run():
+        results = {}
+        for label, spec in [("no scheduling", None),
+                            ("critical path (default)", "SCHED"),
+                            ("source order", "SCHED_SRC"),
+                            ("anti-critical (worst case)", "SCHED_ANTI")]:
+            unit = parse_unit(kernels.hash_bench(False))
+            if spec:
+                run_passes(unit, spec)
+            results[label] = measure(unit, core2())
+        return results
+
+    results = once(run)
+    base = results["no scheduling"].cycles
+    rows = [(label, stats.cycles, pct(base / stats.cycles - 1.0))
+            for label, stats in results.items()]
+    report("Ablation — SCHED cost functions on the hashing kernel",
+           ["cost function", "cycles", "vs no scheduling"], rows)
+    assert results["critical path (default)"].cycles <= base
+    assert results["source order"].cycles == base
+    assert results["anti-critical (worst case)"].cycles \
+        >= results["critical path (default)"].cycles
+
+
+def test_ebb_scheduling_ablation(once):
+    def run():
+        results = {}
+        for label, spec in [("baseline", None),
+                            ("SCHED (single BB, as the paper ships)",
+                             "SCHED"),
+                            ("SCHED ebb[1] (the paper's future work)",
+                             "SCHED=ebb[1]")]:
+            unit = parse_unit(SPLIT_HASH)
+            result = run_passes(unit, spec) if spec else None
+            results[label] = (measure(unit, core2()), result)
+        return results
+
+    results = once(run)
+    base = results["baseline"][0].cycles
+    rows = []
+    for label, (stats, result) in results.items():
+        moved = result.total("SCHED", "instructions_moved") if result \
+            else 0
+        rows.append((label, stats.cycles, moved,
+                     pct(base / stats.cycles - 1.0)))
+    report("Ablation — single-BB vs extended-BB scheduling "
+           "(label-split hashing kernel)",
+           ["variant", "cycles", "moved", "delta"], rows,
+           extra="the paper: \"We expect the impact to become much higher"
+                 " once we extend the pass to schedule across basic "
+                 "blocks\" — confirmed")
+    single = results["SCHED (single BB, as the paper ships)"][0].cycles
+    extended = results["SCHED ebb[1] (the paper's future work)"][0].cycles
+    assert extended < single, "EBB scheduling must beat single-BB here"
+
+
+def test_lsd_ablation(once):
+    def run():
+        with_lsd = measure(kernels.fig4_loop(6), core2())
+        model = core2()
+        model.lsd_enabled = False
+        without_lsd = measure(kernels.fig4_loop(6), model)
+        return with_lsd, without_lsd
+
+    with_lsd, without_lsd = once(run)
+    report("Ablation — Loop Stream Detector on/off (Fig. 5 layout)",
+           ["model", "cycles", "LSD_UOPS"],
+           [("LSD enabled", with_lsd.cycles, with_lsd["LSD_UOPS"]),
+            ("LSD disabled", without_lsd.cycles,
+             without_lsd["LSD_UOPS"])],
+           extra="the Figs. 4/5 speedup is the LSD, not the line count "
+                 "alone: %.2fx"
+           % (without_lsd.cycles / with_lsd.cycles))
+    assert without_lsd.cycles > with_lsd.cycles
+
+
+def test_bp_table_size_ablation(once):
+    def run():
+        rows = []
+        for size in (64, 512, 4096):
+            model = core2()
+            model.bp_table_size = size
+            stats = measure(kernels.nested_short_loops(False), model)
+            rows.append((size, stats.cycles, stats["BR_MISP"]))
+        return rows
+
+    rows = once(run)
+    report("Ablation — branch-predictor table size "
+           "(aliased nested loops)",
+           ["table entries", "cycles", "BR_MISP"], rows,
+           extra="aliasing persists across sizes: the branches share one "
+                 "bucket because of the PC>>5 *index*, not capacity")
+    # The two aliased branches are < 32 bytes apart: no table size fixes
+    # the same-bucket collision.
+    mispredicts = [r[2] for r in rows]
+    assert max(mispredicts) - min(mispredicts) < max(mispredicts) * 0.2

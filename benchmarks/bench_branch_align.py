@@ -1,0 +1,58 @@
+"""§III.C.g: branch-predictor aliasing of two short-running loops.
+
+"Since both loops were short running with iteration counts of 1 or 2, the
+branch predictor gets constantly confused ... Moving the second branch
+instruction down via NOP insertion so that the two branch instructions ...
+have two different PC >> 5 values speeds up a full image manipulation
+benchmark by 3%."
+"""
+
+from _bench_util import measure, pct, report
+
+from repro.uarch.profiles import core2
+from repro.workloads import kernels
+
+PAPER_SPEEDUP = 0.03
+
+
+def test_branch_alias_separation(once):
+    def run():
+        base = measure(kernels.nested_short_loops(False), core2())
+        separated = measure(kernels.nested_short_loops(True), core2())
+        return base, separated
+
+    base, separated = once(run)
+    speedup = base.cycles / separated.cycles - 1.0
+    report(
+        "§III.C.g — de-aliasing the nested short loops (Core-2)",
+        ["variant", "cycles", "BR_MISP"],
+        [("aliased branches", base.cycles, base["BR_MISP"]),
+         ("separated (+nops)", separated.cycles, separated["BR_MISP"])],
+        extra="kernel-level speedup: %s  (paper: %s on the full image "
+        "benchmark)" % (pct(speedup), pct(PAPER_SPEEDUP)))
+    once.benchmark.extra_info["speedup"] = speedup
+    assert separated["BR_MISP"] < base["BR_MISP"]
+    assert speedup > 0.02
+
+
+def test_bralign_pass_automates_it(once):
+    from repro.ir import parse_unit
+    from repro.passes import run_passes
+
+    def run():
+        base = measure(kernels.nested_short_loops(False), core2())
+        unit = parse_unit(kernels.nested_short_loops(False))
+        result = run_passes(unit, "BRALIGN")
+        optimized = measure(unit, core2())
+        return base, optimized, result
+
+    base, optimized, result = once(run)
+    report(
+        "§III.C.g — BRALIGN pass (automatic)",
+        ["variant", "cycles", "BR_MISP"],
+        [("before BRALIGN", base.cycles, base["BR_MISP"]),
+         ("after BRALIGN", optimized.cycles, optimized["BR_MISP"])],
+        extra="pairs separated: %d, nops inserted: %d"
+        % (result.total("BRALIGN", "pairs_separated"),
+           result.total("BRALIGN", "nops_inserted")))
+    assert optimized["BR_MISP"] <= base["BR_MISP"]

@@ -1,0 +1,62 @@
+"""§V.A: compile-time cost of MAO.
+
+"MAO is based on gas, which, during normal operation, only performs one
+"pass" over the assembly instructions.  MAO performs multiple passes ...
+for a typical set of passes, MAO is about five times slower than gas."
+
+The stand-in for "gas alone" is parse + one relaxation/encode; "MAO" runs
+the typical optimization pipeline on top before emitting.
+"""
+
+import time
+
+from _bench_util import report
+
+from repro.analysis.relax import relax_section
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+
+PAPER_SLOWDOWN = 5.0
+PIPELINE = "REDZEE:REDTEST:REDMOV:ADDADD:LOOP16:SCHED"
+
+
+def _assemble_only(source):
+    unit = parse_unit(source)
+    relax_section(unit, unit.get_section(".text"))
+    return unit
+
+
+def _full_mao(source):
+    unit = parse_unit(source)
+    run_passes(unit, PIPELINE)
+    relax_section(unit, unit.get_section(".text"))
+    unit.to_asm()
+    return unit
+
+
+def test_compile_time_ratio(once):
+    source = generate_corpus_text(CorpusConfig(seed=2, scale=0.02))
+
+    def run():
+        t0 = time.perf_counter()
+        _assemble_only(source)
+        gas_time = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _full_mao(source)
+        mao_time = time.perf_counter() - t0
+        return gas_time, mao_time
+
+    gas_time, mao_time = once(run)
+    ratio = mao_time / gas_time
+    report(
+        "§V.A — compile time: \"gas\" (parse+encode) vs MAO "
+        "(parse+%s+encode+emit)" % PIPELINE,
+        ["stage", "seconds"],
+        [("assemble only", "%.3f" % gas_time),
+         ("full MAO pipeline", "%.3f" % mao_time)],
+        extra="slowdown: %.1fx  (paper: ~%.0fx for a typical set of "
+              "passes)" % (ratio, PAPER_SLOWDOWN))
+    once.benchmark.extra_info["slowdown"] = ratio
+    assert ratio > 1.5, "multiple passes must cost measurably more"
+    assert ratio < 30, "but stay within an order of magnitude"

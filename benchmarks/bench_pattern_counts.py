@@ -1,0 +1,71 @@
+"""§III.B: static pattern counts on the "Google core library" corpus.
+
+Paper numbers (full-scale library):
+  * ~1000 redundant zero-extensions; the MAO prototype catches >90% of the
+    opportunities the compiler implementation handled;
+  * 79763 test instructions, 19272 (24%) redundant;
+  * 13362 redundant memory-access pairs.
+
+The corpus generator synthesizes the same populations at a configurable
+scale (0.1 here); counts scale linearly and the ratios are scale-free.
+"""
+
+from _bench_util import report
+
+from repro.passes import run_passes
+from repro.workloads.corpus import (
+    CorpusConfig,
+    PAPER_REDMOV,
+    PAPER_TESTS_REDUNDANT,
+    PAPER_TESTS_TOTAL,
+    PAPER_ZEXT,
+    generate_corpus,
+)
+
+SCALE = 0.1
+
+
+def test_pattern_counts(once):
+    def run():
+        unit = generate_corpus(CorpusConfig(seed=0, scale=SCALE))
+        result = run_passes(
+            unit, "REDZEE=count_only[1]:REDTEST=count_only[1]"
+                  ":REDMOV=count_only[1]:ADDADD=count_only[1]")
+        return unit, result
+
+    unit, result = once(run)
+    zee_candidates = result.total("REDZEE", "candidates")
+    zee_removed = result.total("REDZEE", "removed")
+    tests_total = result.total("REDTEST", "tests")
+    tests_removed = result.total("REDTEST", "removed")
+    movs = result.total("REDMOV", "rewritten")
+    folds = result.total("ADDADD", "folded")
+
+    rows = [
+        ("zero-extensions found", zee_removed,
+         round(PAPER_ZEXT * SCALE), "~%d" % PAPER_ZEXT),
+        ("zext catch rate", "%.0f%%" % (100 * zee_removed
+                                        / max(zee_candidates, 1)),
+         ">90%", ">90% (vs compiler impl.)"),
+        ("test instructions", tests_total,
+         round(PAPER_TESTS_TOTAL * SCALE), PAPER_TESTS_TOTAL),
+        ("redundant tests", tests_removed,
+         round(PAPER_TESTS_REDUNDANT * SCALE), PAPER_TESTS_REDUNDANT),
+        ("redundant-test ratio",
+         "%.0f%%" % (100 * tests_removed / max(tests_total, 1)),
+         "24%", "24%"),
+        ("redundant load pairs", movs,
+         round(PAPER_REDMOV * SCALE), PAPER_REDMOV),
+        ("add/add folds", folds, "-", "\"a plethora\""),
+    ]
+    report("§III.B — pattern populations at corpus scale %.2f" % SCALE,
+           ["pattern", "measured", "expected @scale", "paper @1.0"],
+           rows,
+           extra="corpus: %d instructions across %d functions"
+           % (unit.instruction_count(), len(unit.functions)))
+
+    once.benchmark.extra_info["tests_ratio"] = tests_removed / tests_total
+    assert abs(tests_removed / tests_total
+               - PAPER_TESTS_REDUNDANT / PAPER_TESTS_TOTAL) < 0.04
+    assert zee_removed / zee_candidates >= 0.90
+    assert abs(movs - PAPER_REDMOV * SCALE) / (PAPER_REDMOV * SCALE) < 0.1

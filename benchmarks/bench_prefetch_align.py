@@ -1,0 +1,79 @@
+"""§III.C.h: the prefetcher PC-alias quirk and the PREFALIGN pass.
+
+"For example, on a specific Intel platform prefetchable loads should not
+be located at multiples of 256 bytes.  We have not yet implemented a pass
+to address this issue."  — this repo does implement it (PREFALIGN), and
+this bench shows the quirk and the fix.
+
+The kernel chases prefetch-friendly sequential lines through a dependent
+chain, so dead prefetching shows up in cycles, not just miss counts.
+"""
+
+from _bench_util import measure, pct, report
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.sim import load_unit
+from repro.uarch.profiles import core2
+
+
+def kernel(pad):
+    nops = "\n".join("    nop" for _ in range(pad))
+    # Each loaded value is folded into the next address computation, so a
+    # miss stalls the loop (latency-bound streaming).
+    return f"""
+.text
+.globl main
+main:
+    leaq buf(%rip), %rdi
+    movq $1200, %rbp
+    xorq %r9, %r9
+{nops}
+.Lload:
+    movq (%rdi,%r9,8), %rdx
+    addq %rdx, %rax
+    addq %rdx, %r9
+    addq $8, %r9
+    andq $0x1fff, %r9
+    subq $1, %rbp
+    jne .Lload
+    ret
+.section .bss
+.align 64
+buf:
+    .zero 65536
+"""
+
+
+def find_aliased_pad():
+    for pad in range(300):
+        program = load_unit(parse_unit(kernel(pad)))
+        if program.symtab[".Lload"] % 256 == 0:
+            return pad
+    raise AssertionError("no aliased placement")
+
+
+def test_prefetch_alias_quirk(once):
+    def run():
+        pad = find_aliased_pad()
+        aliased = measure(kernel(pad), core2(), max_steps=1_000_000)
+        unit = parse_unit(kernel(pad))
+        result = run_passes(unit, "PREFALIGN")
+        fixed = measure(unit, core2(), max_steps=1_000_000)
+        return pad, aliased, fixed, result
+
+    pad, aliased, fixed, result = once(run)
+    speedup = aliased.cycles / fixed.cycles - 1.0
+    report(
+        "§III.C.h — load at a 256-byte multiple (prefetch-table alias)",
+        ["variant", "cycles", "L1D misses"],
+        [("load PC % 256 == 0", aliased.cycles, aliased["L1D_MISSES"]),
+         ("after PREFALIGN (+%d nop)" % result.total("PREFALIGN",
+                                                     "loads_moved"),
+          fixed.cycles, fixed["L1D_MISSES"])],
+        extra="speedup from one NOP: %s  (the paper reports the quirk "
+              "but had no pass; PREFALIGN is this repo's extension)"
+        % pct(speedup))
+    once.benchmark.extra_info["speedup"] = speedup
+    assert aliased["L1D_MISSES"] > fixed["L1D_MISSES"] * 5
+    assert speedup > 0.0

@@ -1,0 +1,80 @@
+"""§V.B, SPEC 2006 fp table: the Opteron "unknown LSD-like" effect.
+
+    Benchmark      REDMOV    REDTEST   NOPKILL
+    447.dealII     +2.78%    +3.21%    -0.12%
+    454.calculix   +20.12%   +20.58%   -8.81%
+
+"Since both passes only remove instructions, we suspect that another
+second order effect takes hold, such as the loop stream detector.
+However, we are not aware of a published LSD-like structure on AMD
+platforms, therefore this result points to yet another unknown
+micro-architectural effect."
+"""
+
+from _bench_util import delta_for_pass, measure, pct, report
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.uarch.profiles import opteron
+from repro.workloads.spec import build_benchmark
+
+PAPER = {
+    "447.dealII": {"REDMOV": 2.78, "REDTEST": 3.21, "NOPKILL": -0.12},
+    "454.calculix": {"REDMOV": 20.12, "REDTEST": 20.58, "NOPKILL": -8.81},
+}
+
+
+def test_calculix_dealii_table(once):
+    def run():
+        results = {}
+        for name in PAPER:
+            program = build_benchmark(name)
+            results[name] = {
+                spec: delta_for_pass(program, spec, opteron())
+                for spec in ("REDMOV", "REDTEST", "NOPKILL")}
+        return results
+
+    measured = once(run)
+    rows = []
+    for name in PAPER:
+        for spec in ("REDMOV", "REDTEST", "NOPKILL"):
+            rows.append((name, spec, pct(measured[name][spec]),
+                         "%+.2f%%" % PAPER[name][spec]))
+    report("§V.B — REDMOV/REDTEST/NOPKILL on AMD Opteron (SPEC 2006 fp)",
+           ["benchmark", "pass", "measured", "paper"], rows)
+
+    calculix = measured["454.calculix"]
+    dealii = measured["447.dealII"]
+    assert calculix["REDMOV"] > 0.10, "large instruction-removal win"
+    assert calculix["REDTEST"] > 0.10
+    assert calculix["NOPKILL"] < -0.03, "alignment removal must hurt"
+    assert 0 < dealii["REDMOV"] < calculix["REDMOV"], \
+        "dealII shows the same effect, smaller"
+    assert abs(dealii["NOPKILL"]) < 0.01
+    for name, values in measured.items():
+        for spec, value in values.items():
+            once.benchmark.extra_info["%s/%s" % (name, spec)] = value
+
+
+def test_effect_is_loop_streaming(once):
+    """Confirm the mechanism: the pass tips the hot loop into the
+    single-window loop buffer (LSD_UOPS goes from zero to nonzero)."""
+    def run():
+        program = build_benchmark("454.calculix")
+        base = measure(program.unit(), opteron(),
+                       max_steps=program.max_steps)
+        unit = program.unit()
+        run_passes(unit, "REDMOV")
+        opt = measure(unit, opteron(), max_steps=program.max_steps)
+        return base, opt
+
+    base, opt = once(run)
+    report("§V.B — mechanism check: calculix loop streaming (Opteron)",
+           ["variant", "cycles", "LSD_UOPS"],
+           [("base", base.cycles, base["LSD_UOPS"]),
+            ("after REDMOV", opt.cycles, opt["LSD_UOPS"])],
+           extra="the \"unknown micro-architectural effect\" is the loop "
+                 "buffer engaging once the body fits one fetch window")
+    # The dilution loop streams in both runs; the jump comes from the hot
+    # loop joining it once REDMOV shrinks the body under 32 bytes.
+    assert opt["LSD_UOPS"] > base["LSD_UOPS"] * 3

@@ -1,0 +1,64 @@
+"""§V.B, LOOP16 tables: short-loop alignment on Core-2 and Opteron.
+
+    Core-2:                      Opteron:
+    C++/252.eon   -4.43%         C++/252.eon   -5.86%
+    C/175.vpr     +1.25%         C/181.mcf     +2.47%
+    C/176.gcc     +1.41%         C/186.crafty  +2.45%
+    C/300.twolf   +1.18%
+"""
+
+from _bench_util import delta_for_pass, pct, report
+
+from repro.uarch.profiles import core2, opteron
+from repro.workloads.spec import build_benchmark
+
+PAPER_CORE2 = {"252.eon": -4.43, "175.vpr": 1.25, "176.gcc": 1.41,
+               "300.twolf": 1.18}
+PAPER_OPTERON = {"252.eon": -5.86, "181.mcf": 2.47, "186.crafty": 2.45}
+
+
+def _sweep(names, model):
+    results = {}
+    for name in names:
+        results[name] = delta_for_pass(build_benchmark(name), "LOOP16",
+                                       model)
+    return results
+
+
+def test_loop16_core2(once):
+    measured = once(_sweep, list(PAPER_CORE2), core2())
+    rows = [(name, pct(measured[name]), "%+.2f%%" % PAPER_CORE2[name])
+            for name in PAPER_CORE2]
+    report("§V.B — LOOP16 on Intel Core-2",
+           ["benchmark", "measured", "paper"], rows)
+    assert measured["252.eon"] < 0
+    for name in ("175.vpr", "176.gcc", "300.twolf"):
+        assert measured[name] > 0
+        once.benchmark.extra_info[name] = measured[name]
+
+
+def test_loop16_opteron(once):
+    measured = once(_sweep, list(PAPER_OPTERON), opteron())
+    rows = [(name, pct(measured[name]), "%+.2f%%" % PAPER_OPTERON[name])
+            for name in PAPER_OPTERON]
+    report("§V.B — the same LOOP16 transformation on AMD Opteron",
+           ["benchmark", "measured", "paper"], rows,
+           extra="a different set of benchmarks benefits — and eon still "
+                 "degrades — matching the paper's cross-platform story")
+    assert measured["252.eon"] < 0
+    assert measured["181.mcf"] > 0
+    assert measured["186.crafty"] > 0
+    for name, value in measured.items():
+        once.benchmark.extra_info[name] = value
+
+
+def test_loop16_platform_crossover(once):
+    """mcf/crafty gain on Opteron but stay near-flat on Core-2 (they are
+    absent from the paper's Core-2 table)."""
+    measured = once(_sweep, ["181.mcf", "186.crafty"], core2())
+    report("§V.B — LOOP16 crossover check (Core-2 side)",
+           ["benchmark", "measured", "paper"],
+           [(n, pct(v), "(not listed: ~0)")
+            for n, v in measured.items()])
+    for value in measured.values():
+        assert abs(value) < 0.02

@@ -1,0 +1,27 @@
+"""Bench fixtures and reporting hooks (table helpers in _bench_util)."""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (sims are deterministic
+    and expensive; repetition adds nothing)."""
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    runner.benchmark = benchmark
+    return runner
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Emit every reproduction table past pytest's capture, so a plain
+    `pytest benchmarks/ --benchmark-only | tee bench_output.txt` records
+    the paper-vs-measured rows."""
+    import _bench_util
+
+    if not _bench_util.COLLECTED_TABLES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for table in _bench_util.COLLECTED_TABLES:
+        terminalreporter.write_line(table)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: parse assembly, run MAO passes, emit optimized assembly.
+
+PyMAO is an assembly-to-assembly optimizer: it takes (compiler-generated)
+assembly text, builds the MAO IR, runs named optimization passes over it,
+and emits assembly again — exactly the paper's flow
+
+    compiler -> asm -> MAO passes -> asm -> assembler
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+
+# Compiler output with the classic GCC weaknesses from paper §III.B:
+# a redundant zero-extension, a redundant test, a repeated load, and an
+# add/add chain.
+SOURCE = """
+.text
+.globl compute
+.type compute, @function
+compute:
+    push %rbp
+    mov %rsp, %rbp
+    andl $255, %eax
+    mov %eax, %eax            # zero-extension already happened
+    subl $16, %r15d
+    testl %r15d, %r15d        # flags already set by the subl
+    je .Lzero
+    movq 24(%rsp), %rdx
+    movq 24(%rsp), %rcx       # same load again
+    addq $3, %rsi
+    addq $4, %rsi             # foldable
+.Lzero:
+    leave
+    ret
+"""
+
+
+def main() -> None:
+    unit = parse_unit(SOURCE)
+    print("before: %d instructions" % unit.instruction_count())
+
+    # Pass pipelines are named, ordered specs — the same grammar as the
+    # command line's --mao=REDZEE:REDTEST:REDMOV:ADDADD.
+    result = run_passes(unit, "REDZEE:REDTEST:REDMOV:ADDADD")
+
+    for name in ("REDZEE", "REDTEST", "REDMOV", "ADDADD"):
+        print("%-8s %s" % (name, result.stats_for(name)))
+    print("after:  %d instructions" % unit.instruction_count())
+    print("\noptimized assembly:\n")
+    print(unit.to_asm())
+
+
+if __name__ == "__main__":
+    main()

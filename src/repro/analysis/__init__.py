@@ -1,0 +1,19 @@
+"""Analyses over the MAO IR: relaxation, CFG, data-flow, loop nesting."""
+
+from repro.analysis.relax import relax_section, relax_unit, SectionLayout
+from repro.analysis.cfg import CFG, build_cfg, BasicBlock
+from repro.analysis.dataflow import ReachingDefinitions, Liveness
+from repro.analysis.loops import LoopStructureGraph, build_lsg
+
+__all__ = [
+    "relax_section",
+    "relax_unit",
+    "SectionLayout",
+    "CFG",
+    "BasicBlock",
+    "build_cfg",
+    "ReachingDefinitions",
+    "Liveness",
+    "LoopStructureGraph",
+    "build_lsg",
+]

@@ -1,0 +1,220 @@
+"""Simple data-flow apparatus: reaching definitions and liveness.
+
+The paper: "MAO offers a simple data flow apparatus, but no alias or
+points-to analysis.  Since many assembly instructions work on registers,
+this data flow mechanism is powerful and solves many otherwise difficult to
+reason about problems."
+
+Locations are register *alias groups* (``eax`` and ``rax`` are one location)
+plus individual RFLAGS bits written ``F:ZF`` etc., so the same machinery
+serves register analyses and the precise condition-code reasoning behind
+redundant-test removal.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.ir.entries import InstructionEntry
+from repro.x86 import sideeffects
+from repro.x86.instruction import Instruction
+
+FLAG_PREFIX = "F:"
+
+
+def flag_loc(flag: str) -> str:
+    return FLAG_PREFIX + flag
+
+
+def location_uses(insn: Instruction) -> Set[str]:
+    """Locations (register groups + flag bits) the instruction reads."""
+    try:
+        locs = set(sideeffects.reg_uses(insn))
+        locs |= {flag_loc(f) for f in sideeffects.flags_read(insn)}
+    except sideeffects.UnknownSideEffects:
+        # Conservative: reads everything it mentions.
+        locs = {r.group for r in insn.register_operands()}
+    return locs
+
+
+def location_defs(insn: Instruction) -> Set[str]:
+    """Locations the instruction writes (undefined flags count as writes)."""
+    try:
+        locs = set(sideeffects.reg_defs(insn))
+        locs |= {flag_loc(f) for f in (sideeffects.flags_written(insn)
+                                       | sideeffects.flags_undefined(insn))}
+    except sideeffects.UnknownSideEffects:
+        locs = {r.group for r in insn.register_operands()}
+    return locs
+
+
+class ReachingDefinitions:
+    """Classic forward may-analysis over (location, defining entry) pairs."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        # Definition sites, one id per (entry, location).
+        self._sites: List[Tuple[InstructionEntry, str]] = []
+        self._site_ids: Dict[Tuple[int, str], int] = {}
+        self._entry_block: Dict[int, BasicBlock] = {}
+        self._in: Dict[int, Set[int]] = {}
+        self._out: Dict[int, Set[int]] = {}
+        self._defs_by_loc: Dict[str, Set[int]] = defaultdict(set)
+        self._compute()
+
+    def _site(self, entry: InstructionEntry, loc: str) -> int:
+        key = (id(entry), loc)
+        if key not in self._site_ids:
+            self._site_ids[key] = len(self._sites)
+            self._sites.append((entry, loc))
+            self._defs_by_loc[loc].add(self._site_ids[key])
+        return self._site_ids[key]
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        gen: Dict[int, Set[int]] = {}
+        kill_locs: Dict[int, Set[str]] = {}
+
+        for block in cfg.blocks:
+            block_gen: Dict[str, int] = {}
+            locs_killed: Set[str] = set()
+            for entry in block.entries:
+                self._entry_block[id(entry)] = block
+                for loc in location_defs(entry.insn):
+                    block_gen[loc] = self._site(entry, loc)
+                    locs_killed.add(loc)
+            gen[block.index] = set(block_gen.values())
+            kill_locs[block.index] = locs_killed
+
+        in_sets: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+        out_sets: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in cfg.blocks:
+                new_in: Set[int] = set()
+                for pred in block.predecessors:
+                    new_in |= out_sets.get(pred.index, set())
+                killed = set()
+                for loc in kill_locs[block.index]:
+                    killed |= self._defs_by_loc[loc]
+                new_out = gen[block.index] | (new_in - killed)
+                if new_in != in_sets[block.index] \
+                        or new_out != out_sets[block.index]:
+                    in_sets[block.index] = new_in
+                    out_sets[block.index] = new_out
+                    changed = True
+        self._in = in_sets
+        self._out = out_sets
+
+    def reaching_defs(self, at: InstructionEntry,
+                      loc: str) -> List[InstructionEntry]:
+        """Definitions of *loc* that reach the program point just before
+        *at* (block-local definitions shadow incoming ones)."""
+        block = self._entry_block.get(id(at))
+        if block is None:
+            block = self.cfg.block_of(at)
+            if block is None:
+                return []
+        live: Set[int] = {s for s in self._in.get(block.index, set())
+                          if self._sites[s][1] == loc}
+        for entry in block.entries:
+            if entry is at:
+                break
+            defs = location_defs(entry.insn)
+            if loc in defs:
+                live = {self._site(entry, loc)}
+        return [self._sites[s][0] for s in live]
+
+    def unique_reaching_def(self, at: InstructionEntry,
+                            loc: str) -> Optional[InstructionEntry]:
+        defs = self.reaching_defs(at, loc)
+        if len(defs) == 1:
+            return defs[0]
+        return None
+
+
+class Liveness:
+    """Backward liveness over register groups and flag bits."""
+
+    def __init__(self, cfg: CFG,
+                 exit_live: Optional[Set[str]] = None) -> None:
+        self.cfg = cfg
+        #: Locations assumed live at function exit (ABI: return registers
+        #: and callee-saved state).  Flags are dead at exit.
+        if exit_live is None:
+            exit_live = {"rax", "rdx", "rsp", "rbp", "rbx",
+                         "r12", "r13", "r14", "r15",
+                         "xmm0", "xmm1"}
+        self.exit_live = set(exit_live)
+        self._live_in: Dict[int, Set[str]] = {}
+        self._live_out: Dict[int, Set[str]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        use: Dict[int, Set[str]] = {}
+        defs: Dict[int, Set[str]] = {}
+        for block in cfg.blocks:
+            block_use: Set[str] = set()
+            block_def: Set[str] = set()
+            for entry in block.entries:
+                for loc in location_uses(entry.insn):
+                    if loc not in block_def:
+                        block_use.add(loc)
+                block_def |= location_defs(entry.insn)
+            use[block.index] = block_use
+            defs[block.index] = block_def
+
+        live_in: Dict[int, Set[str]] = {b.index: set() for b in cfg.blocks}
+        live_out: Dict[int, Set[str]] = {b.index: set() for b in cfg.blocks}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(cfg.blocks):
+                new_out: Set[str] = set()
+                for succ in block.successors:
+                    if succ is self.cfg.exit:
+                        new_out |= self.exit_live
+                    else:
+                        new_out |= live_in.get(succ.index, set())
+                if block.has_unresolved_exit:
+                    # Unknown targets: everything may be live.
+                    new_out |= self.exit_live
+                new_in = use[block.index] | (new_out - defs[block.index])
+                if new_out != live_out[block.index] \
+                        or new_in != live_in[block.index]:
+                    live_out[block.index] = new_out
+                    live_in[block.index] = new_in
+                    changed = True
+        self._live_in = live_in
+        self._live_out = live_out
+
+    def live_in(self, block: BasicBlock) -> Set[str]:
+        return set(self._live_in.get(block.index, set()))
+
+    def live_out(self, block: BasicBlock) -> Set[str]:
+        return set(self._live_out.get(block.index, set()))
+
+    def live_after(self, block: BasicBlock,
+                   entry: InstructionEntry) -> Set[str]:
+        """Locations live immediately after *entry* inside *block*."""
+        live = self.live_out(block)
+        found = False
+        for node in reversed(block.entries):
+            if node is entry:
+                found = True
+                break
+            live -= location_defs(node.insn)
+            live |= location_uses(node.insn)
+        if not found:
+            raise ValueError("entry not in block")
+        return live
+
+    def is_dead_after(self, block: BasicBlock, entry: InstructionEntry,
+                      loc: str) -> bool:
+        return loc not in self.live_after(block, entry)

@@ -1,0 +1,110 @@
+"""IR, CFG, and LSG dumping in various formats.
+
+The paper: passes "offer common functionality, e.g., dumping the current
+state of the IR before or after a given pass in various formats".  Three
+formats are provided:
+
+* :func:`dump_ir_text` — annotated text (addresses + encodings when the
+  function has been relaxed),
+* :func:`cfg_to_dot` — Graphviz for the control-flow graph,
+* :func:`lsg_to_dot` — Graphviz for the loop structure graph (the modern
+  equivalent of MAO's VCG output).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.analysis.loops import Loop, LoopStructureGraph
+from repro.analysis.relax import SectionLayout, relax_section
+from repro.ir.entries import InstructionEntry
+from repro.ir.unit import Function
+
+
+def dump_ir_text(function: Function,
+                 with_layout: bool = True) -> str:
+    """Annotated textual dump of one function's IR."""
+    layout: Optional[SectionLayout] = None
+    if with_layout:
+        try:
+            layout = relax_section(function.unit, function.section)
+        except Exception:
+            layout = None
+    lines: List[str] = ["# function %s" % function.name]
+    for entry in function.entries():
+        prefix = " " * 24
+        if layout is not None and entry in layout.placement:
+            place = layout.placement[entry]
+            encoding = ""
+            if isinstance(entry, InstructionEntry) \
+                    and entry.insn.encoding:
+                encoding = entry.insn.encoding.hex()
+            prefix = "%06x %-16s " % (place.address, encoding[:16])
+        lines.append(prefix + entry.to_asm().strip())
+    return "\n".join(lines) + "\n"
+
+
+def _block_label(block: BasicBlock) -> str:
+    title = block.labels[0] if block.labels else "bb%d" % block.index
+    body = [title + ":"]
+    for entry in block.entries[:6]:
+        body.append(str(entry.insn))
+    if len(block.entries) > 6:
+        body.append("... (%d more)" % (len(block.entries) - 6))
+    return "\\l".join(body) + "\\l"
+
+
+def cfg_to_dot(cfg: CFG, name: Optional[str] = None) -> str:
+    """Graphviz dot text for a CFG (exit edges dashed)."""
+    title = name or cfg.function.name
+    lines = ["digraph \"%s\" {" % title,
+             "  node [shape=box, fontname=\"monospace\"];"]
+    for block in cfg.blocks:
+        attributes = ""
+        if block is cfg.entry:
+            attributes = ", color=blue"
+        if block.has_unresolved_exit:
+            attributes = ", color=red"
+        lines.append("  bb%d [label=\"%s\"%s];"
+                     % (block.index, _block_label(block), attributes))
+    lines.append("  exit [shape=doublecircle, label=\"exit\"];")
+    for block in cfg.blocks:
+        for succ in block.successors:
+            if succ is cfg.exit:
+                lines.append("  bb%d -> exit [style=dashed];"
+                             % block.index)
+            else:
+                lines.append("  bb%d -> bb%d;" % (block.index,
+                                                  succ.index))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def lsg_to_dot(lsg: LoopStructureGraph,
+               name: str = "loops") -> str:
+    """Graphviz dot text for the loop structure graph."""
+    lines = ["digraph \"%s\" {" % name,
+             "  node [shape=ellipse];"]
+
+    def describe(loop: Loop) -> str:
+        if loop.is_root:
+            return "root"
+        kind = "loop" if loop.is_reducible else "irreducible"
+        header = loop.header.labels[0] if loop.header and \
+            loop.header.labels else "bb%d" % (loop.header.index
+                                              if loop.header else -1)
+        return "%s\\nheader=%s\\nblocks=%d" % (kind, header,
+                                               len(loop.all_blocks()))
+
+    for loop in lsg.loops:
+        shape = ", shape=box" if loop.is_root else ""
+        color = ", color=red" if not loop.is_root \
+            and not loop.is_reducible else ""
+        lines.append("  l%d [label=\"%s\"%s%s];"
+                     % (loop.index, describe(loop), shape, color))
+    for loop in lsg.loops:
+        for child in loop.children:
+            lines.append("  l%d -> l%d;" % (loop.index, child.index))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,121 @@
+"""The ``mao`` command-line driver.
+
+Mirrors the paper's invocation style::
+
+    mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s
+
+MAO-specific options carry the ``--mao=`` prefix; the order of passes in
+the spec is the invocation order.  Reading/parsing the input happens
+implicitly as the first pass.  Without an ``ASM`` pass the run is
+analysis-only and nothing is emitted (matching MAO).  ``--list-passes``
+shows everything registered.
+
+The original MAO ships an ``as`` replacement script that filters MAO
+options and then delegates to the real assembler; ``--gas-compat`` mode
+emulates that flow by accepting (and ignoring) common gas flags like
+``--64`` and ``-o`` so the driver can sit behind a compiler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import repro.passes  # noqa: F401  (registers all built-in passes)
+from repro.ir import parse_unit
+from repro.passes.manager import (
+    PassPipeline,
+    parse_pass_spec,
+    registered_passes,
+)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mao",
+        description="PyMAO: an extensible micro-architectural optimizer")
+    parser.add_argument("--mao", action="append", default=[],
+                        metavar="SPEC",
+                        help="pass spec, e.g. REDTEST:ASM=o[out.s]")
+    parser.add_argument("--list-passes", action="store_true",
+                        help="list registered passes and exit")
+    parser.add_argument("--plugin", action="append", default=[],
+                        metavar="FILE.py",
+                        help="load a pass plug-in before running (the "
+                             "file registers passes via "
+                             "@register_func_pass)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass transformation statistics")
+    parser.add_argument("--time", action="store_true",
+                        help="report wall-clock time per pass pipeline")
+    parser.add_argument("-o", dest="output", default=None,
+                        help="output file (shorthand for a final ASM pass)")
+    parser.add_argument("--64", dest="gas64", action="store_true",
+                        help="gas compatibility flag (accepted, implied)")
+    parser.add_argument("input", nargs="?", help="input assembly file")
+    return parser
+
+
+def load_plugin(path: str) -> None:
+    """Load a pass plug-in: execute a Python file whose top level
+    registers passes (the paper: "Passes can be statically linked into
+    MAO, or dynamically loaded as plug-ins").
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "mao_plugin_%d" % abs(hash(path)), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    for plugin in args.plugin:
+        load_plugin(plugin)
+
+    if args.list_passes:
+        for name in registered_passes():
+            print(name)
+        return 0
+
+    if not args.input:
+        parser.error("no input file")
+
+    with open(args.input) as handle:
+        source = handle.read()
+
+    start = time.perf_counter()
+    unit = parse_unit(source, filename=args.input)
+    parse_time = time.perf_counter() - start
+
+    spec_items = []
+    for spec in args.mao:
+        spec_items.extend(parse_pass_spec(spec))
+    if args.output and not any(name == "ASM" for name, _ in spec_items):
+        spec_items.append(("ASM", {"o": args.output}))
+
+    pipeline = PassPipeline(spec_items)
+    start = time.perf_counter()
+    result = pipeline.run(unit)
+    pass_time = time.perf_counter() - start
+
+    if args.stats:
+        for report in result.reports:
+            if report.stats:
+                stats = " ".join("%s=%d" % kv
+                                 for kv in sorted(report.stats.items()))
+                sys.stderr.write("%-12s %-24s %s\n"
+                                 % (report.pass_name, report.scope, stats))
+    if args.time:
+        sys.stderr.write("parse: %.3fs  passes: %.3fs\n"
+                         % (parse_time, pass_time))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

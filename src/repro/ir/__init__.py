@@ -1,0 +1,31 @@
+"""The MAO intermediate representation.
+
+After parsing, "all assembly directives and instructions form one long list
+of MAO IR nodes" (paper, §II).  :class:`~repro.ir.unit.MaoUnit` owns that
+list (a doubly-linked entry chain so passes can insert and delete in O(1)),
+and overlays the higher-level notions of sections and functions with
+iterators that hide section-splitting details from optimization passes.
+"""
+
+from repro.ir.entries import (
+    DirectiveEntry,
+    InstructionEntry,
+    LabelEntry,
+    MaoEntry,
+    OpaqueEntry,
+)
+from repro.ir.unit import Function, MaoUnit, Section
+from repro.ir.builder import build_unit, parse_unit
+
+__all__ = [
+    "MaoEntry",
+    "InstructionEntry",
+    "LabelEntry",
+    "DirectiveEntry",
+    "OpaqueEntry",
+    "MaoUnit",
+    "Section",
+    "Function",
+    "build_unit",
+    "parse_unit",
+]

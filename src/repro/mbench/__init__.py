@@ -1,0 +1,32 @@
+"""Micro-architectural parameter-detection framework (paper §IV).
+
+The paper ships this framework as Python classes — Processor, Instruction,
+InstructionSequence, Loop, Benchmark — to "simplify the creation and
+execution of microbenchmarks"; this package mirrors that API exactly
+(compare Fig. 6's ``InstructionLatency`` with
+:func:`repro.mbench.detect.InstructionLatency`).
+
+The paper executes the generated microbenchmarks "on a host with the
+specified target processor in isolation"; here they run on the
+``repro.uarch`` timing model, whose parameters can be *blinded* so the
+detection really infers them from measurements.
+"""
+
+from repro.mbench.processor import Processor
+from repro.mbench.instruction import InstructionTemplate
+from repro.mbench.sequence import DagType, InstructionSequence
+from repro.mbench.loop import Loop, LoopList, StraightLineLoop
+from repro.mbench.benchmark import Benchmark
+from repro.mbench import detect
+
+__all__ = [
+    "Processor",
+    "InstructionTemplate",
+    "DagType",
+    "InstructionSequence",
+    "Loop",
+    "LoopList",
+    "StraightLineLoop",
+    "Benchmark",
+    "detect",
+]

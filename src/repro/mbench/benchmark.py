@@ -1,0 +1,47 @@
+"""The Benchmark class (paper §IV.e).
+
+"This class is used to construct an assembly program from the specified
+loops, assemble the program, execute the program on a target architecture
+in isolation and collect any specified PMU counters."
+
+Assembly and execution go through the in-repo toolchain: parse ->
+relax/encode -> architectural interpretation -> uarch timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.ir import parse_unit
+from repro.mbench.loop import LoopList
+from repro.mbench.processor import Processor
+from repro.sim import run_unit
+from repro.uarch.pipeline import simulate_trace
+
+
+class Benchmark:
+    """Build, run, and measure one microbenchmark program."""
+
+    def __init__(self, loop_list: LoopList) -> None:
+        self.loop_list = loop_list
+        self.source: Optional[str] = None
+        self.last_steps = 0
+
+    def Assemble(self) -> str:
+        self.source = self.loop_list.emit_program()
+        return self.source
+
+    def Execute(self, proc: Processor,
+                counter_names: Sequence[str],
+                max_steps: int = 2_000_000) -> Dict[str, int]:
+        """Run the benchmark on *proc*'s model; returns the counters."""
+        if self.source is None:
+            self.Assemble()
+        unit = parse_unit(self.source)
+        result = run_unit(unit, collect_trace=True, max_steps=max_steps)
+        if result.reason != "ret":
+            raise RuntimeError("microbenchmark did not finish: %s"
+                               % result.reason)
+        self.last_steps = result.steps
+        stats = simulate_trace(result.trace, proc.model)
+        return {name: stats[name] for name in counter_names}

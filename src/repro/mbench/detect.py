@@ -1,0 +1,241 @@
+"""Parameter-detection experiments (paper §IV and §IV.A).
+
+:func:`InstructionLatency` is a line-for-line port of the paper's Fig. 6.
+The other detectors realize the section's goal — "to discover
+micro-architectural features ... semi-automatically" — against a possibly
+*blinded* processor model: they only look at PMU counters, never at the
+model's fields.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mbench import loop, sequence as insseq
+from repro.mbench.benchmark import Benchmark
+from repro.mbench.loop import LoopList, StraightLineLoop
+from repro.mbench.processor import Processor
+from repro.mbench.sequence import DagType, InstructionSequence
+
+
+def InstructionLatency(proc: Processor, template: str,
+                       length: int = 8, trip_count: int = 2000) -> int:
+    """Determine an instruction's latency (paper Fig. 6, verbatim shape).
+
+    Form a loop with a cycle of instructions, one dependent on the other.
+    Execute the chain, collect CPU cycles and obtain the latency.
+    """
+    seq = insseq.InstructionSequence(proc, length=length)
+    seq.SetInstructionTemplate(template)
+    seq.SetDagType(insseq.DagType.CYCLE)
+    seq.Generate()
+    loop_list = loop.LoopList(
+        [loop.StraightLineLoop([seq], proc, trip_count=trip_count)])
+    bench = Benchmark(loop_list)
+    results = bench.Execute(proc, [proc.CPU_CYCLES])
+    insns_in_loop = loop_list.NumDynamicInstructions()
+    latency = round(float(results[proc.CPU_CYCLES]) / insns_in_loop)
+    return latency
+
+
+def InstructionThroughput(proc: Processor, template: str,
+                          length: int = 12,
+                          trip_count: int = 2000) -> float:
+    """Reciprocal throughput: independent copies of one instruction."""
+    seq = InstructionSequence(proc, length=length)
+    seq.SetInstructionTemplate(template)
+    seq.SetDagType(DagType.DISJOINT)
+    seq.Generate()
+    loop_list = LoopList([StraightLineLoop([seq], proc,
+                                           trip_count=trip_count)])
+    bench = Benchmark(loop_list)
+    results = bench.Execute(proc, [proc.CPU_CYCLES])
+    return results[proc.CPU_CYCLES] / loop_list.NumDynamicInstructions()
+
+
+def _alignment_cycle_profile(proc: Processor, offsets: range,
+                             trip_count: int = 24) -> List[float]:
+    """Per-iteration cycles of a decode-bound loop at varying alignments.
+
+    The body is made of wide multi-byte NOPs: they occupy decode slots but
+    no execution ports and forward no results, so the loop's speed is set
+    purely by how many fetch lines the body spans.  The trip count stays
+    below any plausible LSD engagement threshold, and running each layout
+    at two trip counts and differencing removes the prologue's cost.
+    """
+    def run(offset: int, trips: int) -> int:
+        seq = InstructionSequence(proc, length=6)
+        seq.SetInstructionTemplate("nopl 128(%rax,%rax,1)")  # 8 bytes
+        seq.SetDagType(DagType.DISJOINT)
+        seq.Generate()
+        inner = StraightLineLoop([seq], proc, trip_count=trips)
+        inner.pre_alignment_nops = offset
+        bench = Benchmark(LoopList([inner]))
+        return bench.Execute(proc, [proc.CPU_CYCLES])[proc.CPU_CYCLES]
+
+    cycles: List[float] = []
+    for offset in offsets:
+        low = run(offset, trip_count)
+        high = run(offset, trip_count * 2)
+        cycles.append((high - low) / trip_count)
+    return cycles
+
+
+def DetectDecodeLineSize(proc: Processor,
+                         max_line: int = 64) -> int:
+    """Infer the decode-line size from the period of alignment effects.
+
+    A short decode-bound loop is slid byte-by-byte through memory; its
+    cycle count varies cyclically with the starting offset, and the period
+    of that variation is the fetch-line size.
+    """
+    profile = _alignment_cycle_profile(proc, range(0, max_line))
+    best_period = max_line
+    for period in (8, 16, 32, 64):
+        if period > len(profile):
+            break
+        ok = all(profile[i] == profile[i - period]
+                 for i in range(period, len(profile)))
+        varies = len(set(profile[:period])) > 1
+        if ok and varies:
+            best_period = period
+            break
+    return best_period
+
+
+def DetectBranchPredictorShift(proc: Processor,
+                               max_shift: int = 7,
+                               iterations: int = 400) -> int:
+    """Infer the predictor index shift from branch-aliasing interference.
+
+    Two highly-biased branches (one always taken, one never taken) are
+    placed a controlled distance D apart; the pair is slid through memory
+    and the *worst-case* misprediction count over all placements is taken.
+    While D < 2^shift some placement puts both branches in one bucket and
+    they thrash each other's 2-bit counter; once D >= 2^shift no placement
+    aliases and mispredictions collapse.  Returns the inferred shift.
+    """
+    from repro.ir import parse_unit
+    from repro.sim import run_unit
+    from repro.uarch.pipeline import simulate_trace
+
+    def worst_case(distance: int) -> int:
+        pad = max(0, distance - 6)   # js(2) + pad + subq(4) -> jne
+        worst = 0
+        for slide in range(0, 2 * distance, max(1, distance // 8)):
+            pre = "\n".join("    nop" for _ in range(slide))
+            nops = "\n".join("    nop" for _ in range(pad))
+            source = f"""
+.text
+.globl main
+main:
+    movq ${iterations}, %rbp
+{pre}
+.Lloop:
+    testq %rbp, %rbp
+    js .Lnever
+{nops}
+.Lnever:
+    subq $1, %rbp
+    jne .Lloop
+    ret
+"""
+            unit = parse_unit(source)
+            result = run_unit(unit, collect_trace=True)
+            stats = simulate_trace(result.trace, proc.model)
+            worst = max(worst, stats["BR_MISP"])
+        return worst
+
+    threshold = iterations // 4
+    for shift in range(2, max_shift + 1):
+        if worst_case(1 << shift) < threshold:
+            return shift
+    return max_shift
+
+
+def DetectLsdLineBudget(proc: Processor, max_lines: int = 8,
+                        trip_count: int = 2000) -> Optional[int]:
+    """Infer how many decode lines a loop may span and still stream.
+
+    Loop bodies built from 8-byte NOPs are aligned to a line boundary and
+    sized to span exactly 1..max_lines lines.  While the LSD streams, the
+    cost per line is ~(instructions/stream width); beyond the budget the
+    fetch bound of one line per cycle takes over — the cycles-per-line
+    ratio jumps from ~0.5 to ~1.0.  Returns the last size before the jump,
+    or None when no transition is observed.
+    """
+    line = proc.model.decode_line_bytes
+    per_line: List[float] = []
+    for lines_spanned in range(1, max_lines + 1):
+        # body = N eight-byte NOPs + 6 bytes of sub/jne = lines*line - 2.
+        count = max(1, (lines_spanned * line - 8) // 8)
+        seq = InstructionSequence(proc, length=count)
+        seq.SetInstructionTemplate("nopl 128(%rax,%rax,1)")
+        seq.SetDagType(DagType.DISJOINT)
+        seq.Generate()
+        inner = StraightLineLoop([seq], proc, trip_count=trip_count)
+        inner.align_loop = line.bit_length() - 1
+        bench = Benchmark(LoopList([inner]))
+        results = bench.Execute(proc, [proc.CPU_CYCLES],
+                                max_steps=8_000_000)
+        per_iter = results[proc.CPU_CYCLES] / trip_count
+        per_line.append(per_iter / lines_spanned)
+
+    # While streaming, cycles-per-line falls with size (fixed stream
+    # width over more lines); past the budget the fetch bound snaps it
+    # back up.  The jump marks the budget.
+    for i in range(1, len(per_line)):
+        if per_line[i] > per_line[i - 1] * 1.3:
+            return i          # budget = previous size in lines
+    return None
+
+
+def DetectForwardingBandwidth(proc: Processor,
+                              max_streams: int = 4,
+                              trip_count: int = 1500) -> int:
+    """Infer how many results forward per cycle (§III.F effect).
+
+    Independent result streams are added one at a time (ALU streams on the
+    symmetric ports, then a load stream); once the number of results
+    retiring per cycle exceeds the forwarding bandwidth,
+    ``RESOURCE_STALLS:RS_FULL`` events appear.  Returns the largest stream
+    count that runs stall-free.
+    """
+    from repro.ir import parse_unit
+    from repro.sim import run_unit
+    from repro.uarch.pipeline import simulate_trace
+
+    alu_regs = ["rbx", "rcx", "rdx"]
+    clean = 0
+    for streams in range(1, max_streams + 1):
+        body: List[str] = []
+        for i in range(min(streams, 3)):
+            body.append("    addq $1, %%%s" % alu_regs[i])
+        if streams >= 4:
+            body.append("    movq 0(%r15), %rsi")
+        # Unroll x4 so steady-state behaviour dominates.
+        body = body * 4
+        source = """
+.text
+.globl main
+main:
+    push %%r15
+    leaq buf(%%rip), %%r15
+    movq $%d, %%rbp
+.Lloop:
+%s
+    subq $1, %%rbp
+    jne .Lloop
+    pop %%r15
+    ret
+.section .bss
+buf:
+    .zero 64
+""" % (trip_count, "\n".join(body))
+        unit = parse_unit(source)
+        result = run_unit(unit, collect_trace=True)
+        stats = simulate_trace(result.trace, proc.model)
+        if stats["RESOURCE_STALLS_RS_FULL"] > trip_count // 4:
+            return clean
+        clean = streams
+    return clean

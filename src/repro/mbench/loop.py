@@ -1,0 +1,99 @@
+"""Loop harnesses (paper §IV.d).
+
+"One or more instruction sequences are enclosed within a loop with a
+specified trip count.  The simplest form of a loop is a straight line loop
+which does not have any control-flow inside the loop."
+
+The harness reserves ``%rbp`` as the trip counter and ``%r15`` as the
+scratch-buffer pointer; generated sequences draw registers from the
+remaining pool.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.mbench.processor import Processor
+from repro.mbench.sequence import InstructionSequence
+
+
+class Loop:
+    """Base class: a loop over instruction sequences."""
+
+    def __init__(self, sequences: Sequence[InstructionSequence],
+                 proc: Processor, trip_count: int = 1000) -> None:
+        self.sequences = list(sequences)
+        self.proc = proc
+        self.trip_count = trip_count
+        #: Extra single-byte NOPs emitted *before* the loop label, to
+        #: control the loop body's starting alignment.
+        self.pre_alignment_nops = 0
+        #: Extra NOPs inside the body (after the sequences).
+        self.body_nops = 0
+        #: If set, emit ``.p2align <n>`` before the loop label.
+        self.align_loop: Optional[int] = None
+
+    def body_instructions(self) -> List[str]:
+        body: List[str] = []
+        for sequence in self.sequences:
+            if not sequence.instructions:
+                sequence.Generate()
+            body.extend(sequence.instructions)
+        body.extend(["nop"] * self.body_nops)
+        return body
+
+    def num_dynamic_instructions(self) -> int:
+        return len(self.body_instructions()) * self.trip_count
+
+    def emit(self, label: str) -> List[str]:
+        raise NotImplementedError
+
+
+class StraightLineLoop(Loop):
+    """A counted loop with no internal control flow."""
+
+    def emit(self, label: str) -> List[str]:
+        lines: List[str] = []
+        lines.append("    movq $%d, %%rbp" % self.trip_count)
+        lines.extend("    nop" for _ in range(self.pre_alignment_nops))
+        if self.align_loop is not None:
+            lines.append("    .p2align %d" % self.align_loop)
+        lines.append("%s:" % label)
+        for text in self.body_instructions():
+            lines.append("    %s" % text)
+        lines.append("    subq $1, %rbp")
+        lines.append("    jne %s" % label)
+        return lines
+
+
+class LoopList:
+    """The paper's LoopList: the program is a list of loops run in order."""
+
+    def __init__(self, loops: Sequence[Loop]) -> None:
+        self.loops = list(loops)
+
+    def NumDynamicInstructions(self) -> int:
+        return sum(loop.num_dynamic_instructions() for loop in self.loops)
+
+    def emit_program(self) -> str:
+        lines: List[str] = [
+            ".text",
+            ".globl main",
+            ".type main, @function",
+            "main:",
+            "    push %rbp",
+            "    push %r15",
+            "    leaq scratch(%rip), %r15",
+        ]
+        for index, loop in enumerate(self.loops):
+            lines.extend(loop.emit(".Lmb%d" % index))
+        lines.extend([
+            "    pop %r15",
+            "    pop %rbp",
+            "    ret",
+            ".section .bss",
+            ".align 64",
+            "scratch:",
+            "    .zero 65536",
+        ])
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,54 @@
+"""The Processor abstraction (paper §IV.a).
+
+"This class encapsulates information specific to a target architecture.
+This primarily consists of the set of registers and the set of
+instructions."  It also carries the execution target — here, a
+``ProcessorModel`` for the uarch simulator (possibly blinded).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.uarch import counters
+from repro.uarch.model import ProcessorModel
+from repro.uarch.profiles import core2
+
+
+class Processor:
+    """Target-architecture description for microbenchmark generation."""
+
+    #: PMU counter names exposed as attributes, as in the paper's
+    #: ``proc.CPU_CYCLES``.
+    CPU_CYCLES = counters.CPU_CYCLES
+    INSTRUCTIONS = counters.INSTRUCTIONS
+    BR_MISP = counters.BR_MISP
+    DECODE_LINES = counters.DECODE_LINES
+    LSD_UOPS = counters.LSD_UOPS
+    RESOURCE_STALLS_RS_FULL = counters.RESOURCE_STALLS_RS_FULL
+
+    def __init__(self, model: Optional[ProcessorModel] = None,
+                 seed: int = 0) -> None:
+        self.model = model or core2()
+        self.seed = seed
+        #: Scratch GP registers microbenchmarks may allocate (64-bit names).
+        self.gp_registers: List[str] = [
+            "rax", "rbx", "rcx", "rdx", "rsi", "rdi",
+            "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+        ]
+        self.xmm_registers: List[str] = ["xmm%d" % i for i in range(16)]
+        #: Registers reserved by the loop harness.
+        self.reserved: List[str] = ["rsp", "rbp", "r15"]
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    def scratch_registers(self, width: int = 64) -> List[str]:
+        from repro.x86.registers import get_register, widen
+        names = []
+        for name in self.gp_registers:
+            if name in self.reserved:
+                continue
+            names.append(widen(get_register(name), width).name)
+        return names

@@ -1,0 +1,139 @@
+"""InstructionSequence (paper §IV.c).
+
+"This class encapsulates an acyclic sequence of instructions.  A sequence
+is specified by the set of candidate instructions that can appear in the
+sequence and the dependencies among the instructions ...  The supported
+types include CHAIN (each instruction in the sequence has a RAW dependence
+on the previous instruction), CYCLE (a CHAIN where the first instruction
+depends on the last), RANDOM (arbitrary dependencies between instructions)
+and DISJOINT (each instruction is independent of other).  The
+InstructionSequence class generates a random sequence satisfying the
+specified constraints."
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import List, Optional
+
+from repro.mbench.instruction import InstructionTemplate
+from repro.mbench.processor import Processor
+
+
+class DagType(Enum):
+    CHAIN = "chain"
+    CYCLE = "cycle"
+    RANDOM = "random"
+    DISJOINT = "disjoint"
+
+
+class InstructionSequence:
+    """Generates a concrete instruction list obeying a dependence shape."""
+
+    def __init__(self, proc: Processor,
+                 length: int = 8, seed: Optional[int] = None) -> None:
+        self.proc = proc
+        self.length = length
+        self.templates: List[InstructionTemplate] = []
+        self.dag_type = DagType.DISJOINT
+        self.rng = random.Random(proc.seed if seed is None else seed)
+        self.instructions: List[str] = []
+
+    # -- paper API -----------------------------------------------------------
+
+    def SetInstructionTemplate(self, template) -> None:
+        if isinstance(template, str):
+            template = InstructionTemplate(template)
+        self.templates = [template]
+
+    def SetCandidateTemplates(self, templates) -> None:
+        self.templates = [
+            InstructionTemplate(t) if isinstance(t, str) else t
+            for t in templates]
+
+    def SetDagType(self, dag_type: DagType) -> None:
+        self.dag_type = dag_type
+
+    def SetLength(self, length: int) -> None:
+        self.length = length
+
+    def Generate(self) -> List[str]:
+        """Build the instruction strings for the requested dependence DAG."""
+        if not self.templates:
+            raise ValueError("no instruction templates set")
+        registers = self._register_pool()
+        instructions: List[str] = []
+        prev_dest: Optional[str] = None
+        first_dest: Optional[str] = None
+        dests: List[str] = []
+
+        for i in range(self.length):
+            template = self.rng.choice(self.templates)
+            last = i == self.length - 1
+            if self.dag_type == DagType.CHAIN:
+                src = prev_dest
+                dest = self._pick(registers, avoid=None)
+            elif self.dag_type == DagType.CYCLE:
+                src = prev_dest
+                # Close the cycle: the last instruction writes the first
+                # source; with one register per link, reuse dest = the
+                # chain register so the loop-carried dependence is real.
+                dest = first_dest if last and first_dest else \
+                    self._pick(registers, avoid=None)
+            elif self.dag_type == DagType.RANDOM:
+                src = self.rng.choice(dests) if dests \
+                    and self.rng.random() < 0.7 else None
+                dest = self._pick(registers, avoid=None)
+            else:  # DISJOINT
+                # Each instruction works on its own register so the
+                # sequence members are mutually independent.
+                dest = registers[i % len(registers)]
+                src = dest
+            text = self._instantiate(template, src, dest, registers)
+            instructions.append(text)
+            prev_dest = dest
+            if first_dest is None:
+                first_dest = dest
+            dests.append(dest)
+
+        if self.dag_type == DagType.CYCLE and self.length >= 1:
+            # Make the first instruction consume the last destination so
+            # iterations serialize (the Fig. 6 latency pattern).
+            template = self.templates[0]
+            instructions[0] = self._instantiate(
+                template, prev_dest, first_dest, registers)
+        self.instructions = instructions
+        return instructions
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _register_pool(self) -> List[str]:
+        width = self.templates[0].width
+        if any("%x" in t.placeholders for t in self.templates):
+            return [r for r in self.proc.xmm_registers][:12]
+        return self.proc.scratch_registers(width)[:12]
+
+    def _pick(self, registers: List[str], avoid: Optional[str]) -> str:
+        choices = [r for r in registers if r != avoid]
+        return self.rng.choice(choices)
+
+    def _instantiate(self, template: InstructionTemplate,
+                     src: Optional[str], dest: str,
+                     registers: List[str]) -> str:
+        operands: List[str] = []
+        slots = template.placeholders
+        for index, slot in enumerate(slots):
+            is_dest_slot = index == len(slots) - 1
+            if slot in ("%r", "%x"):
+                if is_dest_slot:
+                    operands.append("%" + dest)
+                elif src is not None:
+                    operands.append("%" + src)
+                else:
+                    operands.append("%" + self._pick(registers, dest))
+            elif slot == "$i":
+                operands.append("$%d" % self.rng.randint(1, 100))
+            elif slot == "%m":
+                operands.append("0(%r15)")   # scratch buffer pointer
+        return template.instantiate(operands)

@@ -1,0 +1,52 @@
+"""MAO optimization passes.
+
+Importing this package registers every built-in pass with the global
+registry (the Python equivalent of the paper's ``REGISTER_FUNC_PASS``
+macro).  Passes are invoked by name through
+:class:`~repro.passes.manager.PassPipeline`, typically built from a
+``--mao=...`` option string by :func:`~repro.passes.manager.parse_pass_spec`.
+"""
+
+from repro.passes.base import MaoFunctionPass, MaoPass, MaoUnitPass
+from repro.passes.manager import (
+    PassPipeline,
+    get_pass,
+    parse_pass_spec,
+    register_func_pass,
+    register_unit_pass,
+    registered_passes,
+    run_passes,
+)
+
+# Importing the modules registers the passes.
+from repro.passes import (  # noqa: F401
+    add_add,
+    address_sim,
+    asm_emit,
+    branch_align,
+    instrument,
+    loop16,
+    lsd_fit,
+    nopinizer,
+    nopkiller,
+    prefetch_align,
+    prefetch_nta,
+    redundant_mem,
+    redundant_test,
+    redundant_zext,
+    scalar,
+    scheduler,
+)
+
+__all__ = [
+    "MaoPass",
+    "MaoFunctionPass",
+    "MaoUnitPass",
+    "PassPipeline",
+    "register_func_pass",
+    "register_unit_pass",
+    "registered_passes",
+    "get_pass",
+    "parse_pass_spec",
+    "run_passes",
+]

@@ -1,0 +1,152 @@
+"""Pass registry, option parsing, and pipeline driving.
+
+Pass invocation is controlled the way the paper describes (§III.A): passes
+are named, and a ``--mao=`` option string both selects passes and sets
+their options; the order of passes on the command line is the invocation
+order::
+
+    --mao=LFIND=trace[3]:ASM=o[/dev/null]
+
+selects pass ``LFIND`` with option ``trace`` set to ``3``, then pass ``ASM``
+with option ``o`` (output) set to ``/dev/null``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.ir.unit import MaoUnit
+from repro.passes.base import MaoFunctionPass, MaoPass, MaoUnitPass
+
+_FUNC_PASSES: Dict[str, Type[MaoFunctionPass]] = {}
+_UNIT_PASSES: Dict[str, Type[MaoUnitPass]] = {}
+
+
+def register_func_pass(name: str):
+    """Class decorator: the REGISTER_FUNC_PASS macro equivalent."""
+    def decorator(cls: Type[MaoFunctionPass]) -> Type[MaoFunctionPass]:
+        cls.NAME = name
+        _FUNC_PASSES[name] = cls
+        return cls
+    return decorator
+
+
+def register_unit_pass(name: str):
+    def decorator(cls: Type[MaoUnitPass]) -> Type[MaoUnitPass]:
+        cls.NAME = name
+        _UNIT_PASSES[name] = cls
+        return cls
+    return decorator
+
+
+def registered_passes() -> List[str]:
+    return sorted(set(_FUNC_PASSES) | set(_UNIT_PASSES))
+
+
+def get_pass(name: str) -> Type[MaoPass]:
+    if name in _FUNC_PASSES:
+        return _FUNC_PASSES[name]
+    if name in _UNIT_PASSES:
+        return _UNIT_PASSES[name]
+    raise KeyError("unknown pass %r (known: %s)"
+                   % (name, ", ".join(registered_passes())))
+
+
+_OPT_RE = re.compile(r"([a-zA-Z_][a-zA-Z_0-9]*)\[([^\]]*)\]")
+
+
+def parse_pass_spec(spec: str) -> List[Tuple[str, Dict[str, Any]]]:
+    """Parse ``PASS=opt[val]+opt2[val2]:PASS2`` into (name, options) pairs."""
+    result: List[Tuple[str, Dict[str, Any]]] = []
+    for item in spec.split(":"):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" in item:
+            name, opt_text = item.split("=", 1)
+            options: Dict[str, Any] = {}
+            consumed = 0
+            for match in _OPT_RE.finditer(opt_text):
+                options[match.group(1)] = match.group(2)
+                consumed += 1
+            if consumed == 0 and opt_text:
+                raise ValueError("cannot parse options %r for pass %s"
+                                 % (opt_text, name))
+        else:
+            name, options = item, {}
+        result.append((name, options))
+    return result
+
+
+@dataclass
+class PassReport:
+    """Outcome of one pass over one function (or the unit)."""
+
+    pass_name: str
+    scope: str                     # function name or "<unit>"
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class PipelineResult:
+    reports: List[PassReport] = field(default_factory=list)
+
+    def total(self, pass_name: str, stat: str) -> int:
+        return sum(r.stats.get(stat, 0) for r in self.reports
+                   if r.pass_name == pass_name)
+
+    def stats_for(self, pass_name: str) -> Dict[str, int]:
+        combined: Dict[str, int] = {}
+        for report in self.reports:
+            if report.pass_name != pass_name:
+                continue
+            for key, value in report.stats.items():
+                combined[key] = combined.get(key, 0) + value
+        return combined
+
+
+class PassPipeline:
+    """An ordered list of named passes applied to a MaoUnit."""
+
+    def __init__(self,
+                 passes: Optional[List[Tuple[str, Dict[str, Any]]]] = None
+                 ) -> None:
+        self.passes: List[Tuple[str, Dict[str, Any]]] = list(passes or [])
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "PassPipeline":
+        return cls(parse_pass_spec(spec))
+
+    def add(self, name: str, **options: Any) -> "PassPipeline":
+        self.passes.append((name, options))
+        return self
+
+    def run(self, unit: MaoUnit) -> PipelineResult:
+        result = PipelineResult()
+        for name, options in self.passes:
+            cls = get_pass(name)
+            if issubclass(cls, MaoFunctionPass):
+                for function in unit.functions:
+                    pass_obj = cls(options, unit, function)
+                    pass_obj.dump_ir("before")
+                    keep_going = pass_obj.Go()
+                    pass_obj.dump_ir("after")
+                    result.reports.append(
+                        PassReport(name, function.name, pass_obj.stats))
+                    if not keep_going:
+                        return result
+            else:
+                pass_obj = cls(options, unit)
+                keep_going = pass_obj.Go()
+                result.reports.append(
+                    PassReport(name, "<unit>", pass_obj.stats))
+                if not keep_going:
+                    return result
+        return result
+
+
+def run_passes(unit: MaoUnit, spec: str) -> PipelineResult:
+    """Convenience: run a ``--mao=`` style spec string over a unit."""
+    return PassPipeline.from_spec(spec).run(unit)

@@ -1,0 +1,55 @@
+"""NOPIN — the Nopinizer (paper §III.E.i).
+
+"Inspired by ideas from Diwan, this pass inserts random sequences of nop
+instructions in the code stream.  A random number seed can be specified to
+produce repeatable experiments.  Furthermore, the insertion density can be
+specified ... as well as the length of the NOP sequences."
+
+By shifting code around at random, micro-architectural cliffs (alignment
+aliasing, predictor conflicts) are exposed: rerunning the experiment across
+seeds maps the performance distribution of the *same* program.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from repro.ir.entries import InstructionEntry
+from repro.passes.base import MaoFunctionPass
+from repro.passes.manager import register_func_pass
+from repro.passes.util import make_nop
+
+
+@register_func_pass("NOPIN")
+class NopinizerPass(MaoFunctionPass):
+    """Insert random NOP runs with a seeded RNG."""
+
+    OPTIONS = {
+        "seed": 0,           # RNG seed for repeatable experiments
+        "density": 0.05,     # insertion probability per instruction
+        "maxlen": 3,         # NOP run length drawn from 1..maxlen
+        "count_only": False,
+    }
+
+    def Go(self) -> bool:
+        # Mix the seed with a stable hash of the function name so every
+        # function gets a distinct but reproducible stream.
+        rng = random.Random(int(self.option("seed")) * 1000003
+                            + zlib.crc32(self.function.name.encode()))
+        density = float(self.option("density"))
+        maxlen = max(1, int(self.option("maxlen")))
+        for entry in list(self.function.entries()):
+            if not isinstance(entry, InstructionEntry):
+                continue
+            if rng.random() >= density:
+                continue
+            run = rng.randint(1, maxlen)
+            self.bump("sites")
+            self.bump("nops_inserted", run)
+            if self.option("count_only"):
+                continue
+            for _ in range(run):
+                self.unit.insert_before(entry,
+                                        InstructionEntry(make_nop()))
+        return True

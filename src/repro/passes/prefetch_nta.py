@@ -1,0 +1,79 @@
+"""PREFNTA — inverse prefetching (paper §III.E.k).
+
+"On Intel Core-2 platforms, a load instruction can be turned into a
+non-temporal load by inserting a prefetch.nta instruction to the same
+address before it.  This results in these loads always replacing a single
+way in the associative caches.  This technique can be used to reduce cache
+pollution.  We used a novel memory reuse distance profiler to identify
+loads with little reuse."
+
+The reuse-distance profile is supplied per load site (function name, entry
+identity) — in this repo it is produced by
+:func:`repro.profiling.reuse.reuse_distance_profile` over an interpreter
+trace.  Loads whose observed reuse distance exceeds the cache capacity are
+streaming accesses: their fills are made non-temporal by inserting a
+``prefetchnta`` with the identical memory operand directly before them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ir.entries import InstructionEntry
+from repro.passes.base import MaoFunctionPass
+from repro.passes.manager import register_func_pass
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Memory
+
+#: Profile injected by the caller: maps a load's *source line number* ->
+#: median reuse distance in cache lines (line keys survive re-parsing).
+#: Passes receive plain option values via the option machinery; the
+#: profile object rides on this module-level registry keyed by name.
+_PROFILES: Dict[str, Dict[int, float]] = {}
+
+
+def register_profile(name: str, profile: Dict[int, float]) -> None:
+    """Make a reuse-distance profile available to the pass by name."""
+    _PROFILES[name] = profile
+
+
+@register_func_pass("PREFNTA")
+class InversePrefetchPass(MaoFunctionPass):
+    """Insert prefetchnta before low-reuse loads."""
+
+    OPTIONS = {
+        "profile": "",          # name registered via register_profile()
+        "threshold": 512.0,     # reuse distance (lines) above which to NTA
+        "count_only": False,
+    }
+
+    def Go(self) -> bool:
+        profile_name = str(self.option("profile"))
+        profile = _PROFILES.get(profile_name)
+        if profile is None:
+            self.Trace(1, "no reuse profile %r; nothing to do",
+                       profile_name)
+            return True
+        threshold = float(self.option("threshold"))
+        for entry in list(self.function.entries()):
+            if not isinstance(entry, InstructionEntry):
+                continue
+            insn = entry.insn
+            if not insn.reads_memory:
+                continue
+            distance = profile.get(entry.lineno)
+            if distance is None or distance < threshold:
+                continue
+            mem_op = insn.memory_operand()
+            if mem_op is None or mem_op.indirect:
+                continue
+            self.bump("loads_marked")
+            self.Trace(1, "non-temporal load: %s (reuse %.0f)",
+                       insn, distance)
+            if self.option("count_only"):
+                continue
+            hint = Instruction("prefetchnta", [Memory(
+                disp=mem_op.disp, base=mem_op.base, index=mem_op.index,
+                scale=mem_op.scale, symbol=mem_op.symbol)])
+            self.unit.insert_before(entry, InstructionEntry(hint))
+        return True

@@ -1,0 +1,20 @@
+"""Profiling support: PMU-style sampling, IR annotation, reuse distance.
+
+Substitutes for the oprofile-based flow the paper describes at the end of
+§II ("MAO's IR can also be annotated with hardware counter profile
+information ... samples can be directly mapped to individual instructions")
+and provides the memory-reuse-distance profile that drives the
+inverse-prefetching pass (§III.E.k).
+"""
+
+from repro.profiling.sampler import collect_samples, SampleSet
+from repro.profiling.annotate import annotate_unit, annotate_samples
+from repro.profiling.reuse import reuse_distance_profile
+
+__all__ = [
+    "collect_samples",
+    "SampleSet",
+    "annotate_unit",
+    "annotate_samples",
+    "reuse_distance_profile",
+]

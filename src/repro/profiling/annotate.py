@@ -1,0 +1,64 @@
+"""Map hardware-event samples onto IR instructions.
+
+Paper §II: "Tools like oprofile associate hardware event samples to offsets
+within functions.  Since MAO has instruction sizes available, samples can
+be directly mapped to individual instructions."  The relaxed layout gives
+every instruction an (address, size) extent; a sample at any byte offset
+inside that extent is attributed to the instruction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.relax import relax_section
+from repro.ir.entries import InstructionEntry
+from repro.ir.unit import Function, MaoUnit
+
+
+def annotate_unit(unit: MaoUnit,
+                  address_counts: Dict[int, int]
+                  ) -> Dict[InstructionEntry, int]:
+    """Attribute absolute-address sample counts to instructions."""
+    annotations: Dict[InstructionEntry, int] = {}
+    for section in unit.sections.values():
+        if not section.is_code:
+            continue
+        if not any(e.section is section for e in unit.entries()):
+            continue
+        layout = relax_section(unit, section)
+        for entry, place in layout.placement.items():
+            if not isinstance(entry, InstructionEntry) or place.size == 0:
+                continue
+            total = 0
+            for offset in range(place.size):
+                total += address_counts.get(place.address + offset, 0)
+            if total:
+                annotations[entry] = annotations.get(entry, 0) + total
+    return annotations
+
+
+def annotate_samples(function: Function,
+                     offset_counts: Dict[int, int]
+                     ) -> Dict[InstructionEntry, int]:
+    """Attribute (function-relative offset -> count) samples, the way
+    oprofile reports them, to the function's instructions."""
+    layout = relax_section(function.unit, function.section)
+    start_entry = function.start
+    base = layout.symtab.get(function.name)
+    if base is None:
+        return {}
+    annotations: Dict[InstructionEntry, int] = {}
+    for entry in function.entries():
+        if not isinstance(entry, InstructionEntry):
+            continue
+        place = layout.placement.get(entry)
+        if place is None:
+            continue
+        offset = place.address - base
+        total = 0
+        for i in range(place.size):
+            total += offset_counts.get(offset + i, 0)
+        if total:
+            annotations[entry] = total
+    return annotations

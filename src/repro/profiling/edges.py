@@ -1,0 +1,154 @@
+"""Edge-profile construction from hardware samples (paper §II, future work).
+
+"Similar to Chen [3] we plan to construct edge profiles from this
+information as future work, as that information can make a large
+performance difference in certain contexts."
+
+Hardware samples give per-*block* weights only.  This module estimates
+per-*edge* frequencies that (a) respect flow conservation — a block's
+incoming frequency equals its outgoing frequency equals its weight — and
+(b) stay close to the sampled weights, via damped iterative proportional
+fitting (the practical core of Chen et al.'s sample-taming approach).
+
+Use :func:`edge_profile_from_samples` with a CFG and block sample counts,
+or :func:`true_edge_counts` to extract exact counts from an interpreter
+trace (the tests' ground truth).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.sim.interp import ExecRecord
+
+Edge = Tuple[int, int]                 # (from block index, to block index)
+
+
+class EdgeProfile:
+    """Estimated execution frequencies for a CFG's edges and blocks."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.block_weight: Dict[int, float] = {}
+        self.edge_weight: Dict[Edge, float] = {}
+
+    def frequency(self, block: BasicBlock, succ: BasicBlock) -> float:
+        return self.edge_weight.get((block.index, succ.index), 0.0)
+
+    def taken_probability(self, block: BasicBlock) -> Optional[float]:
+        """P(branch taken) for a block ending in a conditional branch."""
+        last = block.last
+        if last is None or not last.insn.is_cond_jump:
+            return None
+        total = sum(self.frequency(block, s) for s in block.successors)
+        if total <= 0:
+            return None
+        target = last.insn.branch_target_label()
+        taken = sum(self.frequency(block, s) for s in block.successors
+                    if target in s.labels)
+        return taken / total
+
+    def hottest_edges(self, count: int = 10) -> List[Tuple[Edge, float]]:
+        return sorted(self.edge_weight.items(), key=lambda kv: -kv[1])[:count]
+
+
+def edge_profile_from_samples(cfg: CFG,
+                              block_samples: Dict[int, float],
+                              iterations: int = 50) -> EdgeProfile:
+    """Estimate edge frequencies from per-block sample weights.
+
+    ``block_samples`` maps block index -> sample count.  Returns an
+    :class:`EdgeProfile` whose edge weights satisfy flow conservation
+    approximately (exactly, in the limit, for well-posed inputs).
+    """
+    profile = EdgeProfile(cfg)
+    blocks = cfg.blocks
+    if not blocks:
+        return profile
+
+    weight = {b.index: float(block_samples.get(b.index, 0.0))
+              for b in blocks}
+    # Smooth zero-sample blocks on hot paths: give them the mean of their
+    # sampled neighbours so the fitting has something to work with.
+    for block in blocks:
+        if weight[block.index] > 0:
+            continue
+        neighbours = [weight[n.index]
+                      for n in block.predecessors + block.successors
+                      if n is not cfg.exit]
+        positive = [w for w in neighbours if w > 0]
+        if positive:
+            weight[block.index] = sum(positive) / len(positive) / 2.0
+
+    edges: List[Tuple[BasicBlock, BasicBlock]] = []
+    for block in blocks:
+        for succ in block.successors:
+            if succ is not cfg.exit:
+                edges.append((block, succ))
+
+    # Initialize: split each block's weight uniformly over its edges.
+    estimate: Dict[Edge, float] = {}
+    for block, succ in edges:
+        fanout = sum(1 for s in block.successors if s is not cfg.exit)
+        estimate[(block.index, succ.index)] = \
+            weight[block.index] / max(fanout, 1)
+
+    for _ in range(iterations):
+        # Scale outgoing edges to match the source weight, then incoming
+        # edges to match the destination weight (IPF).
+        for direction in ("out", "in"):
+            totals: Dict[int, float] = defaultdict(float)
+            for (src, dst), value in estimate.items():
+                totals[src if direction == "out" else dst] += value
+            for (src, dst) in list(estimate):
+                anchor = src if direction == "out" else dst
+                target = weight.get(anchor, 0.0)
+                total = totals[anchor]
+                if total > 0 and target > 0:
+                    estimate[(src, dst)] *= \
+                        1.0 + 0.5 * (target / total - 1.0)
+
+    profile.block_weight = weight
+    profile.edge_weight = estimate
+    return profile
+
+
+def block_samples_from_trace(cfg: CFG,
+                             trace: Iterable[ExecRecord],
+                             period: int = 1) -> Dict[int, float]:
+    """Per-block sample counts, as a PMU sampling every *period* insns
+    would deliver them."""
+    entry_to_block: Dict[int, int] = {}
+    for block in cfg.blocks:
+        for entry in block.entries:
+            entry_to_block[id(entry)] = block.index
+    counts: Dict[int, float] = defaultdict(float)
+    for i, record in enumerate(trace):
+        if i % period:
+            continue
+        index = entry_to_block.get(id(record.entry))
+        if index is not None:
+            counts[index] += 1
+    return dict(counts)
+
+
+def true_edge_counts(cfg: CFG,
+                     trace: Iterable[ExecRecord]) -> Dict[Edge, int]:
+    """Exact edge execution counts from a dynamic trace (ground truth)."""
+    entry_to_block: Dict[int, int] = {}
+    for block in cfg.blocks:
+        for entry in block.entries:
+            entry_to_block[id(entry)] = block.index
+    counts: Dict[Edge, int] = defaultdict(int)
+    previous: Optional[int] = None
+    for record in trace:
+        index = entry_to_block.get(id(record.entry))
+        if index is None:
+            previous = None
+            continue
+        if previous is not None and previous != index:
+            counts[(previous, index)] += 1
+        previous = index
+    return dict(counts)

@@ -1,0 +1,53 @@
+"""PMU-style sampling over the architectural interpreter.
+
+Each sample carries the instruction address plus a register-file snapshot —
+the same payload the RACEZ work gets from hardware sampling ("For each PMU
+sample, we also get the content of the register file for the sampled
+instruction", §III.E.m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.entries import InstructionEntry
+from repro.ir.unit import MaoUnit
+from repro.sim.interp import Interpreter
+from repro.sim.loader import LoadedProgram, load_unit
+
+
+@dataclass
+class SampleSet:
+    """Samples from one run: (instruction entry, register snapshot)."""
+
+    program: LoadedProgram
+    samples: List[Tuple[InstructionEntry, Dict[str, int]]] = \
+        field(default_factory=list)
+    steps: int = 0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def counts_by_entry(self) -> Dict[int, int]:
+        """id(entry) -> number of samples landing on it."""
+        counts: Dict[int, int] = {}
+        for entry, _ in self.samples:
+            counts[id(entry)] = counts.get(id(entry), 0) + 1
+        return counts
+
+
+def collect_samples(unit: MaoUnit, period: int,
+                    entry_symbol: str = "main",
+                    args: Optional[List[int]] = None,
+                    max_steps: int = 5_000_000) -> SampleSet:
+    """Run the program sampling every *period* instructions."""
+    program = load_unit(unit, entry_symbol)
+    interp = Interpreter(program, max_steps=max_steps)
+    result = interp.run(sample_period=period, args=args)
+    sample_set = SampleSet(program, steps=result.steps)
+    for address, snapshot in result.samples or []:
+        entry = program.code_index.get(address)
+        if entry is not None:
+            sample_set.samples.append((entry, snapshot))
+    return sample_set

@@ -1,0 +1,122 @@
+"""Statistical validation of performance results (paper §V.B).
+
+"In order to obtain consistent results, we ran the SPEC benchmarks more
+often than the three suggested times and performed statistical valuation,
+ensuring that the results were statistically significant."
+
+On real hardware, repetition fights measurement noise.  Our simulator is
+deterministic, so the analogous question is robustness across *layout*
+variation: the same program measured under many Nopinizer seeds gives a
+distribution, and a transformation's effect is significant when it clears
+that distribution.  :func:`significant_speedup` runs Welch's t-test over
+two such sample sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass
+class Summary:
+    """Mean and confidence interval of one sample set."""
+
+    samples: List[float]
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return "%.1f ± %.1f (%d%% CI, n=%d)" % (
+            self.mean, (self.ci_high - self.ci_low) / 2,
+            round(self.confidence * 100), len(self.samples))
+
+
+def summarize(samples: Sequence[float],
+              confidence: float = 0.95) -> Summary:
+    """Mean with a t-distribution confidence interval."""
+    values = list(float(s) for s in samples)
+    if not values:
+        raise ValueError("no samples")
+    mean = sum(values) / len(values)
+    if len(values) == 1:
+        return Summary(values, mean, 0.0, mean, mean, confidence)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    stdev = math.sqrt(variance)
+    sem = stdev / math.sqrt(len(values))
+    t_crit = _scipy_stats.t.ppf((1 + confidence) / 2, len(values) - 1)
+    return Summary(values, mean, stdev,
+                   mean - t_crit * sem, mean + t_crit * sem, confidence)
+
+
+@dataclass
+class SignificanceResult:
+    baseline: Summary
+    variant: Summary
+    speedup: float               # relative mean improvement
+    p_value: float
+    significant: bool
+
+    def __str__(self) -> str:
+        verdict = "significant" if self.significant \
+            else "NOT significant"
+        return "speedup %+.2f%% (p=%.4f, %s)" % (
+            self.speedup * 100, self.p_value, verdict)
+
+
+def significant_speedup(baseline: Sequence[float],
+                        variant: Sequence[float],
+                        alpha: float = 0.05) -> SignificanceResult:
+    """Welch's t-test: is the variant's cycle distribution lower?
+
+    ``baseline`` and ``variant`` are cycle counts (lower is better).
+    """
+    base_summary = summarize(baseline)
+    var_summary = summarize(variant)
+    if base_summary.stdev == 0 and var_summary.stdev == 0:
+        identical = base_summary.mean == var_summary.mean
+        p_value = 1.0 if identical else 0.0
+    else:
+        _, p_value = _scipy_stats.ttest_ind(list(baseline), list(variant),
+                                            equal_var=False)
+    speedup = base_summary.mean / var_summary.mean - 1.0
+    return SignificanceResult(
+        baseline=base_summary, variant=var_summary, speedup=speedup,
+        p_value=float(p_value),
+        significant=bool(p_value < alpha
+                         and base_summary.mean != var_summary.mean))
+
+
+def layout_distribution(source: str, model,
+                        spec: Optional[str] = None,
+                        seeds: Sequence[int] = range(8),
+                        density: float = 0.05,
+                        max_steps: int = 4_000_000) -> List[float]:
+    """Cycle counts of a program across Nopinizer layout perturbations.
+
+    For each seed, the program is NOP-perturbed (simulating the layout
+    noise real measurement campaigns see), the optional pass pipeline is
+    applied on top, and cycles are measured.
+    """
+    from repro.ir import parse_unit
+    from repro.passes import run_passes
+    from repro.sim import run_unit
+    from repro.uarch.pipeline import simulate_trace
+
+    cycles: List[float] = []
+    for seed in seeds:
+        unit = parse_unit(source)
+        run_passes(unit, "NOPIN=seed[%d]+density[%s]" % (seed, density))
+        if spec:
+            run_passes(unit, spec)
+        result = run_unit(unit, collect_trace=True, max_steps=max_steps)
+        if result.reason != "ret":
+            raise RuntimeError("perturbed run did not terminate")
+        cycles.append(float(simulate_trace(result.trace, model).cycles))
+    return cycles

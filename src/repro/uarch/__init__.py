@@ -1,0 +1,34 @@
+"""Trace-driven micro-architectural timing model.
+
+This subpackage substitutes for the real Intel Core-2 / AMD Opteron hardware
+of the paper's evaluation.  Each performance cliff the paper describes maps
+to an explicit mechanism:
+
+* 16-byte instruction decode lines (§III.C.e — short-loop alignment),
+* the Loop Stream Detector (§III.C.f — loops must fit a line budget),
+* a ``PC >> 5``-indexed branch predictor (§III.C.g and Fig. 1 — aliasing),
+* asymmetric execution ports and a forwarding-bandwidth limit
+  (§III.F — ``RESOURCE_STALLS:RS_FULL`` scheduling effects),
+* a small set-associative data cache with non-temporal-hint support
+  (§III.E.k — inverse prefetching).
+
+The model consumes the dynamic trace produced by ``repro.sim`` and reports
+PMU-style counters, including ``CPU_CYCLES``.
+"""
+
+from repro.uarch.model import ProcessorModel
+from repro.uarch.profiles import core2, opteron, pentium4, blinded_profile
+from repro.uarch.pipeline import PipelineSimulator, simulate_trace, SimStats
+from repro.uarch import counters
+
+__all__ = [
+    "ProcessorModel",
+    "core2",
+    "opteron",
+    "pentium4",
+    "blinded_profile",
+    "PipelineSimulator",
+    "simulate_trace",
+    "SimStats",
+    "counters",
+]

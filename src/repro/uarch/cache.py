@@ -1,0 +1,71 @@
+"""Set-associative L1 data cache with non-temporal-hint support.
+
+Supports the inverse-prefetching experiment (§III.E.k): on Core-2, a load
+preceded by ``prefetchnta`` to the same address becomes non-temporal — its
+fill "always replaces a single way in the associative caches", reducing
+cache pollution.  The model implements that by restricting NTA fills to
+way 0 of their set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.uarch.model import ProcessorModel
+
+
+class DataCache:
+    """LRU set-associative cache; returns hit/miss per access."""
+
+    def __init__(self, model: ProcessorModel) -> None:
+        self.model = model
+        self.sets: List[List[int]] = [[] for _ in range(model.cache_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: line tags currently marked non-temporal (pending NTA hint).
+        self._nta_pending: Dict[int, bool] = {}
+        #: True when the most recent access consumed an NTA hint — such
+        #: accesses also suppress the hardware next-line prefetch.
+        self.last_access_nta = False
+
+    def _locate(self, address: int):
+        line = address // self.model.cache_line_bytes
+        index = line % self.model.cache_sets
+        return line, self.sets[index]
+
+    def hint_nta(self, address: int) -> None:
+        """Record a prefetchnta hint for the line containing *address*."""
+        line = address // self.model.cache_line_bytes
+        self._nta_pending[line] = True
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating residency probe (for tests/diagnostics)."""
+        line, ways = self._locate(address)
+        return line in ways
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Touch a line; returns True on hit."""
+        line, ways = self._locate(address)
+        self.last_access_nta = bool(self._nta_pending.get(line))
+        if line in ways:
+            self._nta_pending.pop(line, None)
+            ways.remove(line)
+            ways.append(line)       # most-recently-used at the tail
+            self.hits += 1
+            return True
+        self.misses += 1
+        non_temporal = self._nta_pending.pop(line, False)
+        if non_temporal and ways:
+            # NTA fill replaces a single way (the LRU slot) and inserts at
+            # LRU position so it's evicted first — no pollution.
+            if len(ways) >= self.model.cache_ways:
+                ways.pop(0)
+                self.evictions += 1
+            ways.insert(0, line)
+            return False
+        if len(ways) >= self.model.cache_ways:
+            ways.pop(0)
+            self.evictions += 1
+        ways.append(line)
+        return False

@@ -1,0 +1,29 @@
+"""Workloads: the paper's anecdote kernels, a synthetic "core library"
+corpus with calibrated pattern densities, and SPEC-named synthetic
+benchmark programs for the evaluation tables.
+
+The original evaluation used SPEC 2000/2006 and a proprietary Google core
+library; neither is available, so these generators synthesize programs
+containing the *documented pattern populations* (redundant zero-extensions,
+redundant tests, repeated loads, short loops at specific alignments, ...)
+at calibrated densities.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.workloads import kernels
+from repro.workloads.corpus import CorpusConfig, generate_corpus
+from repro.workloads.spec import (
+    BenchmarkProgram,
+    build_benchmark,
+    measure_cycles,
+    SPEC2000_INT,
+)
+
+__all__ = [
+    "kernels",
+    "CorpusConfig",
+    "generate_corpus",
+    "BenchmarkProgram",
+    "build_benchmark",
+    "measure_cycles",
+    "SPEC2000_INT",
+]

@@ -1,0 +1,273 @@
+"""Synthetic "core library" corpus generator.
+
+The paper's pattern counts come from "a core library at Google which
+consists of approximately 80 complex C++ files containing many inline
+assembly sequences".  This generator synthesizes an assembly corpus with
+the same pattern populations, seeded and scalable:
+
+* ~1000 redundant zero-extension sites (§III.B.a), of which ~7% are shaped
+  so a conservative pass must skip them (MAO's prototype "catches more
+  than 90% of the opportunities handled by the compiler");
+* 79763 test instructions of which 19272 (24%) are redundant (§III.B.b);
+* 13362 redundant memory-access pairs (§III.B.c);
+* add/add immediate sequences (§III.B.d);
+* 320 indirect branches: 74 resolvable from the branch operand alone,
+  242 more through the reaching-definitions pattern, 4 genuinely hard
+  (§II's 246/320 -> 4/320 anecdote).
+
+``scale`` multiplies every population (the shape statistics — ratios,
+catch rates — are scale-invariant).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir import MaoUnit, parse_unit
+
+#: Paper populations at scale=1.0.
+PAPER_ZEXT = 1000
+PAPER_TESTS_TOTAL = 79763
+PAPER_TESTS_REDUNDANT = 19272
+PAPER_REDMOV = 13362
+PAPER_INDIRECT = 320
+PAPER_INDIRECT_TIER1 = 74      # resolved by the base operand pattern
+PAPER_INDIRECT_TIER2 = 242     # resolved via reaching definitions
+PAPER_INDIRECT_HARD = 4        # remain unresolved
+
+
+@dataclass
+class CorpusConfig:
+    seed: int = 0
+    scale: float = 0.05
+    #: average filler instructions between injected patterns
+    filler_run: int = 6
+    functions: int = 0            # 0 = derive from scale (~80 files worth)
+    #: generate only the indirect-branch population (fast CFG benches)
+    indirect_only: bool = False
+
+    def count(self, paper_value: int) -> int:
+        return max(1, round(paper_value * self.scale))
+
+
+_FILLER_TEMPLATES = [
+    "movq {r1}, {r2}",
+    "addq {r1}, {r2}",
+    "subq $%d, {r2}" % 24,
+    "leaq 8({r1}), {r2}",
+    "movl ({r1}), {e2}",
+    "movl {e1}, -24(%rsp)",
+    "imulq {r1}, {r2}",
+    "xorl {e1}, {e2}",
+    "shrq $3, {r2}",
+    "cmpq {r1}, {r2}",
+    "movzbl ({r1}), {e2}",
+]
+
+_REGS = ["rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11"]
+_EREGS = ["eax", "ecx", "edx", "esi", "edi", "r8d", "r9d", "r10d", "r11d"]
+
+
+class _FunctionBuilder:
+    def __init__(self, name: str, rng: random.Random) -> None:
+        self.name = name
+        self.rng = rng
+        self.lines: List[str] = []
+        self.label_counter = 0
+
+    def new_label(self) -> str:
+        self.label_counter += 1
+        return ".L%s_%d" % (self.name, self.label_counter)
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " + text)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(label + ":")
+
+    def filler(self, count: int) -> None:
+        for _ in range(count):
+            template = self.rng.choice(_FILLER_TEMPLATES)
+            i1, i2 = self.rng.sample(range(len(_REGS)), 2)
+            self.emit(template.format(
+                r1="%" + _REGS[i1], r2="%" + _REGS[i2],
+                e1="%" + _EREGS[i1], e2="%" + _EREGS[i2]))
+
+    # ---- pattern injectors ------------------------------------------------
+
+    def redundant_zext(self, removable: bool) -> None:
+        index = self.rng.randrange(len(_EREGS))
+        ereg = "%" + _EREGS[index]
+        if removable:
+            self.emit("andl $255, %s" % ereg)
+            self.emit("mov %s, %s" % (ereg, ereg))
+        else:
+            # The zero-extension happens in another block: a conservative
+            # block-local pass cannot prove the 32-bit def dominates.
+            skip = self.new_label()
+            self.emit("testq %rbx, %rbx")
+            self.emit("je %s" % skip)
+            self.emit("andl $255, %s" % ereg)
+            self.emit_label(skip)
+            self.emit("mov %s, %s" % (ereg, ereg))
+
+    def test_instruction(self, redundant: bool) -> None:
+        index = self.rng.randrange(len(_EREGS))
+        ereg = "%" + _EREGS[index]
+        target = self.new_label()
+        if redundant:
+            self.emit("subl $%d, %s" % (self.rng.randint(1, 64), ereg))
+            self.emit("testl %s, %s" % (ereg, ereg))
+            self.emit("je %s" % target)
+        else:
+            # A load doesn't set flags, so this test is necessary.
+            self.emit("movl (%rsp), " + ereg)
+            self.emit("testl %s, %s" % (ereg, ereg))
+            self.emit("js %s" % target)
+        self.filler(1)
+        self.emit_label(target)
+
+    def redundant_memmove(self) -> None:
+        i1, i2 = self.rng.sample(range(len(_REGS)), 2)
+        disp = self.rng.choice([8, 16, 24, 32, 40])
+        self.emit("movq %d(%%rsp), %%%s" % (disp, _REGS[i1]))
+        self.emit("movq %d(%%rsp), %%%s" % (disp, _REGS[i2]))
+
+    def add_add(self) -> None:
+        index = self.rng.randrange(len(_REGS))
+        reg = "%" + _REGS[index]
+        self.emit("addq $%d, %s" % (self.rng.randint(1, 50), reg))
+        self.emit("addq $%d, %s" % (self.rng.randint(1, 50), reg))
+
+    def short_loop(self) -> None:
+        head = self.new_label()
+        self.emit("movl $%d, %%ecx" % self.rng.randint(4, 16))
+        self.emit_label(head)
+        self.filler(self.rng.randint(1, 3))
+        self.emit("subl $1, %ecx")
+        self.emit("jne %s" % head)
+
+    def indirect_branch(self, tier: int, table_label: str,
+                        case_labels: List[str]) -> None:
+        """Emit an indirect jump of the given resolution tier."""
+        done = self.new_label()
+        self.emit("andl $%d, %%eax" % (len(case_labels) - 1))
+        if tier == 1:
+            self.emit("jmp *%s(,%%rax,8)" % table_label)
+        elif tier == 2:
+            self.emit("leaq %s(%%rip), %%rdx" % table_label)
+            self.emit("movq (%rdx,%rax,8), %rcx")
+            self.emit("jmp *%rcx")
+        else:
+            # Hard: the table pointer is merged from two definitions in
+            # different predecessors — no unique reaching definition.
+            alt = self.new_label()
+            join = self.new_label()
+            self.emit("andl $1, %eax")    # keep the shifted index in range
+            self.emit("testq %rbx, %rbx")
+            self.emit("je %s" % alt)
+            self.emit("leaq %s(%%rip), %%rdx" % table_label)
+            self.emit("jmp %s" % join)
+            self.emit_label(alt)
+            self.emit("leaq 8+%s(%%rip), %%rdx" % table_label)
+            self.emit_label(join)
+            self.emit("movq (%rdx,%rax,8), %rcx")
+            self.emit("jmp *%rcx")
+        for label in case_labels:
+            self.emit_label(label)
+            self.filler(2)
+            self.emit("jmp %s" % done)
+        self.emit_label(done)
+
+    def render(self) -> str:
+        header = [
+            ".globl %s" % self.name,
+            ".type %s, @function" % self.name,
+            "%s:" % self.name,
+            "    push %rbp",
+            "    push %rbx",
+        ]
+        footer = [
+            "    pop %rbx",
+            "    pop %rbp",
+            "    ret",
+            "    .size %s, .-%s" % (self.name, self.name),
+        ]
+        return "\n".join(header + self.lines + footer)
+
+
+def generate_corpus(config: CorpusConfig) -> MaoUnit:
+    """Generate the corpus and parse it into a MaoUnit."""
+    return parse_unit(generate_corpus_text(config))
+
+
+def generate_corpus_text(config: CorpusConfig) -> str:
+    rng = random.Random(config.seed)
+
+    if config.indirect_only:
+        n_zext = n_zext_hard = n_tests_red = n_tests_ok = 0
+        n_redmov = n_addadd = 0
+    else:
+        n_zext = config.count(PAPER_ZEXT)
+        n_zext_hard = max(1, round(n_zext * 0.07))
+        n_tests_red = config.count(PAPER_TESTS_REDUNDANT)
+        n_tests_ok = config.count(PAPER_TESTS_TOTAL - PAPER_TESTS_REDUNDANT)
+        n_redmov = config.count(PAPER_REDMOV)
+        n_addadd = config.count(2000)
+    n_ind1 = config.count(PAPER_INDIRECT_TIER1)
+    n_ind2 = config.count(PAPER_INDIRECT_TIER2)
+    n_ind3 = min(PAPER_INDIRECT_HARD, config.count(PAPER_INDIRECT_HARD))
+
+    jobs: List[str] = (["zext"] * (n_zext - n_zext_hard)
+                       + ["zext_hard"] * n_zext_hard
+                       + ["test_red"] * n_tests_red
+                       + ["test_ok"] * n_tests_ok
+                       + ["redmov"] * n_redmov
+                       + ["addadd"] * n_addadd
+                       + ["ind1"] * n_ind1
+                       + ["ind2"] * n_ind2
+                       + ["ind3"] * n_ind3)
+    rng.shuffle(jobs)
+
+    n_functions = config.functions or max(4, len(jobs) // 120)
+    per_function = [jobs[i::n_functions] for i in range(n_functions)]
+
+    chunks: List[str] = [".text"]
+    tables: List[str] = []
+    table_id = 0
+    for index, function_jobs in enumerate(per_function):
+        builder = _FunctionBuilder("corpus_fn_%03d" % index, rng)
+        builder.filler(rng.randint(2, config.filler_run))
+        if rng.random() < 0.4:
+            builder.short_loop()
+        for job in function_jobs:
+            if job == "zext":
+                builder.redundant_zext(removable=True)
+            elif job == "zext_hard":
+                builder.redundant_zext(removable=False)
+            elif job == "test_red":
+                builder.test_instruction(redundant=True)
+            elif job == "test_ok":
+                builder.test_instruction(redundant=False)
+            elif job == "redmov":
+                builder.redundant_memmove()
+            elif job == "addadd":
+                builder.add_add()
+            elif job in ("ind1", "ind2", "ind3"):
+                table_id += 1
+                table = ".Ljt%d" % table_id
+                cases = [builder.new_label() for _ in range(4)]
+                tier = {"ind1": 1, "ind2": 2, "ind3": 3}[job]
+                builder.indirect_branch(tier, table, cases)
+                tables.append("\n".join(
+                    [".align 8", "%s:" % table]
+                    + ["    .quad %s" % c for c in cases]))
+            builder.filler(rng.randint(1, config.filler_run))
+        chunks.append(builder.render())
+
+    source = "\n".join(chunks)
+    if tables:
+        source += "\n.section .rodata\n" + "\n".join(tables) + "\n"
+    return source + "\n"

@@ -1,0 +1,297 @@
+"""The paper's named anecdote kernels.
+
+Each function returns complete assembly source (AT&T) for a ``main``
+program exercising one documented performance cliff:
+
+* :func:`mcf_fig1` — the 181.mcf unrolled loop of Fig. 1, where a single
+  NOP before ``.L5`` de-aliases two branches in one predictor bucket.
+* :func:`eon_loop` — the 252.eon short FP loop of §III.C.e that crosses a
+  16-byte decode boundary unless aligned.
+* :func:`fig4_loop` — the three-block loop of Figs. 4/5 spanning six
+  decode lines until NOP-shifted into four.
+* :func:`hash_bench` — the §III.F hashing kernel whose fan-out ordering
+  hits the forwarding-bandwidth limit.
+* :func:`nested_short_loops` — §III.C.g: two short-running loops whose
+  back branches share one 32-byte predictor bucket.
+"""
+
+from __future__ import annotations
+
+
+def mcf_fig1(insert_nop: bool = False, pad: int = 0,
+             outer: int = 400, inner: int = 100) -> str:
+    """Fig. 1: byte-extend/copy loop unrolled twice.
+
+    The hot backward branch ``jg .L3`` is followed closely by the backward
+    branch of a short-running scan loop (trip count 1 — never taken).
+    With the right code placement (``pad``; see :func:`find_fig1_pad`)
+    both branches fall into one ``PC >> 5`` predictor bucket and the
+    always-taken ``jg`` history destroys the never-taken branch's
+    prediction.  ``insert_nop`` places the paper's single NOP before
+    ``.L5``; the one-byte shift pushes the scan branch across the bucket
+    boundary (the mysterious 5% of Fig. 1).
+    """
+    nop = "    nop\n" if insert_nop else ""
+    padding = "\n".join("    nop" for _ in range(pad))
+    return f"""
+.text
+.globl main
+.type main, @function
+main:
+    push %rbp
+    push %rbx
+    movq ${outer}, %rbx
+    leaq src(%rip), %rdi
+    leaq dst(%rip), %rsi
+{padding}
+.Louter:
+    xorq %r8, %r8
+    movl ${inner}, %r9d
+.L3:
+    movsbl 1(%rdi,%r8,4),%edx
+    movsbl (%rdi,%r8,4),%eax
+    addl %eax, %edx
+    movl %edx, (%rsi,%r8,4)
+    addq $1, %r8
+{nop}.L5:
+    movsbl 1(%rdi,%r8,4),%edx
+    movsbl (%rdi,%r8,4),%eax
+    addl %eax, %edx
+    movl %edx, (%rsi,%r8,4)
+    addq $1, %r8
+    cmpl %r8d, %r9d
+    jg .L3
+    # Short-running scan loop: its backward branch is never taken.
+    movl $1, %ecx
+.Lscan:
+    subl $1, %ecx
+    jne .Lscan
+    subq $1, %rbx
+    jne .Louter
+    pop %rbx
+    pop %rbp
+    ret
+.section .data
+src:
+    .zero 1024
+dst:
+    .zero 1024
+"""
+
+
+def find_fig1_pad(model=None, search: int = 16,
+                  outer: int = 30) -> int:
+    """Find the code placement where Fig. 1's aliasing actually occurs.
+
+    Mirrors how such cliffs are discovered in practice (the paper found
+    this one by accident): slide the function and keep the placement
+    where inserting the single NOP gives the largest win.
+    """
+    from repro.ir import parse_unit
+    from repro.sim import run_unit
+    from repro.uarch.pipeline import simulate_trace
+    from repro.uarch.profiles import core2
+
+    model = model or core2()
+    best_pad, best_gain = 0, 0.0
+    for pad in range(search):
+        results = []
+        for nop in (False, True):
+            unit = parse_unit(mcf_fig1(nop, pad=pad, outer=outer))
+            run = run_unit(unit, collect_trace=True)
+            results.append(simulate_trace(run.trace, model).cycles)
+        gain = results[0] / results[1] - 1.0
+        if gain > best_gain:
+            best_pad, best_gain = pad, gain
+    return best_pad
+
+
+def eon_loop(pre_bytes: int = 0, trip: int = 8, outer: int = 600,
+             aligned: bool = False) -> str:
+    """§III.C.e: the four-instruction movss loop from 252.eon.
+
+    ``pre_bytes`` single-byte NOPs ahead of the loop move its start
+    relative to the 16-byte decode grid; with the wrong offset the
+    17-byte body needs an extra fetch line every iteration.  ``aligned``
+    emits the ``.p2align 4`` the LOOP16 pass would insert.
+    """
+    pre = "\n".join("    nop" for _ in range(pre_bytes))
+    align = "    .p2align 4\n" if aligned else ""
+    return f"""
+.text
+.globl main
+.type main, @function
+main:
+    push %rbx
+    movq ${outer}, %rbx
+    leaq buf(%rip), %rdi
+    xorps %xmm0, %xmm0
+{pre}
+.Louter:
+    xorq %rax, %rax
+{align}.Lloop:
+    movss %xmm0,(%rdi,%rax,4)
+    addq $1, %rax
+    cmpq ${trip}, %rax
+    jne .Lloop
+    subq $1, %rbx
+    jne .Louter
+    pop %rbx
+    ret
+.section .bss
+.align 16
+buf:
+    .zero 4096
+"""
+
+
+def fig4_loop(shift_nops: int = 0, iterations: int = 2000,
+              misalign: int = 10) -> str:
+    """Figs. 4/5: a three-basic-block loop spread over too many decode
+    lines.
+
+    With the initial placement (``misalign`` bytes off the line grid) the
+    ~60-byte body straddles more 16-byte decode lines than the Loop
+    Stream Detector's budget, so every iteration pays the full fetch
+    cost.  ``shift_nops=6`` (the paper's six NOPs) moves the body onto
+    the grid; it then spans four lines only and streams from the LSD —
+    the paper's factor-of-two.
+    """
+    pre = "\n".join("    nop" for _ in range(misalign))
+    shift = "\n".join("    nop" for _ in range(shift_nops))
+    return f"""
+.text
+.globl main
+.type main, @function
+main:
+    push %rbx
+    xorl %r10d, %r10d
+    xorl %r8d, %r8d
+    xorl %r9d, %r9d
+    xorl %esi, %esi
+    movl $1, %ecx
+    movl $2, %edx
+    .p2align 4
+{pre}
+{shift}
+.Ll0:
+    cmpl %ecx, %edx
+    jne .Ll1
+.Ll1:
+    addl $0x7, %r8d
+    addl $0x5, %r9d
+    addl $0x2, %edi
+    cmpl %r8d, %r9d
+    jne .Ll2
+.Ll2:
+    addl $0x1, %r10d
+    addl $0x9, %r8d
+    addl $0x3, %r9d
+    addl $0x1, %esi
+    addl $0x3, %ebx
+    addl $0x4, %eax
+    addl $0x1, %ecx
+    addl $0x2, %edx
+    cmpl ${iterations}, %r10d
+    jl .Ll0
+    pop %rbx
+    ret
+"""
+
+
+def hash_bench(scheduled: bool = False, trip: int = 3000) -> str:
+    """§III.F: the hashing kernel with a high-fan-out xor.
+
+    ``xorl %edi, %ebx`` feeds three consumers; with the original order the
+    consumers' completions pile into the same cycles and trip the
+    forwarding-bandwidth limit (``RESOURCE_STALLS:RS_FULL``).  The
+    ``scheduled`` variant interleaves independent work the way the SCHED
+    pass does.
+    """
+    if not scheduled:
+        body = """
+    imull $0x5bd1e995, %ecx, %r10d
+    xorl %edi, %ebx
+    subl %ebx, %ecx
+    subl %ebx, %edx
+    movl %ebx, %edi
+    shrl $12, %edi
+    xorl %edi, %edx
+    leal (%r8,%rdi), %eax
+    movl %eax, %ecx
+    sarl %ecx
+    xorl %r10d, %ecx
+    movl %ecx, %r11d
+    xorb $1, %r11b
+    leal 2(%r11), %r8d
+"""
+    else:
+        body = """
+    imull $0x5bd1e995, %ecx, %r10d
+    xorl %edi, %ebx
+    leal (%r8,%rdi), %eax
+    subl %ebx, %ecx
+    subl %ebx, %edx
+    movl %ebx, %edi
+    movl %eax, %r11d
+    shrl $12, %edi
+    sarl %r11d
+    xorl %edi, %edx
+    xorl %r10d, %r11d
+    movl %r11d, %ecx
+    xorb $1, %r11b
+    leal 2(%r11), %r8d
+"""
+    return f"""
+.text
+.globl main
+.type main, @function
+main:
+    movl $0x9e3779b9, %ebx
+    movl $0x85ebca6b, %ecx
+    movl $0xc2b2ae35, %edx
+    movl $17, %edi
+    movl $99, %r8d
+    movq ${trip}, %rbp
+.Lloop:
+{body}
+    subq $1, %rbp
+    jne .Lloop
+    movl %edx, %eax
+    ret
+"""
+
+
+def nested_short_loops(separated: bool = False, outer: int = 1500) -> str:
+    """§III.C.g: two-deep nest of short loops with aliasing back branches.
+
+    The two backward conditional branches sit a few bytes apart at the
+    bottom of the nest — inside one 32-byte ``PC >> 5`` bucket.  With trip
+    counts of 1-2 the predictor thrashes.  ``separated`` inserts the NOPs
+    the BRALIGN pass would add, giving each branch its own bucket.
+    """
+    pad = "\n".join("    nop" for _ in range(18)) if separated else ""
+    return f"""
+.text
+.globl main
+.type main, @function
+main:
+    push %rbx
+    movq ${outer}, %rbx
+.Limage:
+    movl $2, %ecx
+    .p2align 5
+.Lrow:
+    movl $1, %edx
+.Lcol:
+    addl $1, %eax
+    subl $1, %edx
+    jne .Lcol
+{pad}
+    subl $1, %ecx
+    jne .Lrow
+    subq $1, %rbx
+    jne .Limage
+    pop %rbx
+    ret
+"""

@@ -1,0 +1,588 @@
+"""x86-64 instruction decoder for the supported subset.
+
+The inverse of ``encoder.py``: turns machine-code bytes back into
+:class:`~repro.x86.instruction.Instruction` objects.  It exists for the
+paper's §III.A verification methodology — "We then disassemble O1 and O2
+and verify that both disassembled files are textually identical" — which
+``repro.verify.disassemble_compare`` implements on top of this module, and
+as an independent check on the encoder (round-trip property tests).
+
+Branch targets decode to absolute addresses rendered as synthetic labels
+``.Laddr_<hex>``; :func:`disassemble` emits matching label definitions so
+the output re-assembles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.x86.flags import CC_CANONICAL
+from repro.x86.instruction import Instruction
+from repro.x86.operands import (
+    Immediate,
+    LabelRef,
+    Memory,
+    Operand,
+    RegisterOperand,
+)
+from repro.x86.registers import (
+    Register,
+    get_register,
+    gp_register,
+    suffix_for_width,
+)
+
+
+class DecodeError(Exception):
+    """The byte sequence is not a supported instruction."""
+
+
+@dataclass
+class Decoded:
+    """One decoded instruction."""
+
+    insn: Instruction
+    length: int
+    address: int
+    #: Absolute target for direct branches, else None.
+    branch_target: Optional[int] = None
+
+
+_ALU_NAMES = ["add", "or", "adc", "sbb", "and", "sub", "xor", "cmp"]
+_SHIFT_NAMES = {0: "rol", 1: "ror", 4: "shl", 5: "shr", 7: "sar"}
+_F7_NAMES = {2: "not", 3: "neg", 4: "mul", 5: "imul", 6: "div", 7: "idiv"}
+
+
+def _signed(data: bytes) -> int:
+    return int.from_bytes(data, "little", signed=True)
+
+
+def _unsigned(data: bytes) -> int:
+    return int.from_bytes(data, "little")
+
+
+class _Cursor:
+    def __init__(self, data: bytes, offset: int) -> None:
+        self.data = data
+        self.pos = offset
+
+    def byte(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("truncated instruction")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise DecodeError("truncated instruction")
+        chunk = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return chunk
+
+
+class _Ctx:
+    """Prefix state for one instruction."""
+
+    def __init__(self) -> None:
+        self.rex = 0
+        self.has_rex = False      # a REX prefix was present (even 0x40)
+        self.opsize = False       # 0x66 seen
+        self.rep = None           # 0xF2 / 0xF3
+        self.lock = False
+
+    @property
+    def rex_w(self) -> bool:
+        return bool(self.rex & 8)
+
+    def gp_width(self) -> int:
+        if self.rex_w:
+            return 64
+        if self.opsize:
+            return 16
+        return 32
+
+    def reg(self, number: int, width: int, high_ok: bool = False
+            ) -> Register:
+        if width == 8 and not self.has_rex and number >= 4 \
+                and number < 8 and high_ok:
+            # Without REX, encodings 4-7 are ah/ch/dh/bh.
+            return get_register(["ah", "ch", "dh", "bh"][number - 4])
+        return gp_register(number, width)
+
+    def xmm(self, number: int) -> Register:
+        return get_register("xmm%d" % number)
+
+
+def _modrm(cur: _Cursor, ctx: _Ctx, width: int,
+           xmm_rm: bool = False) -> Tuple[int, Operand]:
+    """Decode ModRM(+SIB+disp); returns (reg field, r/m operand)."""
+    modrm = cur.byte()
+    mod = modrm >> 6
+    reg = ((modrm >> 3) & 7) | ((ctx.rex & 4) << 1)
+    rm_low = modrm & 7
+
+    if mod == 3:
+        number = rm_low | ((ctx.rex & 1) << 3)
+        if xmm_rm:
+            return reg, RegisterOperand(ctx.xmm(number))
+        return reg, RegisterOperand(
+            ctx.reg(number, width, high_ok=width == 8))
+
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale = 1
+    disp = 0
+
+    if rm_low == 4:                 # SIB
+        sib = cur.byte()
+        scale = 1 << (sib >> 6)
+        index_bits = ((sib >> 3) & 7) | ((ctx.rex & 2) << 2)
+        base_bits = (sib & 7) | ((ctx.rex & 1) << 3)
+        if index_bits != 4:
+            index = gp_register(index_bits, 64)
+        if (sib & 7) == 5 and mod == 0:
+            base = None
+            disp = _signed(cur.take(4))
+        else:
+            base = gp_register(base_bits, 64)
+    elif rm_low == 5 and mod == 0:   # RIP-relative
+        disp = _signed(cur.take(4))
+        return reg, Memory(disp=disp, base=get_register("rip"))
+    else:
+        base = gp_register(rm_low | ((ctx.rex & 1) << 3), 64)
+
+    if mod == 1:
+        disp = _signed(cur.take(1))
+    elif mod == 2:
+        disp = _signed(cur.take(4))
+
+    return reg, Memory(disp=disp, base=base, index=index, scale=scale)
+
+
+def _mk(mnemonic: str, *operands: Operand) -> Instruction:
+    return Instruction(mnemonic, list(operands))
+
+
+def _suffixed(base: str, width: int) -> str:
+    return base + suffix_for_width(width)
+
+
+def decode_one(data: bytes, offset: int = 0,
+               address: int = 0) -> Decoded:
+    """Decode one instruction starting at *offset*.
+
+    ``address`` is the instruction's runtime address (used to compute
+    absolute branch targets).
+    """
+    cur = _Cursor(data, offset)
+    ctx = _Ctx()
+
+    # Prefixes.
+    while True:
+        byte = cur.byte()
+        if byte == 0x66:
+            ctx.opsize = True
+        elif byte in (0xF2, 0xF3):
+            ctx.rep = byte
+        elif byte == 0xF0:
+            ctx.lock = True
+        elif 0x40 <= byte <= 0x4F:
+            ctx.rex = byte & 0xF
+            ctx.has_rex = True
+        else:
+            opcode = byte
+            break
+
+    insn, target = _decode_opcode(cur, ctx, opcode, address, offset)
+    length = cur.pos - offset
+    insn.address = address
+    insn.encoding = bytes(data[offset:offset + length])
+    return Decoded(insn=insn, length=length, address=address,
+                   branch_target=target)
+
+
+def _imm_for(cur: _Cursor, width: int) -> int:
+    size = {8: 1, 16: 2, 32: 4, 64: 4}[width]
+    return _signed(cur.take(size))
+
+
+def _target_label(target: int) -> LabelRef:
+    return LabelRef(".Laddr_%x" % target)
+
+
+def _decode_opcode(cur: _Cursor, ctx: _Ctx, opcode: int,
+                   address: int, start: int
+                   ) -> Tuple[Instruction, Optional[int]]:
+    width = ctx.gp_width()
+
+    # ---- ALU block 00..3D ------------------------------------------------
+    if opcode < 0x40 and (opcode & 7) <= 5 and opcode not in (0x0F,):
+        name = _ALU_NAMES[opcode >> 3]
+        form = opcode & 7
+        if form in (0, 1):            # MR
+            w = 8 if form == 0 else width
+            reg, rm = _modrm(cur, ctx, w)
+            return _mk(_suffixed(name, w),
+                       RegisterOperand(ctx.reg(reg, w, high_ok=w == 8)),
+                       rm), None
+        if form in (2, 3):            # RM
+            w = 8 if form == 2 else width
+            reg, rm = _modrm(cur, ctx, w)
+            return _mk(_suffixed(name, w), rm,
+                       RegisterOperand(ctx.reg(reg, w, high_ok=w == 8))
+                       ), None
+        if form in (4, 5):            # acc, imm
+            w = 8 if form == 4 else width
+            imm = _imm_for(cur, w)
+            return _mk(_suffixed(name, w), Immediate(imm),
+                       RegisterOperand(ctx.reg(0, w))), None
+
+    if 0x50 <= opcode <= 0x57:
+        number = (opcode & 7) | ((ctx.rex & 1) << 3)
+        return _mk("push", RegisterOperand(gp_register(number, 64))), None
+    if 0x58 <= opcode <= 0x5F:
+        number = (opcode & 7) | ((ctx.rex & 1) << 3)
+        return _mk("pop", RegisterOperand(gp_register(number, 64))), None
+
+    if opcode == 0x63:               # movslq
+        reg, rm = _modrm(cur, ctx, 32)
+        return _mk("movslq", rm,
+                   RegisterOperand(ctx.reg(reg, 64))), None
+    if opcode == 0x68:
+        return _mk("pushq", Immediate(_signed(cur.take(4)))), None
+    if opcode == 0x6A:
+        return _mk("pushq", Immediate(_signed(cur.take(1)))), None
+    if opcode in (0x69, 0x6B):       # imul imm
+        reg, rm = _modrm(cur, ctx, width)
+        imm = _signed(cur.take(1)) if opcode == 0x6B \
+            else _imm_for(cur, width)
+        return _mk(_suffixed("imul", width), Immediate(imm), rm,
+                   RegisterOperand(ctx.reg(reg, width))), None
+
+    if 0x70 <= opcode <= 0x7F:       # jcc rel8
+        rel = _signed(cur.take(1))
+        target = address + (cur.pos - start) + rel
+        return _mk("j" + CC_CANONICAL[opcode & 0xF],
+                   _target_label(target)), target
+
+    if opcode in (0x80, 0x81, 0x83):
+        w = 8 if opcode == 0x80 else width
+        digit, rm = _modrm(cur, ctx, w)
+        digit &= 7
+        if opcode == 0x83:
+            imm = _signed(cur.take(1))
+        else:
+            imm = _imm_for(cur, w)
+        return _mk(_suffixed(_ALU_NAMES[digit], w), Immediate(imm),
+                   rm), None
+
+    if opcode in (0x84, 0x85):
+        w = 8 if opcode == 0x84 else width
+        reg, rm = _modrm(cur, ctx, w)
+        return _mk(_suffixed("test", w),
+                   RegisterOperand(ctx.reg(reg, w, high_ok=w == 8)),
+                   rm), None
+    if opcode in (0x86, 0x87):
+        w = 8 if opcode == 0x86 else width
+        reg, rm = _modrm(cur, ctx, w)
+        return _mk(_suffixed("xchg", w),
+                   RegisterOperand(ctx.reg(reg, w, high_ok=w == 8)),
+                   rm), None
+
+    if opcode in (0x88, 0x89, 0x8A, 0x8B):
+        w = 8 if opcode in (0x88, 0x8A) else width
+        reg, rm = _modrm(cur, ctx, w)
+        reg_op = RegisterOperand(ctx.reg(reg, w, high_ok=w == 8))
+        if opcode in (0x88, 0x89):
+            return _mk(_suffixed("mov", w), reg_op, rm), None
+        return _mk(_suffixed("mov", w), rm, reg_op), None
+
+    if opcode == 0x8D:
+        reg, rm = _modrm(cur, ctx, width)
+        return _mk(_suffixed("lea", width), rm,
+                   RegisterOperand(ctx.reg(reg, width))), None
+    if opcode == 0x8F:
+        _, rm = _modrm(cur, ctx, 64)
+        return _mk("popq", rm), None
+
+    if opcode == 0x90 and not (ctx.rex & 1):
+        if ctx.rep == 0xF3:
+            return _mk("pause"), None
+        return _mk("nop"), None
+    if 0x90 <= opcode <= 0x97:
+        number = (opcode & 7) | ((ctx.rex & 1) << 3)
+        return _mk(_suffixed("xchg", width),
+                   RegisterOperand(gp_register(number, width)),
+                   RegisterOperand(ctx.reg(0, width))), None
+
+    if opcode == 0x98:
+        return _mk("cltq" if ctx.rex_w else "cwtl"), None
+    if opcode == 0x99:
+        return _mk("cqto" if ctx.rex_w else "cltd"), None
+
+    if opcode in (0xA8, 0xA9):
+        w = 8 if opcode == 0xA8 else width
+        imm = _imm_for(cur, w)
+        return _mk(_suffixed("test", w), Immediate(imm),
+                   RegisterOperand(ctx.reg(0, w))), None
+
+    if 0xB0 <= opcode <= 0xB7:
+        number = (opcode & 7) | ((ctx.rex & 1) << 3)
+        imm = _unsigned(cur.take(1))
+        return _mk("movb", Immediate(imm),
+                   RegisterOperand(ctx.reg(number, 8,
+                                           high_ok=True))), None
+    if 0xB8 <= opcode <= 0xBF:
+        number = (opcode & 7) | ((ctx.rex & 1) << 3)
+        if ctx.rex_w:
+            imm = _signed(cur.take(8))
+            return _mk("movabsq", Immediate(imm),
+                       RegisterOperand(gp_register(number, 64))), None
+        w = 16 if ctx.opsize else 32
+        imm = _signed(cur.take(w // 8))
+        return _mk(_suffixed("mov", w), Immediate(imm),
+                   RegisterOperand(gp_register(number, w))), None
+
+    if opcode in (0xC0, 0xC1, 0xD0, 0xD1, 0xD2, 0xD3):
+        w = 8 if opcode in (0xC0, 0xD0, 0xD2) else width
+        digit, rm = _modrm(cur, ctx, w)
+        digit &= 7
+        if digit not in _SHIFT_NAMES:
+            raise DecodeError("bad shift digit %d" % digit)
+        name = _suffixed(_SHIFT_NAMES[digit], w)
+        if opcode in (0xC0, 0xC1):
+            return _mk(name, Immediate(_unsigned(cur.take(1))), rm), None
+        if opcode in (0xD0, 0xD1):
+            return _mk(name, Immediate(1), rm), None
+        return _mk(name, RegisterOperand(get_register("cl")), rm), None
+
+    if opcode == 0xC2:
+        return _mk("ret", Immediate(_unsigned(cur.take(2)))), None
+    if opcode == 0xC3:
+        return _mk("ret"), None
+    if opcode in (0xC6, 0xC7):
+        w = 8 if opcode == 0xC6 else width
+        _, rm = _modrm(cur, ctx, w)
+        imm = _imm_for(cur, w)
+        return _mk(_suffixed("mov", w), Immediate(imm), rm), None
+    if opcode == 0xC9:
+        return _mk("leave"), None
+    if opcode == 0xCC:
+        return _mk("int3"), None
+
+    if opcode == 0xE8:
+        rel = _signed(cur.take(4))
+        target = address + (cur.pos - start) + rel
+        return _mk("call", _target_label(target)), target
+    if opcode == 0xE9:
+        rel = _signed(cur.take(4))
+        target = address + (cur.pos - start) + rel
+        return _mk("jmp", _target_label(target)), target
+    if opcode == 0xEB:
+        rel = _signed(cur.take(1))
+        target = address + (cur.pos - start) + rel
+        return _mk("jmp", _target_label(target)), target
+
+    if opcode == 0xF4:
+        return _mk("hlt"), None
+
+    if opcode in (0xF6, 0xF7):
+        w = 8 if opcode == 0xF6 else width
+        digit, rm = _modrm(cur, ctx, w)
+        digit &= 7
+        if digit == 0:
+            imm = _imm_for(cur, w)
+            return _mk(_suffixed("test", w), Immediate(imm), rm), None
+        if digit in _F7_NAMES:
+            return _mk(_suffixed(_F7_NAMES[digit], w), rm), None
+        raise DecodeError("bad F7 digit %d" % digit)
+
+    if opcode in (0xFE, 0xFF):
+        w = 8 if opcode == 0xFE else width
+        digit, rm = _modrm(cur, ctx, w)
+        digit &= 7
+        if digit == 0:
+            return _mk(_suffixed("inc", w), rm), None
+        if digit == 1:
+            return _mk(_suffixed("dec", w), rm), None
+        if opcode == 0xFF and digit == 2:
+            return _mk("call", _indirect(rm)), None
+        if opcode == 0xFF and digit == 4:
+            return _mk("jmp", _indirect(rm)), None
+        if opcode == 0xFF and digit == 6:
+            return _mk("pushq", rm), None
+        raise DecodeError("bad FF digit %d" % digit)
+
+    if opcode == 0x0F:
+        return _decode_0f(cur, ctx, address, start)
+
+    raise DecodeError("unsupported opcode %#x" % opcode)
+
+
+def _indirect(rm: Operand) -> Operand:
+    if isinstance(rm, RegisterOperand):
+        return RegisterOperand(rm.reg, indirect=True)
+    if isinstance(rm, Memory):
+        return Memory(disp=rm.disp, base=rm.base, index=rm.index,
+                      scale=rm.scale, symbol=rm.symbol, indirect=True)
+    return rm
+
+
+_SSE_ARITH_0F = {0x58: "add", 0x59: "mul", 0x5C: "sub", 0x5E: "div"}
+
+
+def _decode_0f(cur: _Cursor, ctx: _Ctx, address: int,
+               start: int) -> Tuple[Instruction, Optional[int]]:
+    opcode = cur.byte()
+    width = ctx.gp_width()
+
+    if opcode == 0x05:
+        return _mk("syscall"), None
+    if opcode == 0x0B:
+        return _mk("ud2"), None
+    if opcode == 0x18:
+        digit, rm = _modrm(cur, ctx, 64)
+        names = {0: "prefetchnta", 1: "prefetcht0", 2: "prefetcht1",
+                 3: "prefetcht2"}
+        return _mk(names[digit & 7], rm), None
+    if opcode == 0x1F:
+        _, rm = _modrm(cur, ctx, width)
+        return _mk("nopw" if ctx.opsize else "nopl", rm), None
+    if opcode == 0x31:
+        return _mk("rdtsc"), None
+    if opcode == 0xA2:
+        return _mk("cpuid"), None
+    if opcode == 0xAE:
+        sub = cur.byte()
+        return _mk({0xF0: "mfence", 0xE8: "lfence",
+                    0xF8: "sfence"}[sub]), None
+
+    if 0x40 <= opcode <= 0x4F:
+        reg, rm = _modrm(cur, ctx, width)
+        return _mk("cmov%s%s" % (CC_CANONICAL[opcode & 0xF],
+                                 suffix_for_width(width)),
+                   rm, RegisterOperand(ctx.reg(reg, width))), None
+    if 0x80 <= opcode <= 0x8F:
+        rel = _signed(cur.take(4))
+        target = address + (cur.pos - start) + rel
+        return (_mk("j" + CC_CANONICAL[opcode & 0xF],
+                    _target_label(target)), target)
+    if 0x90 <= opcode <= 0x9F:
+        _, rm = _modrm(cur, ctx, 8)
+        return _mk("set" + CC_CANONICAL[opcode & 0xF], rm), None
+
+    if opcode == 0xAF:
+        reg, rm = _modrm(cur, ctx, width)
+        return _mk(_suffixed("imul", width), rm,
+                   RegisterOperand(ctx.reg(reg, width))), None
+    if opcode in (0xB6, 0xB7, 0xBE, 0xBF):
+        src_w = 8 if opcode in (0xB6, 0xBE) else 16
+        signed = opcode >= 0xBE
+        reg, rm = _modrm(cur, ctx, src_w)
+        dst_w = width
+        name = ("movs" if signed else "movz") \
+            + suffix_for_width(src_w) + suffix_for_width(dst_w)
+        return _mk(name, rm,
+                   RegisterOperand(ctx.reg(reg, dst_w))), None
+    if 0xC8 <= opcode <= 0xCF:
+        number = (opcode & 7) | ((ctx.rex & 1) << 3)
+        return _mk(_suffixed("bswap", width),
+                   RegisterOperand(gp_register(number, width))), None
+    if opcode == 0xA3:
+        reg, rm = _modrm(cur, ctx, width)
+        return _mk(_suffixed("bt", width),
+                   RegisterOperand(ctx.reg(reg, width)), rm), None
+
+    # ---- SSE ---------------------------------------------------------------
+    if opcode in (0x10, 0x11):
+        if ctx.rep == 0xF3:
+            name = "movss"
+        elif ctx.rep == 0xF2:
+            name = "movsd"
+        else:
+            name = "movups"
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        xmm = RegisterOperand(ctx.xmm(reg))
+        if opcode == 0x10:
+            return _mk(name, rm, xmm), None
+        return _mk(name, xmm, rm), None
+    if opcode in (0x28, 0x29):
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        xmm = RegisterOperand(ctx.xmm(reg))
+        if opcode == 0x28:
+            return _mk("movaps", rm, xmm), None
+        return _mk("movaps", xmm, rm), None
+    if opcode in (0x2E, 0x2F):
+        name = ("ucomis" if opcode == 0x2E else "comis") \
+            + ("d" if ctx.opsize else "s")
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        return _mk(name, rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode == 0x2A:
+        name = "cvtsi2s" + ("s" if ctx.rep == 0xF3 else "d")
+        if ctx.rex_w:
+            name += "q"
+        reg, rm = _modrm(cur, ctx, 64 if ctx.rex_w else 32)
+        return _mk(name, rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode == 0x2C:
+        name = "cvtts" + ("s" if ctx.rep == 0xF3 else "d") + "2si"
+        if ctx.rex_w:
+            name += "q"
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        return _mk(name, rm,
+                   RegisterOperand(gp_register(
+                       reg, 64 if ctx.rex_w else 32))), None
+    if opcode == 0x5A:
+        name = "cvtss2sd" if ctx.rep == 0xF3 else "cvtsd2ss"
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        return _mk(name, rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode in _SSE_ARITH_0F:
+        suffix = "s" if ctx.rep == 0xF3 else "d"
+        name = _SSE_ARITH_0F[opcode] + "s" + suffix
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        return _mk(name, rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode == 0x57:
+        name = "xorpd" if ctx.opsize else "xorps"
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        return _mk(name, rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode == 0xEF:
+        reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+        return _mk("pxor", rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode == 0x6E:
+        reg, rm = _modrm(cur, ctx, 64 if ctx.rex_w else 32)
+        name = "movq" if ctx.rex_w else "movd"
+        return _mk(name, rm, RegisterOperand(ctx.xmm(reg))), None
+    if opcode == 0x7E:
+        if ctx.rep == 0xF3:
+            reg, rm = _modrm(cur, ctx, 128, xmm_rm=True)
+            return _mk("movq", rm, RegisterOperand(ctx.xmm(reg))), None
+        reg, rm = _modrm(cur, ctx, 64 if ctx.rex_w else 32)
+        name = "movq" if ctx.rex_w else "movd"
+        return _mk(name, RegisterOperand(ctx.xmm(reg)), rm), None
+
+    raise DecodeError("unsupported 0F opcode %#x" % opcode)
+
+
+def decode_all(data: bytes, base_address: int = 0) -> List[Decoded]:
+    """Decode a flat code image into an instruction list."""
+    decoded: List[Decoded] = []
+    offset = 0
+    while offset < len(data):
+        item = decode_one(data, offset, base_address + offset)
+        decoded.append(item)
+        offset += item.length
+    return decoded
+
+
+def disassemble(data: bytes, base_address: int = 0) -> str:
+    """Disassemble a code image to re-assemblable AT&T text."""
+    decoded = decode_all(data, base_address)
+    targets = {d.branch_target for d in decoded
+               if d.branch_target is not None}
+    lines = [".text"]
+    for item in decoded:
+        if item.address in targets:
+            lines.append(".Laddr_%x:" % item.address)
+        lines.append("    " + str(item.insn))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""Condition-code (RFLAGS) modelling.
+
+The paper stresses that MAO "precisely models the x86/64 condition codes",
+which is what enables the redundant-test-removal pass.  This module defines
+the individual flag bits, the 4-bit condition-code encodings used by
+``jcc``/``setcc``/``cmovcc``, and the exact set of flags each condition
+reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+# Individual arithmetic flags.
+CF = "CF"
+PF = "PF"
+AF = "AF"
+ZF = "ZF"
+SF = "SF"
+OF = "OF"
+DF = "DF"
+
+ALL_FLAGS: FrozenSet[str] = frozenset([CF, PF, AF, ZF, SF, OF])
+
+#: Status flags whose value after ``test r, r`` equals their value after the
+#: arithmetic instruction that produced ``r`` (for add/sub results these
+#: three match; CF/OF generally do not).
+RESULT_FLAGS: FrozenSet[str] = frozenset([ZF, SF, PF])
+
+# Condition-code encodings (the low nibble of the 0F 8x / 0F 9x / 0F 4x
+# opcodes).  Multiple mnemonic spellings share one encoding.
+_CC_ENCODING: Dict[str, int] = {
+    "o": 0x0, "no": 0x1,
+    "b": 0x2, "c": 0x2, "nae": 0x2,
+    "ae": 0x3, "nb": 0x3, "nc": 0x3,
+    "e": 0x4, "z": 0x4,
+    "ne": 0x5, "nz": 0x5,
+    "be": 0x6, "na": 0x6,
+    "a": 0x7, "nbe": 0x7,
+    "s": 0x8, "ns": 0x9,
+    "p": 0xA, "pe": 0xA,
+    "np": 0xB, "po": 0xB,
+    "l": 0xC, "nge": 0xC,
+    "ge": 0xD, "nl": 0xD,
+    "le": 0xE, "ng": 0xE,
+    "g": 0xF, "nle": 0xF,
+}
+
+_CC_READS: Dict[int, FrozenSet[str]] = {
+    0x0: frozenset([OF]), 0x1: frozenset([OF]),
+    0x2: frozenset([CF]), 0x3: frozenset([CF]),
+    0x4: frozenset([ZF]), 0x5: frozenset([ZF]),
+    0x6: frozenset([CF, ZF]), 0x7: frozenset([CF, ZF]),
+    0x8: frozenset([SF]), 0x9: frozenset([SF]),
+    0xA: frozenset([PF]), 0xB: frozenset([PF]),
+    0xC: frozenset([SF, OF]), 0xD: frozenset([SF, OF]),
+    0xE: frozenset([ZF, SF, OF]), 0xF: frozenset([ZF, SF, OF]),
+}
+
+#: Canonical mnemonic spelling for each encoding (used by the printer).
+CC_CANONICAL: Dict[int, str] = {
+    0x0: "o", 0x1: "no", 0x2: "b", 0x3: "ae", 0x4: "e", 0x5: "ne",
+    0x6: "be", 0x7: "a", 0x8: "s", 0x9: "ns", 0xA: "p", 0xB: "np",
+    0xC: "l", 0xD: "ge", 0xE: "le", 0xF: "g",
+}
+
+
+def cc_encoding(cond: str) -> int:
+    """The 4-bit encoding for a condition-code mnemonic suffix."""
+    return _CC_ENCODING[cond]
+
+
+def is_cc_suffix(cond: str) -> bool:
+    return cond in _CC_ENCODING
+
+
+def cc_flags_read(cond: str) -> FrozenSet[str]:
+    """The exact set of RFLAGS bits a condition-code suffix reads."""
+    return _CC_READS[_CC_ENCODING[cond]]
+
+
+def cc_negate(cond: str) -> str:
+    """Canonical spelling of the negated condition."""
+    return CC_CANONICAL[_CC_ENCODING[cond] ^ 1]
+
+
+def split_cc_mnemonic(mnemonic: str) -> Tuple[str, str]:
+    """Split a cc-suffixed mnemonic into (prefix, cc), or raise ValueError.
+
+    Handles ``j``, ``set``, ``cmov`` prefixes: ``jne`` -> (``j``, ``ne``),
+    ``cmovle`` -> (``cmov``, ``le``).
+    """
+    for prefix in ("cmov", "set", "j"):
+        if mnemonic.startswith(prefix):
+            cond = mnemonic[len(prefix):]
+            if is_cc_suffix(cond) and not (prefix == "j" and cond in ("mp",)):
+                return prefix, cond
+    raise ValueError("not a condition-code mnemonic: %r" % mnemonic)
+
+
+def parity(value: int) -> bool:
+    """PF: set when the low byte of *value* has even parity."""
+    return bin(value & 0xFF).count("1") % 2 == 0

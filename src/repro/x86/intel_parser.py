@@ -1,0 +1,180 @@
+"""Basic Intel-syntax assembly parser.
+
+The paper: "Since MAO is based on gas, it accepts assembly files in either
+Intel or AT&T syntax".  This module covers the common Intel-syntax subset
+(`mov eax, 5`, `mov dword ptr [rbp-4], 5`, `jmp label`) by translating
+each statement into the canonical AT&T form and reusing the main parser —
+the IR is syntax-agnostic either way.
+
+Use :func:`parse_intel_text` for whole files (or pass
+``syntax="intel"`` to :func:`repro.ir.builder.parse_unit`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from repro.x86.isa import UnknownMnemonic, split_mnemonic
+from repro.x86.lexer import logical_lines, split_operands
+from repro.x86.parser import (
+    ParseError,
+    ParsedDirective,
+    ParsedLabel,
+    Statement,
+    parse_instruction,
+)
+from repro.x86.registers import is_register_name
+
+_SIZE_PTR = {
+    "byte": ("b", 8), "word": ("w", 16), "dword": ("l", 32),
+    "qword": ("q", 64),
+}
+
+_MEM_RE = re.compile(r"^(?:(byte|word|dword|qword)\s+ptr\s+)?\[(.+)\]$",
+                     re.IGNORECASE)
+
+
+class IntelSyntaxError(ParseError):
+    pass
+
+
+def _translate_memory(body: str) -> str:
+    """``[rbp-4]`` / ``[rax+rbx*4+8]`` / ``[sym+rax*8]`` -> AT&T form."""
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale = 1
+    disp_parts: List[str] = []
+    symbol: Optional[str] = None
+
+    # Tokenize on +/- while keeping signs for displacements.
+    tokens = re.findall(r"[+-]?[^+-]+", body.replace(" ", ""))
+    for token in tokens:
+        sign = ""
+        if token[0] in "+-":
+            sign = token[0]
+            token = token[1:]
+        if "*" in token:
+            reg, _, factor = token.partition("*")
+            if not is_register_name(reg):
+                raise IntelSyntaxError("bad index %r" % token)
+            index = reg
+            scale = int(factor, 0)
+        elif is_register_name(token):
+            if base is None:
+                base = token
+            elif index is None:
+                index = token
+            else:
+                raise IntelSyntaxError("too many registers in %r" % body)
+        else:
+            try:
+                int(token, 0)
+                disp_parts.append(sign + token)
+            except ValueError:
+                if symbol is not None:
+                    raise IntelSyntaxError("two symbols in %r" % body)
+                symbol = token
+
+    disp = sum(int(p, 0) for p in disp_parts) if disp_parts else 0
+    prefix = ""
+    if symbol:
+        prefix = symbol
+        if disp:
+            prefix += "%+d" % disp
+    elif disp:
+        prefix = "%d" % disp
+    inner = ""
+    if base or index:
+        inner = "(%s%s%s)" % (
+            "%" + base if base else "",
+            (",%" + index) if index else "",
+            (",%d" % scale) if index else "")
+    elif symbol:
+        # Bare symbol: address it RIP-relative, the common 64-bit form.
+        inner = "(%rip)"
+    return prefix + inner
+
+
+def _translate_operand(text: str, mem_suffix: List[str]) -> str:
+    text = text.strip()
+    match = _MEM_RE.match(text)
+    if match:
+        size, body = match.groups()
+        if size:
+            mem_suffix.append(_SIZE_PTR[size.lower()][0])
+        return _translate_memory(body)
+    lowered = text.lower()
+    if is_register_name(lowered):
+        return "%" + lowered
+    try:
+        int(text, 0)
+        return "$" + text
+    except ValueError:
+        pass
+    if lowered.startswith("offset "):
+        return "$" + text[7:].strip()
+    # Label / symbol (branch target or bare symbol reference).
+    return text
+
+
+def translate_instruction(text: str) -> str:
+    """One Intel-syntax instruction -> AT&T text."""
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) == 2 else ""
+
+    operands = split_operands(operand_text)
+    mem_suffix: List[str] = []
+    translated = [_translate_operand(op, mem_suffix) for op in operands]
+
+    is_branch = mnemonic in ("jmp", "call") or (
+        mnemonic.startswith("j") and mnemonic not in ("jmp",))
+    if not is_branch:
+        translated.reverse()          # Intel: dest first; AT&T: dest last
+
+    att_mnemonic = mnemonic
+    try:
+        info = split_mnemonic(mnemonic)
+    except UnknownMnemonic:
+        info = None
+    # A size-ptr qualifier supplies the operand width the AT&T mnemonic
+    # suffix would; registers make the width unambiguous anyway.
+    if mem_suffix and info is not None and info.width is None \
+            and info.base not in ("jmp", "call", "j", "ret", "push",
+                                  "pop", "lea"):
+        att_mnemonic = mnemonic + mem_suffix[0]
+
+    if is_branch and translated and translated[0].startswith("%"):
+        translated[0] = "*" + translated[0]
+
+    return ("%s %s" % (att_mnemonic, ", ".join(translated))).strip()
+
+
+def parse_intel_text(source: str) -> List[Statement]:
+    """Parse Intel-syntax assembly into the same statement list the AT&T
+    parser produces."""
+    statements: List[Statement] = []
+    for line in logical_lines(source):
+        text = line.text
+        # Directives and labels share the AT&T forms.
+        while True:
+            colon = text.find(":")
+            if colon <= 0:
+                break
+            head = text[:colon].strip()
+            if not head or any(ch.isspace() for ch in head):
+                break
+            statements.append(ParsedLabel(head, line.lineno))
+            text = text[colon + 1:].strip()
+        if not text:
+            continue
+        if text.startswith("."):
+            parts = text.split(None, 1)
+            statements.append(ParsedDirective(
+                parts[0][1:].lower(),
+                parts[1] if len(parts) == 2 else "", line.lineno))
+            continue
+        att = translate_instruction(text)
+        statements.append(parse_instruction(att, line.lineno))
+    return statements

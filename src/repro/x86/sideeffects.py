@@ -1,0 +1,145 @@
+"""Query layer over the generated side-effect tables.
+
+This is the interface data-flow analysis and the optimization passes use:
+given an :class:`~repro.x86.instruction.Instruction`, report which register
+alias groups it reads and writes, and which RFLAGS bits it reads, writes,
+clears, or leaves undefined.  Registers are reported as *alias groups*
+(``eax`` -> ``rax``) so partial-register writes conservatively kill the
+whole register.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.x86._sideeffects_tables import TABLES
+from repro.x86.flags import cc_flags_read
+from repro.x86.instruction import Instruction
+from repro.x86.operands import Memory, Operand, RegisterOperand
+
+#: Caller-saved groups clobbered by a call under the SysV ABI.
+CALL_CLOBBERED = frozenset(
+    ["rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11"]
+    + ["xmm%d" % i for i in range(16)])
+
+#: Argument/return registers conservatively read by calls/returns.
+CALL_USED = frozenset(
+    ["rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "rsp"]
+    + ["xmm%d" % i for i in range(8)])
+
+
+class UnknownSideEffects(KeyError):
+    """No side-effect table entry exists for the instruction."""
+
+
+def _lookup(insn: Instruction):
+    base = insn.base
+    arity = len(insn.operands)
+    entry = TABLES.get((base, arity))
+    if entry is None:
+        entry = TABLES.get((base, None))
+    if entry is None:
+        raise UnknownSideEffects(base)
+    return entry
+
+
+def _resolve_items(insn: Instruction, items: Tuple[str, ...]) -> Set[str]:
+    """Operand designators -> register alias groups (registers only)."""
+    groups: Set[str] = set()
+    ops = insn.operands
+    for item in items:
+        if item.startswith("%"):
+            groups.add(item[1:])
+            continue
+        if item == "src":
+            selected: Optional[Operand] = ops[0] if len(ops) >= 2 else None
+        elif item == "dst":
+            selected = ops[-1] if ops else None
+        else:  # opN
+            idx = int(item[2:])
+            selected = ops[idx] if idx < len(ops) else None
+        if isinstance(selected, RegisterOperand):
+            groups.add(selected.reg.group)
+    return groups
+
+
+def _address_uses(insn: Instruction) -> Set[str]:
+    groups: Set[str] = set()
+    for op in insn.operands:
+        if isinstance(op, Memory):
+            if op.base is not None and op.base.group != "rip":
+                groups.add(op.base.group)
+            if op.index is not None:
+                groups.add(op.index.group)
+    return groups
+
+
+def reg_uses(insn: Instruction) -> Set[str]:
+    """Alias groups of registers the instruction reads.
+
+    Address registers of memory operands are always uses.  Calls and other
+    barriers conservatively use the ABI argument registers.
+    """
+    entry = _lookup(insn)
+    uses, defs, _, _, _, _, _, barrier = entry
+    groups = _resolve_items(insn, uses) | _address_uses(insn)
+    if barrier:
+        groups |= set(CALL_USED)
+    return groups
+
+
+def reg_defs(insn: Instruction) -> Set[str]:
+    """Alias groups of registers the instruction writes."""
+    entry = _lookup(insn)
+    _, defs, _, _, _, _, _, barrier = entry
+    groups = _resolve_items(insn, defs)
+    # A designated "def" operand that is memory defines no register.
+    if barrier:
+        groups |= set(CALL_CLOBBERED) | {"rsp"}
+    return groups
+
+
+def flags_written(insn: Instruction) -> FrozenSet[str]:
+    entry = _lookup(insn)
+    return frozenset(entry[2])
+
+
+def flags_read(insn: Instruction) -> FrozenSet[str]:
+    """Flags read; resolves the ``cc`` marker via the condition suffix."""
+    entry = _lookup(insn)
+    flags = set(entry[3])
+    if "cc" in flags:
+        flags.discard("cc")
+        if insn.cond is not None:
+            flags |= cc_flags_read(insn.cond)
+    return frozenset(flags)
+
+
+def flags_cleared(insn: Instruction) -> FrozenSet[str]:
+    """Flags written with a known-zero value (e.g. CF/OF after logic ops)."""
+    return frozenset(_lookup(insn)[4])
+
+
+def flags_result(insn: Instruction) -> FrozenSet[str]:
+    """Flags whose post-state reflects the destination value."""
+    return frozenset(_lookup(insn)[5])
+
+
+def flags_undefined(insn: Instruction) -> FrozenSet[str]:
+    return frozenset(_lookup(insn)[6])
+
+
+def is_barrier(insn: Instruction) -> bool:
+    """True for call/ret/syscall-like instructions that end analysis scope."""
+    try:
+        return bool(_lookup(insn)[7])
+    except UnknownSideEffects:
+        return True
+
+
+def has_side_effect_entry(insn: Instruction) -> bool:
+    try:
+        _lookup(insn)
+        return True
+    except UnknownSideEffects:
+        return False

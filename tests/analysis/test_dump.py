@@ -1,0 +1,114 @@
+"""Tests for the IR/CFG/LSG dump formats."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dump import cfg_to_dot, dump_ir_text, lsg_to_dot
+from repro.analysis.loops import build_lsg
+from repro.ir import parse_unit
+
+SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    movl $10, %ecx
+.Ltop:
+    addl $1, %eax
+    testl %ebx, %ebx
+    je .Lskip
+    addl $2, %eax
+.Lskip:
+    subl $1, %ecx
+    jne .Ltop
+    ret
+"""
+
+
+@pytest.fixture
+def artifacts():
+    unit = parse_unit(SOURCE)
+    function = unit.functions[0]
+    cfg = build_cfg(function, unit)
+    lsg = build_lsg(cfg)
+    return function, cfg, lsg
+
+
+class TestTextDump:
+    def test_contains_addresses_and_encodings(self, artifacts):
+        function, _, _ = artifacts
+        text = dump_ir_text(function)
+        assert "# function f" in text
+        assert "000000" in text          # first instruction address
+        assert "b90a000000" in text      # movl $10, %ecx encoding
+
+    def test_without_layout(self, artifacts):
+        function, _, _ = artifacts
+        text = dump_ir_text(function, with_layout=False)
+        assert "movl $10, %ecx" in text
+
+
+class TestCfgDot:
+    def test_structure(self, artifacts):
+        _, cfg, _ = artifacts
+        dot = cfg_to_dot(cfg)
+        assert dot.startswith('digraph "f"')
+        assert dot.count("bb") >= len(cfg.blocks)
+        assert "-> exit" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_entry_highlighted(self, artifacts):
+        _, cfg, _ = artifacts
+        assert "color=blue" in cfg_to_dot(cfg)
+
+    def test_unresolved_highlighted(self):
+        unit = parse_unit(".text\nf:\n    jmp *%rax\n")
+        cfg = build_cfg(unit.functions[0], unit)
+        assert "color=red" in cfg_to_dot(cfg)
+
+    def test_edge_count_matches(self, artifacts):
+        _, cfg, _ = artifacts
+        dot = cfg_to_dot(cfg)
+        arrow_lines = [l for l in dot.splitlines() if "->" in l]
+        true_edges = sum(len(b.successors) for b in cfg.blocks)
+        assert len(arrow_lines) == true_edges
+
+
+class TestLsgDot:
+    def test_structure(self, artifacts):
+        _, _, lsg = artifacts
+        dot = lsg_to_dot(lsg)
+        assert "root" in dot
+        assert "header=.Ltop" in dot
+
+    def test_irreducible_marked(self):
+        unit = parse_unit("""
+.text
+f:
+    testl %eax, %eax
+    je .Lb
+.La:
+    subl $1, %eax
+    jmp .Lbody
+.Lb:
+    subl $1, %ebx
+.Lbody:
+    testl %ebx, %ebx
+    jne .La
+    ret
+""")
+        cfg = build_cfg(unit.functions[0], unit)
+        lsg = build_lsg(cfg)
+        dot = lsg_to_dot(lsg)
+        assert "irreducible" in dot
+        assert "color=red" in dot
+
+
+class TestPassDumpOption:
+    def test_dump_option_prints(self, capsys):
+        from repro.passes import run_passes
+        unit = parse_unit(SOURCE)
+        run_passes(unit, "REDTEST=dump[1]")
+        err = capsys.readouterr().err
+        assert "REDTEST f before" in err
+        assert "REDTEST f after" in err

@@ -1,0 +1,159 @@
+"""Tests for Havlak loop detection."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.loops import build_lsg
+from repro.ir import parse_unit
+
+
+def lsg_of(source):
+    unit = parse_unit(source)
+    cfg = build_cfg(unit.functions[0], unit)
+    return cfg, build_lsg(cfg)
+
+
+class TestSimpleLoops:
+    def test_no_loops(self):
+        cfg, lsg = lsg_of(".text\nf:\n    nop\n    ret\n")
+        assert len(lsg) == 0
+
+    def test_self_loop(self):
+        cfg, lsg = lsg_of("""
+.text
+f:
+.Ltop:
+    subl $1, %eax
+    jne .Ltop
+    ret
+""")
+        assert len(lsg) == 1
+        loop = lsg.non_root_loops()[0]
+        assert loop.is_reducible
+        assert loop.header is cfg.label_to_block[".Ltop"]
+
+    def test_multi_block_loop(self):
+        cfg, lsg = lsg_of("""
+.text
+f:
+.Lhead:
+    testl %eax, %eax
+    je .Lexit
+    subl $1, %eax
+    jmp .Lhead
+.Lexit:
+    ret
+""")
+        assert len(lsg) == 1
+        loop = lsg.non_root_loops()[0]
+        assert len(loop.all_blocks()) == 2
+
+    def test_two_sibling_loops(self):
+        cfg, lsg = lsg_of("""
+.text
+f:
+.L1:
+    subl $1, %eax
+    jne .L1
+.L2:
+    subl $1, %ebx
+    jne .L2
+    ret
+""")
+        loops = lsg.non_root_loops()
+        assert len(loops) == 2
+        assert all(l.parent is lsg.root for l in loops)
+        assert all(l.depth() == 0 for l in loops)
+
+
+class TestNesting:
+    NESTED = """
+.text
+f:
+.Louter:
+    movl $10, %ecx
+.Linner:
+    subl $1, %ecx
+    jne .Linner
+    subl $1, %eax
+    jne .Louter
+    ret
+"""
+
+    def test_two_deep_nest(self):
+        cfg, lsg = lsg_of(self.NESTED)
+        loops = lsg.non_root_loops()
+        assert len(loops) == 2
+        inner = [l for l in loops if l.depth() == 1]
+        outer = [l for l in loops if l.depth() == 0]
+        assert len(inner) == 1 and len(outer) == 1
+        assert inner[0].parent is outer[0]
+
+    def test_inner_loops_query(self):
+        cfg, lsg = lsg_of(self.NESTED)
+        inner = lsg.inner_loops()
+        assert len(inner) == 1
+        assert inner[0].header is cfg.label_to_block[".Linner"]
+
+    def test_all_blocks_includes_children(self):
+        cfg, lsg = lsg_of(self.NESTED)
+        outer = [l for l in lsg.non_root_loops() if l.depth() == 0][0]
+        inner_header = cfg.label_to_block[".Linner"]
+        assert inner_header in outer.all_blocks()
+
+    def test_three_deep_nest(self):
+        cfg, lsg = lsg_of("""
+.text
+f:
+.La:
+    movl $5, %ebx
+.Lb:
+    movl $5, %ecx
+.Lc:
+    subl $1, %ecx
+    jne .Lc
+    subl $1, %ebx
+    jne .Lb
+    subl $1, %eax
+    jne .La
+    ret
+""")
+        depths = sorted(l.depth() for l in lsg.non_root_loops())
+        assert depths == [0, 1, 2]
+
+
+class TestIrreducible:
+    IRREDUCIBLE = """
+.text
+f:
+    testl %eax, %eax
+    je .Lb
+.La:
+    subl $1, %eax
+    jmp .Lb_body
+.Lb:
+    subl $1, %ebx
+.Lb_body:
+    testl %ebx, %ebx
+    jne .La
+    ret
+"""
+
+    def test_irreducible_detected(self):
+        """Two entry points into one cycle: classic irreducible shape.
+
+        The paper: "The algorithm allows distinguishing between reducible
+        and irreducible loops"."""
+        cfg, lsg = lsg_of(self.IRREDUCIBLE)
+        assert any(not l.is_reducible for l in lsg.non_root_loops())
+
+    def test_reducible_not_misflagged(self):
+        cfg, lsg = lsg_of("""
+.text
+f:
+.Ltop:
+    subl $1, %eax
+    jne .Ltop
+    ret
+""")
+        assert all(l.is_reducible for l in lsg.non_root_loops())

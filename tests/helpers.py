@@ -1,0 +1,90 @@
+"""Shared test utilities: assembling with the real GNU toolchain.
+
+When binutils is available (``as`` + ``objcopy``), differential tests
+compare PyMAO's encoder and relaxation output byte-for-byte against gas.
+Tests using these helpers should be decorated with ``requires_binutils``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+import os
+
+import pytest
+
+HAVE_BINUTILS = (shutil.which("as") is not None
+                 and shutil.which("objcopy") is not None)
+
+requires_binutils = pytest.mark.skipif(
+    not HAVE_BINUTILS, reason="GNU binutils (as/objcopy) not available")
+
+
+def gas_assemble_text(asm_source: str) -> bytes:
+    """Assemble with GNU as and return the raw .text section bytes."""
+    with tempfile.TemporaryDirectory() as tmp:
+        asm_path = os.path.join(tmp, "input.s")
+        obj_path = os.path.join(tmp, "input.o")
+        bin_path = os.path.join(tmp, "text.bin")
+        with open(asm_path, "w") as handle:
+            handle.write(asm_source)
+        subprocess.run(["as", "--64", "-o", obj_path, asm_path],
+                       check=True, capture_output=True)
+        subprocess.run(["objcopy", "-O", "binary", "--only-section=.text",
+                        obj_path, bin_path], check=True, capture_output=True)
+        with open(bin_path, "rb") as handle:
+            return handle.read()
+
+
+def gas_encode_one(instruction_text: str) -> bytes:
+    """Encoding gas produces for a single instruction."""
+    return gas_assemble_text(".text\n\t%s\n" % instruction_text)
+
+
+def gas_disassemble(obj_bytes_source: str) -> str:
+    """Assemble source and return objdump -d output (for eyeballing)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        asm_path = os.path.join(tmp, "input.s")
+        obj_path = os.path.join(tmp, "input.o")
+        with open(asm_path, "w") as handle:
+            handle.write(obj_bytes_source)
+        subprocess.run(["as", "--64", "-o", obj_path, asm_path],
+                       check=True, capture_output=True)
+        result = subprocess.run(["objdump", "-d", obj_path],
+                                check=True, capture_output=True, text=True)
+        return result.stdout
+
+
+def mao_encode_one(instruction_text: str) -> bytes:
+    """Encoding PyMAO produces for a single instruction."""
+    from repro.x86.parser import parse_instruction, ParsedInstruction
+    from repro.x86.encoder import encode_instruction
+
+    parsed = parse_instruction(instruction_text)
+    assert isinstance(parsed, ParsedInstruction), \
+        "unparseable: %s" % instruction_text
+    return encode_instruction(parsed.insn)
+
+
+def mao_text_image(asm_source: str) -> bytes:
+    """PyMAO's flat .text image after parsing + relaxation."""
+    return mao_text_layout(asm_source).code_image()
+
+
+def mao_text_layout(asm_source: str):
+    from repro.ir import parse_unit
+    from repro.analysis.relax import relax_section
+
+    unit = parse_unit(asm_source)
+    section = unit.get_section(".text")
+    return relax_section(unit, section)
+
+
+def masked(image: bytes, regions) -> bytes:
+    """Zero out alignment-fill byte ranges so fill choice doesn't matter."""
+    data = bytearray(image)
+    for start, size in regions:
+        for i in range(start, min(start + size, len(data))):
+            data[i] = 0
+    return bytes(data)

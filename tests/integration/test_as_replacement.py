@@ -1,0 +1,61 @@
+"""Tests for the §V.A `as`-replacement integration script."""
+
+import os
+import subprocess
+
+import pytest
+
+import sys
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+from helpers import HAVE_BINUTILS, requires_binutils  # noqa: E402
+
+SCRIPT = os.path.join(os.path.dirname(__file__), "..", "..",
+                      "scripts", "mao-as")
+
+SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    subl $16, %r15d
+    testl %r15d, %r15d
+    ret
+"""
+
+
+@pytest.fixture
+def asm(tmp_path):
+    path = tmp_path / "in.s"
+    path.write_text(SOURCE)
+    return path
+
+
+@requires_binutils
+class TestAsReplacement:
+    def test_optimizes_then_assembles(self, asm, tmp_path):
+        obj = tmp_path / "out.o"
+        subprocess.run([SCRIPT, "--mao=REDTEST", "--64",
+                        "-o", str(obj), str(asm)], check=True)
+        disasm = subprocess.run(["objdump", "-d", str(obj)],
+                                capture_output=True, text=True,
+                                check=True).stdout
+        body = disasm.split("<f>:")[1]
+        assert "sub" in body
+        assert "\ttest" not in body    # REDTEST removed it
+
+    def test_passthrough_without_mao_options(self, asm, tmp_path):
+        """Without --mao= the script behaves like plain `as`."""
+        obj = tmp_path / "out.o"
+        subprocess.run([SCRIPT, "--64", "-o", str(obj), str(asm)],
+                       check=True)
+        disasm = subprocess.run(["objdump", "-d", str(obj)],
+                                capture_output=True, text=True,
+                                check=True).stdout
+        body = disasm.split("<f>:")[1]
+        assert "\ttest" in body        # untouched
+
+    def test_multiple_passes(self, asm, tmp_path):
+        obj = tmp_path / "out.o"
+        subprocess.run([SCRIPT, "--mao=REDTEST:LOOP16", "--64",
+                        "-o", str(obj), str(asm)], check=True)
+        assert obj.exists()

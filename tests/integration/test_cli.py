@@ -1,0 +1,87 @@
+"""Tests for the `mao` command-line driver."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    andl $255, %eax
+    mov %eax, %eax
+    subl $16, %r15d
+    testl %r15d, %r15d
+    ret
+"""
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "in.s"
+    path.write_text(SOURCE)
+    return path
+
+
+class TestDriver:
+    def test_list_passes(self, capsys):
+        assert main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        assert "REDTEST" in out
+        assert "ASM" in out
+
+    def test_analysis_only_run(self, asm_file):
+        """Without an ASM pass nothing is emitted (matching MAO)."""
+        assert main(["--mao=LFIND", str(asm_file)]) == 0
+
+    def test_paper_command_line(self, asm_file, capsys):
+        """The §III.A example: --mao=LFIND=trace[0]:ASM=o[/dev/null]."""
+        assert main(["--mao=LFIND=trace[0]:ASM=o[/dev/null]",
+                     str(asm_file)]) == 0
+
+    def test_optimize_and_emit(self, asm_file, tmp_path):
+        out = tmp_path / "out.s"
+        assert main(["--mao=REDZEE:REDTEST:ASM=o[%s]" % out,
+                     str(asm_file)]) == 0
+        text = out.read_text()
+        assert "testl" not in text
+        assert "mov %eax, %eax" not in text
+
+    def test_dash_o_shorthand(self, asm_file, tmp_path):
+        out = tmp_path / "out.s"
+        assert main(["--mao=REDTEST", "-o", str(out),
+                     str(asm_file)]) == 0
+        assert "f:" in out.read_text()
+
+    def test_stats_flag(self, asm_file, capsys):
+        assert main(["--mao=REDTEST", "--stats", str(asm_file)]) == 0
+        err = capsys.readouterr().err
+        assert "REDTEST" in err
+        assert "removed=1" in err
+
+    def test_time_flag(self, asm_file, capsys):
+        assert main(["--mao=REDTEST", "--time", str(asm_file)]) == 0
+        err = capsys.readouterr().err
+        assert "parse:" in err and "passes:" in err
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--mao=REDTEST"])
+
+    def test_pass_order_from_spec(self):
+        parser = build_arg_parser()
+        args = parser.parse_args(["--mao=A:B", "--mao=C", "in.s"])
+        assert args.mao == ["A:B", "C"]
+
+    def test_module_entry_point(self, asm_file, tmp_path):
+        out = tmp_path / "out.s"
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli",
+             "--mao=REDZEE:ASM=o[%s]" % out, str(asm_file)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert out.exists()

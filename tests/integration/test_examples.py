@@ -1,0 +1,39 @@
+"""Smoke tests for the runnable examples (fast ones only)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+def run_example(name, *args, timeout=120):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "before: 13 instructions" in proc.stdout
+    assert "after:  10 instructions" in proc.stdout
+    assert "testl" not in proc.stdout.split("optimized assembly")[1]
+
+
+def test_write_a_pass():
+    proc = run_example("write_a_pass.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "rewritten: 2" in proc.stdout
+    assert "xorl %eax, %eax" in proc.stdout
+    # The flag-guarded site must keep its mov.
+    assert "movl $0, %esi" in proc.stdout
+
+
+def test_alignment_cliffs():
+    proc = run_example("alignment_cliffs.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "after LOOP16" in proc.stdout
+    assert "after LSDFIT" in proc.stdout

@@ -1,0 +1,90 @@
+"""The README's code snippets must actually work."""
+
+import pytest
+
+
+def test_quickstart_snippet(tmp_path):
+    from repro.ir import parse_unit
+    from repro.passes import run_passes
+
+    hot = tmp_path / "hot.s"
+    hot.write_text("""
+.text
+.globl f
+.type f, @function
+f:
+    subl $16, %r15d
+    testl %r15d, %r15d
+    andl $255, %eax
+    mov %eax, %eax
+    ret
+""")
+    unit = parse_unit(hot.read_text())
+    result = run_passes(unit, "REDZEE:REDTEST:REDMOV:ADDADD:LOOP16")
+    stats = result.stats_for("REDTEST")
+    assert stats["tests"] == 1 and stats["removed"] == 1
+    out = tmp_path / "hot.opt.s"
+    out.write_text(unit.to_asm())
+    assert "testl" not in out.read_text()
+
+
+def test_measurement_snippet():
+    from repro.ir import parse_unit
+    from repro.sim import run_unit
+    from repro.uarch import core2, simulate_trace
+
+    unit = parse_unit("""
+.text
+.globl main
+main:
+    movq $100, %rbp
+.Lloop:
+    addq $1, %rax
+    subq $1, %rbp
+    jne .Lloop
+    ret
+""")
+    trace = run_unit(unit, collect_trace=True).trace
+    stats = simulate_trace(trace, core2())
+    assert stats.cycles > 0
+    assert stats["BR_MISP"] >= 0
+    assert stats["LSD_UOPS"] >= 0
+
+
+def test_detection_snippet():
+    from repro.mbench import Processor, detect
+    from repro.uarch.profiles import blinded_profile
+
+    proc = Processor(blinded_profile(seed=7))
+    latency = detect.InstructionLatency(proc, "imulq %r, %r",
+                                        trip_count=300)
+    assert latency == blinded_profile(seed=7).latency["mul"]
+    line = detect.DetectDecodeLineSize(proc)
+    assert line in (16, 32)
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert repro.__version__
+
+
+def test_custom_pass_snippet():
+    from repro.ir import parse_unit
+    from repro.passes import MaoFunctionPass, run_passes
+    from repro.passes.manager import register_func_pass
+
+    @register_func_pass("README_DEMO")
+    class MyPass(MaoFunctionPass):
+        OPTIONS = {"aggressive": False}
+
+        def Go(self) -> bool:
+            self.Trace(3, "Func: %s", self.function.name)
+            self.bump("seen")
+            return True
+
+    unit = parse_unit(".text\nf:\n    ret\n")
+    result = run_passes(unit, "README_DEMO=aggressive[1]")
+    assert result.total("README_DEMO", "seen") == 1

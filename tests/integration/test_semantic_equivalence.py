@@ -1,0 +1,248 @@
+"""Every transforming pass must preserve architectural semantics.
+
+This substitutes (and strengthens) the paper's §III.A correctness check:
+instead of comparing disassembly of untransformed files, we *execute* each
+program before and after every optimization pass and compare final
+registers and memory.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.sim import run_unit
+
+TRANSFORM_SPECS = [
+    "REDZEE",
+    "REDTEST",
+    "REDMOV",
+    "ADDADD",
+    "LOOP16",
+    "LSDFIT",
+    "BRALIGN",
+    "NOPIN=seed[5]+density[0.3]",
+    "NOPKILL",
+    "INSTRUMENT",
+    "UNREACH",
+    "CONSTFOLD",
+    "SCHED",
+    # The full combined pipeline.
+    "REDZEE:REDTEST:REDMOV:ADDADD:CONSTFOLD:SCHED:LOOP16:NOPKILL",
+]
+
+COMPARE_GROUPS = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi",
+                  "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"]
+
+
+def _data_bytes(memory):
+    """{address: byte} for the static-data window.
+
+    The code image and the stack are excluded: passes legitimately change
+    .text bytes, and stack slots hold return addresses that move with the
+    code layout."""
+    from repro.sim.loader import DATA_BASE
+
+    snapshot = {}
+    for address, data in memory.nonzero_ranges():
+        for i, byte in enumerate(data):
+            a = address + i
+            if DATA_BASE <= a < 0x10000000:
+                snapshot[a] = byte
+    return snapshot
+
+
+def run_with_delta(source, max_steps):
+    """Run a program; returns (result, execution-written data delta).
+
+    Loader-materialized contents (e.g. jump tables of code addresses,
+    which move with layout) are subtracted out: only bytes the *program*
+    wrote count."""
+    from repro.sim import Interpreter, load_unit
+
+    unit = parse_unit(source)
+    program = load_unit(unit)
+    initial = _data_bytes(program.memory)
+    interp = Interpreter(program, max_steps=max_steps)
+    result = interp.run()
+    final = _data_bytes(program.memory)
+    delta = {a: b for a, b in final.items() if initial.get(a, 0) != b}
+    delta.update({a: 0 for a in initial if a not in final})
+    return result, delta
+
+
+def check_equivalence(source, spec, max_steps=300_000,
+                      compare_groups=COMPARE_GROUPS):
+    before, before_delta = run_with_delta(source, max_steps)
+    assert before.reason == "ret", "baseline must terminate"
+    unit = parse_unit(source)
+    run_passes(unit, spec)
+    after, after_delta = run_with_delta(unit.to_asm(), max_steps)
+    assert after.reason == "ret", "%s broke termination" % spec
+    from repro.sim.loader import DATA_BASE, TEXT_BASE
+
+    def is_code_address(value):
+        return TEXT_BASE <= value < DATA_BASE
+
+    for group in compare_groups:
+        a, b = before.state.gp[group], after.state.gp[group]
+        if is_code_address(a) and is_code_address(b):
+            # Registers holding code pointers (jump-table entries, lea'd
+            # labels) legitimately change when a pass moves code.
+            continue
+        assert a == b, "%s changed %%%s" % (spec, group)
+    assert before_delta == after_delta, "%s changed memory" % spec
+
+
+MIXED_PROGRAM = """
+.text
+.globl main
+.type main, @function
+main:
+    push %rbp
+    push %rbx
+    leaq buffer(%rip), %rdi
+    movl $12, %ecx
+    xorq %rbx, %rbx
+.Lfill:
+    movl %ecx, -4(%rdi,%rcx,4)
+    subl $1, %ecx
+    jne .Lfill
+    # Patterns for every peephole pass.
+    andl $255, %eax
+    mov %eax, %eax
+    subl $16, %r15d
+    testl %r15d, %r15d
+    je .Lskip1
+    addq $1, %rbx
+.Lskip1:
+    movq 24(%rsp), %rdx
+    movq 24(%rsp), %rcx
+    addq $3, %rsi
+    addq $4, %rsi
+    movl $5, %r9d
+    addl $3, %r9d
+    # Short loop for alignment passes.
+    movl $80, %ecx
+.Lhot:
+    movl (%rdi,%rbx,4), %eax
+    addl %eax, %r10d
+    subl $1, %ecx
+    jne .Lhot
+    # Unreachable tail.
+    jmp .Lend
+    movl $777, %r11d
+.Lend:
+    call helper
+    pop %rbx
+    pop %rbp
+    ret
+.type helper, @function
+helper:
+    movl $2, %eax
+    imull $21, %eax, %eax
+    ret
+.section .bss
+.align 16
+buffer:
+    .zero 256
+"""
+
+
+@pytest.mark.parametrize("spec", TRANSFORM_SPECS)
+def test_passes_preserve_mixed_program(spec):
+    check_equivalence(MIXED_PROGRAM, spec)
+
+
+@pytest.mark.parametrize("spec", ["REDZEE:REDTEST:REDMOV:ADDADD",
+                                  "SCHED", "CONSTFOLD:UNREACH"])
+def test_passes_preserve_corpus_functions(spec):
+    """Corpus functions are analysis fodder; build a runnable main that
+    calls a few of them after seeding registers."""
+    from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+
+    corpus = generate_corpus_text(CorpusConfig(seed=9, scale=0.002))
+    driver = """
+.text
+.globl main
+.type main, @function
+main:
+    movq $1000, %rax
+    movq $2000, %rbx
+    call corpus_fn_000
+    call corpus_fn_001
+    ret
+"""
+    # Corpus code materializes jump-table pointers and derives scratch
+    # values from them, so most registers are layout-dependent by
+    # construction; the seeded accumulators and data memory must match.
+    check_equivalence(driver + corpus, spec,
+                      compare_groups=["rax", "rbx"])
+
+
+@pytest.mark.parametrize("name", ["252.eon", "454.calculix", "429.mcf"])
+def test_passes_preserve_spec_benchmarks(name):
+    from repro.workloads.spec import build_benchmark
+
+    program = build_benchmark(name)
+    check_equivalence(program.source,
+                      "LOOP16:NOPIN=seed[1]:REDMOV:REDTEST:SCHED",
+                      max_steps=program.max_steps)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random programs, every pass.
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_program(draw):
+    """Small programs with data flow, branches, and pattern-pass bait."""
+    lines = ["    movl $%d, %%eax" % draw(st.integers(0, 1000)),
+             "    movl $%d, %%ebx" % draw(st.integers(0, 1000))]
+    n_chunks = draw(st.integers(2, 6))
+    for i in range(n_chunks):
+        kind = draw(st.sampled_from(
+            ["arith", "zext", "redtest", "redmov", "addadd", "branch",
+             "loop"]))
+        if kind == "arith":
+            op = draw(st.sampled_from(["addl", "subl", "xorl", "andl"]))
+            lines.append("    %s $%d, %%e%s"
+                         % (op, draw(st.integers(0, 127)),
+                            draw(st.sampled_from(["ax", "bx", "cx", "dx"]))))
+        elif kind == "zext":
+            lines += ["    andl $255, %eax", "    mov %eax, %eax"]
+        elif kind == "redtest":
+            lines += ["    subl $%d, %%ebx" % draw(st.integers(1, 50)),
+                      "    testl %ebx, %ebx",
+                      "    je .Lt%d" % i,
+                      "    addl $1, %ecx",
+                      ".Lt%d:" % i]
+        elif kind == "redmov":
+            lines += ["    movq 32(%rsp), %rdx", "    movq 32(%rsp), %rsi"]
+        elif kind == "addadd":
+            lines += ["    addq $%d, %%r8" % draw(st.integers(1, 40)),
+                      "    addq $%d, %%r8" % draw(st.integers(1, 40))]
+        elif kind == "branch":
+            lines += ["    cmpl $%d, %%eax" % draw(st.integers(0, 500)),
+                      "    jg .Lb%d" % i,
+                      "    addl $2, %edx",
+                      ".Lb%d:" % i]
+        else:  # loop
+            trips = draw(st.integers(1, 12))
+            lines += ["    movl $%d, %%ecx" % trips,
+                      ".Ll%d:" % i,
+                      "    addl $1, %edi",
+                      "    subl $1, %ecx",
+                      "    jne .Ll%d" % i]
+    return ".text\n.globl main\n.type main, @function\nmain:\n" \
+        + "\n".join(lines) + "\n    ret\n"
+
+
+@given(random_program(),
+       st.sampled_from(["REDZEE:REDTEST:REDMOV:ADDADD",
+                        "CONSTFOLD:UNREACH:SCHED",
+                        "LOOP16:NOPKILL",
+                        "NOPIN=seed[2]+density[0.2]"]))
+@settings(max_examples=40, deadline=None)
+def test_random_programs_equivalent_under_passes(source, spec):
+    check_equivalence(source, spec, max_steps=50_000)

@@ -1,0 +1,93 @@
+"""Tests for the statistical-validation helpers (§V.B)."""
+
+import pytest
+
+from repro.stats import (
+    layout_distribution,
+    significant_speedup,
+    summarize,
+)
+from repro.uarch.profiles import core2
+
+
+class TestSummarize:
+    def test_mean_and_ci(self):
+        summary = summarize([10, 12, 11, 13, 9])
+        assert summary.mean == 11
+        assert summary.ci_low < 11 < summary.ci_high
+
+    def test_single_sample(self):
+        summary = summarize([5])
+        assert summary.mean == 5
+        assert summary.ci_low == summary.ci_high == 5
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_tighter_ci_with_more_samples(self):
+        narrow = summarize([10, 11] * 20)
+        wide = summarize([10, 11] * 2)
+        assert (narrow.ci_high - narrow.ci_low) \
+            < (wide.ci_high - wide.ci_low)
+
+
+class TestSignificance:
+    def test_clear_improvement_is_significant(self):
+        result = significant_speedup([100, 102, 98, 101, 99],
+                                     [90, 91, 89, 92, 88])
+        assert result.significant
+        assert result.speedup > 0.08
+
+    def test_noise_is_not_significant(self):
+        result = significant_speedup([100, 110, 90, 105, 95],
+                                     [101, 108, 92, 104, 96])
+        assert not result.significant
+
+    def test_identical_distributions(self):
+        result = significant_speedup([100, 100], [100, 100])
+        assert not result.significant
+        assert result.speedup == 0.0
+
+    def test_str_rendering(self):
+        result = significant_speedup([100, 101], [90, 91])
+        assert "speedup" in str(result)
+
+
+class TestLayoutDistribution:
+    SOURCE = """
+.text
+.globl main
+main:
+    movl $200, %ecx
+.Lloop:
+    movss %xmm0,(%rdi,%rax,4)
+    addl $1, %eax
+    andl $7, %eax
+    subl $1, %ecx
+    jne .Lloop
+    ret
+"""
+
+    def test_produces_varied_layouts(self):
+        cycles = layout_distribution(self.SOURCE, core2(),
+                                     seeds=range(6), density=0.15,
+                                     max_steps=200_000)
+        assert len(cycles) == 6
+        assert len(set(cycles)) > 1, \
+            "layout perturbation must change timing"
+
+    def test_pass_effect_over_distribution(self):
+        """LOOP16's effect should be judged against layout noise — the
+        §V.B methodology."""
+        base = layout_distribution(self.SOURCE, core2(),
+                                   seeds=range(6), density=0.15,
+                                   max_steps=200_000)
+        optimized = layout_distribution(self.SOURCE, core2(),
+                                        spec="LOOP16",
+                                        seeds=range(6), density=0.15,
+                                        max_steps=200_000)
+        result = significant_speedup(base, optimized)
+        # LOOP16 pins the hot loop to an aligned boundary, collapsing the
+        # layout sensitivity: the optimized variance must not exceed it.
+        assert result.variant.mean <= result.baseline.mean * 1.02

@@ -1,0 +1,170 @@
+"""Tests for the MaoUnit entry list and section/function views."""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.ir.entries import (
+    DirectiveEntry,
+    InstructionEntry,
+    LabelEntry,
+    OpaqueEntry,
+)
+from repro.ir.unit import MaoUnit
+from repro.x86.instruction import Instruction
+
+
+class TestLinkedList:
+    def test_append_order(self):
+        unit = MaoUnit()
+        a = unit.append(LabelEntry("a"))
+        b = unit.append(InstructionEntry(Instruction("nop")))
+        assert list(unit.entries()) == [a, b]
+        assert len(unit) == 2
+
+    def test_insert_before_head(self):
+        unit = MaoUnit()
+        b = unit.append(LabelEntry("b"))
+        a = unit.insert_before(b, LabelEntry("a"))
+        assert list(unit.entries()) == [a, b]
+        assert unit.head is a
+
+    def test_insert_after_tail(self):
+        unit = MaoUnit()
+        a = unit.append(LabelEntry("a"))
+        b = unit.insert_after(a, LabelEntry("b"))
+        assert list(unit.entries()) == [a, b]
+        assert unit.tail is b
+
+    def test_insert_middle(self):
+        unit = MaoUnit()
+        a = unit.append(LabelEntry("a"))
+        c = unit.append(LabelEntry("c"))
+        b = unit.insert_after(a, LabelEntry("b"))
+        assert [e.name for e in unit.entries()] == ["a", "b", "c"]
+        assert c.prev is b
+
+    def test_remove_middle(self):
+        unit = MaoUnit()
+        a = unit.append(LabelEntry("a"))
+        b = unit.append(LabelEntry("b"))
+        c = unit.append(LabelEntry("c"))
+        unit.remove(b)
+        assert [e.name for e in unit.entries()] == ["a", "c"]
+        assert a.next is c and c.prev is a
+        assert len(unit) == 2
+
+    def test_remove_head_and_tail(self):
+        unit = MaoUnit()
+        a = unit.append(LabelEntry("a"))
+        b = unit.append(LabelEntry("b"))
+        unit.remove(a)
+        assert unit.head is b
+        unit.remove(b)
+        assert unit.head is None and unit.tail is None
+        assert len(unit) == 0
+
+    def test_removal_during_iteration_is_safe(self):
+        unit = MaoUnit()
+        for name in "abcde":
+            unit.append(LabelEntry(name))
+        for entry in unit.entries():
+            if entry.name in "bd":
+                unit.remove(entry)
+        assert [e.name for e in unit.entries()] == ["a", "c", "e"]
+
+    def test_replace(self):
+        unit = MaoUnit()
+        a = unit.append(LabelEntry("a"))
+        b = unit.replace(a, LabelEntry("b"))
+        assert [e.name for e in unit.entries()] == ["b"]
+
+    def test_inserted_entry_inherits_section(self):
+        unit = parse_unit(".text\nf:\n    nop\n")
+        nop_entry = next(e for e in unit.entries() if e.is_instruction)
+        new = unit.insert_instruction_before(nop_entry, Instruction("nop"))
+        assert new.section is nop_entry.section
+
+
+class TestEmission:
+    def test_to_asm_roundtrip_shape(self):
+        source = ".text\nmain:\n\tnop\n\tret\n"
+        unit = parse_unit(source)
+        text = unit.to_asm()
+        assert "main:" in text
+        assert "\tnop" in text
+        assert "\tret" in text
+
+    def test_opaque_entries_reemitted_verbatim(self):
+        unit = parse_unit(".text\nf:\n    vaddps %ymm0, %ymm1, %ymm2\n")
+        assert "vaddps %ymm0, %ymm1, %ymm2" in unit.to_asm()
+
+    def test_instruction_count(self):
+        unit = parse_unit(".text\nf:\n    nop\n    nop\n    ret\n")
+        assert unit.instruction_count() == 3
+
+
+class TestFunctions:
+    SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    nop
+    ret
+.type g, @function
+g:
+    xorl %eax, %eax
+    ret
+"""
+
+    def test_functions_found(self):
+        unit = parse_unit(self.SOURCE)
+        assert [fn.name for fn in unit.functions] == ["f", "g"]
+
+    def test_function_named(self):
+        unit = parse_unit(self.SOURCE)
+        assert unit.function_named("g").name == "g"
+        with pytest.raises(KeyError):
+            unit.function_named("h")
+
+    def test_function_instruction_streams(self):
+        unit = parse_unit(self.SOURCE)
+        f, g = unit.functions
+        assert [e.insn.base for e in f.instructions()] == ["nop", "ret"]
+        assert [e.insn.base for e in g.instructions()] == ["xor", "ret"]
+
+    def test_function_split_by_data_section(self):
+        """Paper §II: a function interrupted by an intermittent data
+        section is iterated as one continuous body."""
+        unit = parse_unit("""
+.text
+.type f, @function
+f:
+    movl $1, %eax
+.section .rodata
+.Ltab:
+    .quad .La
+.text
+.La:
+    ret
+""")
+        function = unit.function_named("f")
+        bases = [e.insn.base for e in function.instructions()]
+        assert bases == ["mov", "ret"]
+        # The data directive is not part of the function's entry stream.
+        assert all(not (e.is_directive and e.name == "quad")
+                   for e in function.entries())
+
+    def test_heuristic_function_detection(self):
+        """Bare labels followed by code count as functions when no .type
+        directives exist."""
+        unit = parse_unit(".text\nmain:\n    nop\n    ret\n")
+        assert [fn.name for fn in unit.functions] == ["main"]
+
+    def test_local_labels_are_not_functions(self):
+        unit = parse_unit(".text\nmain:\n    nop\n.L1:\n    ret\n")
+        assert [fn.name for fn in unit.functions] == ["main"]
+
+    def test_label_map(self):
+        unit = parse_unit(".text\nf:\n.L1:\n    nop\n")
+        assert set(unit.label_map()) == {"f", ".L1"}

@@ -1,0 +1,167 @@
+"""Tests for the §IV microbenchmark framework."""
+
+import pytest
+
+from repro.mbench import (
+    Benchmark,
+    DagType,
+    InstructionSequence,
+    InstructionTemplate,
+    LoopList,
+    Processor,
+    StraightLineLoop,
+)
+from repro.uarch.profiles import core2
+from repro.x86.parser import parse_instruction
+
+
+class TestTemplates:
+    def test_placeholders_found(self):
+        template = InstructionTemplate("add %r, %r")
+        assert template.placeholders == ["%r", "%r"]
+        assert template.width == 64
+
+    def test_literal_registers_are_not_placeholders(self):
+        template = InstructionTemplate("nopl 128(%rax,%rax,1)")
+        assert template.placeholders == []
+
+    def test_width_from_suffix(self):
+        assert InstructionTemplate("addl %r, %r").width == 32
+
+    def test_instantiate(self):
+        template = InstructionTemplate("add %r, %r")
+        assert template.instantiate(["%rbx", "%rcx"]) == "add %rbx, %rcx"
+
+    def test_instantiate_memory_form(self):
+        template = InstructionTemplate("movq (%r), %r")
+        text = template.instantiate(["%rax", "%rbx"])
+        assert text == "movq (%rax), %rbx"
+
+    def test_immediate_placeholder(self):
+        template = InstructionTemplate("add $i, %r")
+        text = template.instantiate(["$5", "%rdx"])
+        assert text == "add $5, %rdx"
+
+
+class TestSequences:
+    def proc(self):
+        return Processor(core2(), seed=11)
+
+    def generated(self, dag_type, length=6, template="add %r, %r"):
+        seq = InstructionSequence(self.proc(), length=length)
+        seq.SetInstructionTemplate(template)
+        seq.SetDagType(dag_type)
+        return seq.Generate()
+
+    def parse_all(self, texts):
+        return [parse_instruction(t).insn for t in texts]
+
+    def test_chain_has_raw_dependences(self):
+        insns = self.parse_all(self.generated(DagType.CHAIN))
+        for prev, cur in zip(insns, insns[1:]):
+            prev_dest = prev.operands[-1].reg.group
+            srcs = {op.reg.group for op in cur.operands[:-1]
+                    if hasattr(op, "reg")}
+            assert prev_dest in srcs
+
+    def test_cycle_closes(self):
+        insns = self.parse_all(self.generated(DagType.CYCLE))
+        last_dest = insns[-1].operands[-1].reg.group
+        first_srcs = {op.reg.group for op in insns[0].operands[:-1]
+                      if hasattr(op, "reg")}
+        assert last_dest in first_srcs
+
+    def test_disjoint_independent(self):
+        insns = self.parse_all(self.generated(DagType.DISJOINT))
+        for prev, cur in zip(insns, insns[1:]):
+            prev_dest = prev.operands[-1].reg.group
+            srcs = {op.reg.group for op in cur.operands[:-1]
+                    if hasattr(op, "reg")}
+            assert prev_dest not in srcs
+
+    def test_all_instructions_parse_and_encode(self):
+        from repro.x86.encoder import encode_instruction
+        for dag in DagType:
+            for text in self.generated(dag, length=10):
+                encode_instruction(parse_instruction(text).insn)
+
+    def test_seeded_reproducibility(self):
+        a = self.generated(DagType.RANDOM)
+        seq = InstructionSequence(Processor(core2(), seed=11), length=6)
+        seq.SetInstructionTemplate("add %r, %r")
+        seq.SetDagType(DagType.RANDOM)
+        assert seq.Generate() == a
+
+    def test_reserved_registers_untouched(self):
+        for text in self.generated(DagType.RANDOM, length=30):
+            insn = parse_instruction(text).insn
+            for reg in insn.register_operands():
+                assert reg.group not in ("rsp", "rbp", "r15")
+
+
+class TestLoopsAndBenchmark:
+    def test_program_assembles_and_runs(self):
+        proc = Processor(core2())
+        seq = InstructionSequence(proc, length=4)
+        seq.SetInstructionTemplate("add %r, %r")
+        seq.SetDagType(DagType.CHAIN)
+        seq.Generate()
+        loop_list = LoopList([StraightLineLoop([seq], proc,
+                                               trip_count=100)])
+        bench = Benchmark(loop_list)
+        results = bench.Execute(proc, [proc.CPU_CYCLES,
+                                       proc.INSTRUCTIONS])
+        assert results[proc.CPU_CYCLES] > 0
+        assert results[proc.INSTRUCTIONS] >= 400
+
+    def test_num_dynamic_instructions(self):
+        proc = Processor(core2())
+        seq = InstructionSequence(proc, length=5)
+        seq.SetInstructionTemplate("add %r, %r")
+        seq.SetDagType(DagType.DISJOINT)
+        seq.Generate()
+        loop_list = LoopList([StraightLineLoop([seq], proc,
+                                               trip_count=7)])
+        assert loop_list.NumDynamicInstructions() == 35
+
+    def test_memory_template_runs(self):
+        proc = Processor(core2())
+        seq = InstructionSequence(proc, length=3)
+        seq.SetInstructionTemplate("movq %m, %r")
+        seq.SetDagType(DagType.DISJOINT)
+        seq.Generate()
+        bench = Benchmark(LoopList([StraightLineLoop([seq], proc,
+                                                     trip_count=50)]))
+        results = bench.Execute(proc, [proc.CPU_CYCLES])
+        assert results[proc.CPU_CYCLES] > 0
+
+
+class TestDetection:
+    """Fast subset of the detectors (full sweeps live in the benches)."""
+
+    def test_instruction_latency_alu(self):
+        from repro.mbench.detect import InstructionLatency
+        proc = Processor(core2())
+        assert InstructionLatency(proc, "addq %r, %r",
+                                  trip_count=300) == 1
+
+    def test_instruction_latency_matches_model(self):
+        from repro.mbench.detect import InstructionLatency
+        proc = Processor(core2())
+        assert InstructionLatency(proc, "imulq %r, %r", trip_count=300) \
+            == core2().latency["mul"]
+
+    def test_latency_of_blinded_model_recovered(self):
+        from repro.mbench.detect import InstructionLatency
+        from repro.uarch.profiles import blinded_profile
+        model = blinded_profile(3)
+        proc = Processor(model)
+        assert InstructionLatency(proc, "imulq %r, %r", trip_count=300) \
+            == model.latency["mul"]
+
+    def test_throughput_less_than_latency_for_parallel_alu(self):
+        from repro.mbench.detect import InstructionThroughput
+        proc = Processor(core2())
+        throughput = InstructionThroughput(proc, "addq %r, %r",
+                                           trip_count=300)
+        assert throughput < 1.0    # three ALU ports

@@ -1,0 +1,137 @@
+"""Unit tests for the forward/backward address simulation (§III.E.m)."""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.passes.address_sim import (
+    _backward_update,
+    _forward_update,
+    _memory_ea,
+    recover_addresses,
+)
+from repro.x86.parser import parse_instruction, parse_operand
+
+
+def insn(text):
+    return parse_instruction(text).insn
+
+
+class TestKnownValueTracking:
+    def test_forward_mov_imm(self):
+        known = {}
+        _forward_update(known, insn("movq $100, %rax"))
+        assert known["rax"] == 100
+
+    def test_forward_add_imm(self):
+        known = {"rax": 10}
+        _forward_update(known, insn("addq $5, %rax"))
+        assert known["rax"] == 15
+
+    def test_forward_reg_copy(self):
+        known = {"rax": 7}
+        _forward_update(known, insn("movq %rax, %rbx"))
+        assert known["rbx"] == 7
+
+    def test_forward_lea(self):
+        known = {"rax": 100, "rbx": 3}
+        _forward_update(known, insn("leaq 8(%rax,%rbx,4), %rcx"))
+        assert known["rcx"] == 120
+
+    def test_forward_unknown_op_kills(self):
+        known = {"rax": 7}
+        _forward_update(known, insn("imulq %rbx, %rax"))
+        assert "rax" not in known
+
+    def test_forward_load_kills_dest(self):
+        known = {"rax": 7, "rbx": 100}
+        _forward_update(known, insn("movq (%rbx), %rax"))
+        assert "rax" not in known
+        assert known["rbx"] == 100
+
+    def test_backward_inverts_add(self):
+        known = {"rax": 15}
+        _backward_update(known, insn("addq $5, %rax"))
+        assert known["rax"] == 10
+
+    def test_backward_inverts_dec(self):
+        known = {"rcx": 9}
+        _backward_update(known, insn("decq %rcx"))
+        assert known["rcx"] == 10
+
+    def test_backward_mov_imm_not_invertible(self):
+        known = {"rax": 100}
+        _backward_update(known, insn("movq $100, %rax"))
+        assert "rax" not in known
+
+
+class TestMemoryEa:
+    def test_full_form(self):
+        mem = parse_operand("8(%rax,%rbx,4)")
+        assert _memory_ea(mem, {"rax": 100, "rbx": 2}, {}) == 116
+
+    def test_missing_register_returns_none(self):
+        mem = parse_operand("(%rax)")
+        assert _memory_ea(mem, {}, {}) is None
+
+    def test_symbolic(self):
+        mem = parse_operand("buf(%rip)")
+        assert _memory_ea(mem, {}, {"buf": 0x600000}) == 0x600000
+
+
+class TestPaperExample:
+    """The exact IP1/IP2/IP3 walk from §III.E.m."""
+
+    SOURCE = """
+.text
+.globl main
+main:
+    movl -8(%rbp), %edx
+    movl %edx, (%rax)
+    addl $1, -4(%rbp)
+    ret
+"""
+
+    def entries(self):
+        unit = parse_unit(self.SOURCE)
+        return [e for e in unit.entries() if e.is_instruction]
+
+    def test_sample_on_ip1_recovers_ip2_forward(self):
+        ip1, ip2, ip3, _ = self.entries()
+        snapshot = {"rbp": 0x7000, "rax": 0x600000}
+        recovered = recover_addresses(ip1, snapshot)
+        by_entry = {id(r.entry): r for r in recovered}
+        # IP1's own address (sample) and IP2's store address (forward:
+        # %rax not killed by IP1).
+        assert by_entry[id(ip1)].address == 0x7000 - 8
+        assert by_entry[id(ip2)].address == 0x600000
+        assert by_entry[id(ip2)].direction == "forward"
+
+    def test_sample_on_ip3_recovers_ip2_backward(self):
+        ip1, ip2, ip3, _ = self.entries()
+        snapshot = {"rbp": 0x7000, "rax": 0x600000}
+        recovered = recover_addresses(ip3, snapshot)
+        by_entry = {id(r.entry): r for r in recovered}
+        assert by_entry[id(ip3)].address == 0x7000 - 4
+        assert by_entry[id(ip2)].direction == "backward"
+        assert by_entry[id(ip2)].address == 0x600000
+        # IP1's address is also derivable (rbp untouched in between).
+        assert by_entry[id(ip1)].address == 0x7000 - 8
+
+    def test_killed_register_stops_forward(self):
+        source = """
+.text
+.globl main
+main:
+    movl -8(%rbp), %edx
+    movq (%rdx), %rax
+    movl %ecx, (%rax)
+    ret
+"""
+        unit = parse_unit(source)
+        entries = [e for e in unit.entries() if e.is_instruction]
+        snapshot = {"rbp": 0x7000, "rdx": 0x600000, "rax": 0x500000}
+        recovered = recover_addresses(entries[0], snapshot)
+        directions = {id(r.entry): r.direction for r in recovered}
+        # The store through %rax is NOT recoverable forward: the load at
+        # entry 1 killed %rax.
+        assert id(entries[2]) not in directions

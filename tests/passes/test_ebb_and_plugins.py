@@ -1,0 +1,106 @@
+"""Tests for the EBB scheduling extension and plug-in loading."""
+
+import textwrap
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.sim import run_unit
+
+SPLIT_KERNEL = """
+.text
+.globl main
+.type main, @function
+main:
+    movl $10, %ecx
+.Lloop:
+    imull $3, %ebx, %r10d
+    addl $1, %ebx
+.Lsplit:
+    movl %ebx, %edx
+    xorl %r10d, %edx
+    subl $1, %ecx
+    jne .Lloop
+    movl %edx, %eax
+    ret
+"""
+
+
+class TestEbbScheduling:
+    def test_merges_unreferenced_labels(self):
+        unit = parse_unit(SPLIT_KERNEL)
+        result = run_passes(unit, "SCHED=ebb[1]")
+        assert result.total("SCHED", "labels_merged") == 1
+        assert ".Lsplit" not in unit.to_asm()
+
+    def test_referenced_labels_kept(self):
+        source = SPLIT_KERNEL.replace(
+            "    movl %edx, %eax",
+            "    testl %eax, %eax\n    je .Lsplit\n    movl %edx, %eax")
+        unit = parse_unit(source)
+        run_passes(unit, "SCHED=ebb[1]")
+        assert ".Lsplit" in unit.to_asm()
+
+    def test_can_move_across_former_boundary(self):
+        unit = parse_unit(SPLIT_KERNEL)
+        single = run_passes(parse_unit(SPLIT_KERNEL), "SCHED")
+        extended = run_passes(unit, "SCHED=ebb[1]")
+        assert extended.total("SCHED", "instructions_moved") \
+            >= single.total("SCHED", "instructions_moved")
+
+    def test_semantics_preserved(self):
+        before = run_unit(parse_unit(SPLIT_KERNEL))
+        unit = parse_unit(SPLIT_KERNEL)
+        run_passes(unit, "SCHED=ebb[1]")
+        after = run_unit(unit)
+        assert before.state.gp["rax"] == after.state.gp["rax"]
+
+    def test_loop_headers_never_merged(self):
+        unit = parse_unit(SPLIT_KERNEL)
+        run_passes(unit, "SCHED=ebb[1]")
+        assert ".Lloop" in unit.to_asm()
+
+
+class TestPlugins:
+    def test_plugin_registers_pass(self, tmp_path):
+        from repro.cli import load_plugin, main
+        from repro.passes.manager import registered_passes
+
+        plugin = tmp_path / "plug.py"
+        plugin.write_text(textwrap.dedent("""
+            from repro.passes import MaoFunctionPass
+            from repro.passes.manager import register_func_pass
+
+            @register_func_pass("TESTPLUGIN_X")
+            class TestPluginPass(MaoFunctionPass):
+                def Go(self):
+                    self.bump("seen")
+                    return True
+        """))
+        load_plugin(str(plugin))
+        assert "TESTPLUGIN_X" in registered_passes()
+
+        asm = tmp_path / "in.s"
+        asm.write_text(".text\nf:\n    ret\n")
+        assert main(["--mao=TESTPLUGIN_X", str(asm)]) == 0
+
+    def test_plugin_flag_loads_before_spec(self, tmp_path, capsys):
+        from repro.cli import main
+
+        plugin = tmp_path / "plug2.py"
+        plugin.write_text(textwrap.dedent("""
+            from repro.passes import MaoFunctionPass
+            from repro.passes.manager import register_func_pass
+
+            @register_func_pass("TESTPLUGIN_Y")
+            class TestPluginPass(MaoFunctionPass):
+                def Go(self):
+                    self.bump("seen")
+                    return True
+        """))
+        asm = tmp_path / "in.s"
+        asm.write_text(".text\nf:\n    ret\n")
+        assert main(["--plugin", str(plugin), "--mao=TESTPLUGIN_Y",
+                     "--stats", str(asm)]) == 0
+        assert "TESTPLUGIN_Y" in capsys.readouterr().err

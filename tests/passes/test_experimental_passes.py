@@ -1,0 +1,269 @@
+"""Tests for NOPIN, NOPKILL, INSTRUMENT, PREFNTA, scalar passes (§III.D/E)."""
+
+import pytest
+
+from repro.analysis.relax import relax_section
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.passes.prefetch_nta import register_profile
+from repro.sim import run_unit
+
+LOOPY = """
+.text
+.globl main
+.type main, @function
+main:
+    movl $20, %ecx
+    .p2align 4
+.Lloop:
+    addl $1, %eax
+    subl $1, %ecx
+    jne .Lloop
+    ret
+"""
+
+
+class TestNopinizer:
+    def test_inserts_nops(self):
+        unit = parse_unit(LOOPY)
+        before = unit.instruction_count()
+        result = run_passes(unit, "NOPIN=seed[1]+density[0.5]")
+        inserted = result.total("NOPIN", "nops_inserted")
+        assert inserted > 0
+        assert unit.instruction_count() == before + inserted
+
+    def test_seed_reproducibility(self):
+        counts = []
+        for _ in range(2):
+            unit = parse_unit(LOOPY)
+            result = run_passes(unit, "NOPIN=seed[7]+density[0.5]")
+            counts.append(result.total("NOPIN", "nops_inserted"))
+        assert counts[0] == counts[1]
+
+    def test_different_seeds_differ(self):
+        outcomes = set()
+        for seed in range(8):
+            unit = parse_unit(LOOPY)
+            run_passes(unit, "NOPIN=seed[%d]+density[0.4]" % seed)
+            outcomes.add(unit.to_asm())
+        assert len(outcomes) > 1
+
+    def test_semantics_preserved(self):
+        before = run_unit(parse_unit(LOOPY))
+        unit = parse_unit(LOOPY)
+        run_passes(unit, "NOPIN=seed[3]+density[0.5]+maxlen[4]")
+        after = run_unit(unit)
+        assert before.state.gp["rax"] == after.state.gp["rax"]
+
+
+class TestNopKiller:
+    def test_removes_directives_and_nops(self):
+        source = """
+.text
+.globl main
+main:
+    nop
+    .p2align 4
+    nop
+    nop
+    movl $1, %eax
+    ret
+"""
+        unit = parse_unit(source)
+        result = run_passes(unit, "NOPKILL")
+        assert result.total("NOPKILL", "nops_removed") == 3
+        assert result.total("NOPKILL", "directives_removed") == 1
+        assert ".p2align" not in unit.to_asm()
+
+    def test_code_size_shrinks(self):
+        source = LOOPY
+        unit = parse_unit(source)
+        size_before = relax_section(unit, unit.get_section(".text")).size
+        run_passes(unit, "NOPKILL")
+        size_after = relax_section(unit, unit.get_section(".text")).size
+        assert size_after < size_before   # the paper's ~1% size win
+
+    def test_semantics_preserved(self):
+        before = run_unit(parse_unit(LOOPY))
+        unit = parse_unit(LOOPY)
+        run_passes(unit, "NOPKILL")
+        after = run_unit(unit)
+        assert before.state.gp["rax"] == after.state.gp["rax"]
+
+
+class TestInstrument:
+    def test_inserts_5_byte_nops(self):
+        unit = parse_unit(LOOPY)
+        result = run_passes(unit, "INSTRUMENT")
+        assert result.total("INSTRUMENT", "entry_points") == 1
+        assert result.total("INSTRUMENT", "exit_points") == 1
+        text = unit.to_asm()
+        assert text.count("nopl") == 2
+
+    def test_no_cache_line_crossing(self):
+        # Push the entry nop close to a 64-byte boundary.
+        filler = "\n".join("    addl $1, %%ebx  # %d" % i
+                           for i in range(20))
+        source = f"""
+.text
+.globl main
+.type main, @function
+main:
+{filler}
+    ret
+"""
+        unit = parse_unit(source)
+        run_passes(unit, "INSTRUMENT")
+        layout = relax_section(unit, unit.get_section(".text"))
+        for entry, place in layout.placement.items():
+            if entry.is_instruction and entry.insn.mnemonic == "nopl":
+                first_line = place.address // 64
+                last_line = (place.address + place.size - 1) // 64
+                assert first_line == last_line
+
+    def test_semantics_preserved(self):
+        before = run_unit(parse_unit(LOOPY))
+        unit = parse_unit(LOOPY)
+        run_passes(unit, "INSTRUMENT")
+        after = run_unit(unit)
+        assert before.state.gp["rax"] == after.state.gp["rax"]
+
+
+class TestPrefetchNta:
+    STREAMING = """
+.text
+.globl main
+.type main, @function
+main:
+    leaq buf(%rip), %rdi
+    movl $64, %ecx
+    xorq %rax, %rax
+.Lloop:
+    movq (%rdi,%rax,8), %rdx
+    addq %rdx, %rbx
+    addq $1, %rax
+    subl $1, %ecx
+    jne .Lloop
+    ret
+.section .bss
+buf:
+    .zero 4096
+"""
+
+    def test_inserts_prefetch_for_profiled_load(self):
+        unit = parse_unit(self.STREAMING)
+        load_entry = next(e for e in unit.entries()
+                          if e.is_instruction and e.insn.reads_memory)
+        register_profile("test-prof", {load_entry.lineno: 10000.0})
+        result = run_passes(unit, "PREFNTA=profile[test-prof]")
+        assert result.total("PREFNTA", "loads_marked") == 1
+        assert "prefetchnta" in unit.to_asm()
+
+    def test_threshold_respected(self):
+        unit = parse_unit(self.STREAMING)
+        load_entry = next(e for e in unit.entries()
+                          if e.is_instruction and e.insn.reads_memory)
+        register_profile("test-prof2", {load_entry.lineno: 10.0})
+        result = run_passes(unit, "PREFNTA=profile[test-prof2]")
+        assert result.total("PREFNTA", "loads_marked") == 0
+
+    def test_no_profile_is_noop(self):
+        unit = parse_unit(self.STREAMING)
+        result = run_passes(unit, "PREFNTA")
+        assert result.total("PREFNTA", "loads_marked") == 0
+
+    def test_semantics_preserved(self):
+        before = run_unit(parse_unit(self.STREAMING))
+        unit = parse_unit(self.STREAMING)
+        load_entry = next(e for e in unit.entries()
+                          if e.is_instruction and e.insn.reads_memory)
+        register_profile("test-prof3", {load_entry.lineno: 10000.0})
+        run_passes(unit, "PREFNTA=profile[test-prof3]")
+        after = run_unit(unit)
+        assert before.state.gp["rbx"] == after.state.gp["rbx"]
+
+
+class TestScalar:
+    def test_unreachable_code_removed(self):
+        source = """
+.text
+.globl main
+.type main, @function
+main:
+    movl $1, %eax
+    jmp .Ldone
+.Ldead:
+    movl $999, %eax
+    addl $1, %ebx
+.Ldone:
+    ret
+"""
+        unit = parse_unit(source)
+        result = run_passes(unit, "UNREACH")
+        assert result.total("UNREACH", "blocks_removed") == 1
+        assert result.total("UNREACH", "instructions_removed") == 2
+        assert "999" not in unit.to_asm()
+
+    def test_jump_table_targets_kept(self):
+        source = """
+.text
+.type f, @function
+f:
+    jmp *.Ltab(,%rax,8)
+.Lcase:
+    ret
+.section .rodata
+.Ltab:
+    .quad .Lcase
+"""
+        unit = parse_unit(source)
+        result = run_passes(unit, "UNREACH")
+        assert ".Lcase" in unit.to_asm()
+
+    def test_constant_folding(self):
+        source = """
+.text
+.globl main
+main:
+    movl $5, %eax
+    addl $3, %eax
+    ret
+"""
+        unit = parse_unit(source)
+        before = run_unit(parse_unit(source))
+        result = run_passes(unit, "CONSTFOLD")
+        assert result.total("CONSTFOLD", "folded") == 1
+        assert "movl $8, %eax" in unit.to_asm()
+        after = run_unit(unit)
+        assert before.state.gp["rax"] == after.state.gp["rax"] == 8
+
+    def test_fold_blocked_by_live_flags(self):
+        source = """
+.text
+.globl main
+main:
+    movl $5, %eax
+    addl $3, %eax
+    je .L
+    movl $1, %ebx
+.L:
+    ret
+"""
+        unit = parse_unit(source)
+        result = run_passes(unit, "CONSTFOLD")
+        assert result.total("CONSTFOLD", "folded") == 0
+
+    def test_fold_chain(self):
+        source = """
+.text
+.globl main
+main:
+    movl $1, %eax
+    shll $4, %eax
+    xorl $0xff, %eax
+    ret
+"""
+        unit = parse_unit(source)
+        run_passes(unit, "CONSTFOLD:CONSTFOLD")
+        after = run_unit(unit)
+        assert after.state.gp["rax"] == (1 << 4) ^ 0xFF

@@ -1,0 +1,96 @@
+"""Extra coverage for the LFIND/ASM utility passes and pass aborts."""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.passes import MaoFunctionPass, run_passes
+from repro.passes.manager import PassPipeline, register_func_pass
+
+
+class TestLfind:
+    def test_counts_blocks_and_loops(self):
+        unit = parse_unit("""
+.text
+.type f, @function
+f:
+.Louter:
+    movl $5, %ecx
+.Linner:
+    subl $1, %ecx
+    jne .Linner
+    subl $1, %eax
+    jne .Louter
+    ret
+""")
+        result = run_passes(unit, "LFIND")
+        assert result.total("LFIND", "loops") == 2
+        assert result.total("LFIND", "blocks") >= 3
+
+    def test_reports_unresolved_branches(self):
+        unit = parse_unit(".text\nf:\n    jmp *%rax\n")
+        result = run_passes(unit, "LFIND")
+        assert result.total("LFIND", "unresolved_branches") == 1
+
+    def test_reports_irreducible(self):
+        unit = parse_unit("""
+.text
+f:
+    testl %eax, %eax
+    je .Lb
+.La:
+    subl $1, %eax
+    jmp .Lbody
+.Lb:
+    subl $1, %ebx
+.Lbody:
+    testl %ebx, %ebx
+    jne .La
+    ret
+""")
+        result = run_passes(unit, "LFIND")
+        assert result.total("LFIND", "irreducible") >= 1
+
+
+class TestAsm:
+    def test_stdout_emission(self, capsys, tmp_path):
+        unit = parse_unit(".text\nf:\n    nop\n    ret\n")
+        run_passes(unit, "ASM")
+        out = capsys.readouterr().out
+        assert "f:" in out and "nop" in out
+
+    def test_emitted_file_reparses_identically(self, tmp_path):
+        source = """
+.text
+.globl f
+.type f, @function
+f:
+    movl $5, -4(%rbp)
+    movsbl 1(%rdi,%r8,4), %edx
+    ret
+"""
+        out = tmp_path / "o.s"
+        unit = parse_unit(source)
+        run_passes(unit, "ASM=o[%s]" % out)
+        reparsed = parse_unit(out.read_text())
+        assert reparsed.to_asm() == unit.to_asm()
+
+
+class TestPipelineAbort:
+    def test_pass_returning_false_stops_pipeline(self):
+        ran = []
+
+        @register_func_pass("ABORTER")
+        class Aborter(MaoFunctionPass):
+            def Go(self):
+                ran.append("abort")
+                return False
+
+        @register_func_pass("NEVER_RUNS")
+        class Never(MaoFunctionPass):
+            def Go(self):
+                ran.append("never")
+                return True
+
+        unit = parse_unit(".text\nf:\n    ret\n")
+        PassPipeline([("ABORTER", {}), ("NEVER_RUNS", {})]).run(unit)
+        assert ran == ["abort"]

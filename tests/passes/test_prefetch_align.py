@@ -1,0 +1,112 @@
+"""Tests for PREFALIGN — the §III.C.h pass the paper left unimplemented."""
+
+import pytest
+
+from repro.analysis.relax import relax_section
+from repro.ir import parse_unit
+from repro.passes import run_passes
+from repro.sim import load_unit, run_unit
+from repro.uarch.pipeline import simulate_trace
+from repro.uarch.profiles import core2
+
+
+def streaming_loop(pad):
+    nops = "\n".join("    nop" for _ in range(pad))
+    return f"""
+.text
+.globl main
+main:
+    leaq buf(%rip), %rdi
+    movq $1500, %rbp
+    xorq %r9, %r9
+{nops}
+.Lloop:
+    movq (%rdi,%r9,8), %rdx
+    addq %rdx, %rax
+    addq $8, %r9
+    andq $0x1fff, %r9
+    subq $1, %rbp
+    jne .Lloop
+    ret
+.section .bss
+.align 64
+buf:
+    .zero 65536
+"""
+
+
+def find_aliased_pad():
+    for pad in range(300):
+        program = load_unit(parse_unit(streaming_loop(pad)))
+        if program.symtab[".Lloop"] % 256 == 0:
+            return pad
+    pytest.skip("no aliased placement found")
+
+
+class TestMechanism:
+    def test_aliased_load_gets_no_prefetch(self):
+        pad = find_aliased_pad()
+        result = run_unit(parse_unit(streaming_loop(pad)),
+                          collect_trace=True, max_steps=1_000_000)
+        stats = simulate_trace(result.trace, core2())
+        # Every streamed line misses: the prefetcher is dead for this PC.
+        assert stats["L1D_MISSES"] > 1000
+
+    def test_non_aliased_load_is_prefetched(self):
+        pad = find_aliased_pad()
+        result = run_unit(parse_unit(streaming_loop(pad + 1)),
+                          collect_trace=True, max_steps=1_000_000)
+        stats = simulate_trace(result.trace, core2())
+        assert stats["L1D_MISSES"] < 50
+
+    def test_quirk_can_be_disabled(self):
+        pad = find_aliased_pad()
+        model = core2()
+        model.prefetch_pc_alias_stride = 0
+        result = run_unit(parse_unit(streaming_loop(pad)),
+                          collect_trace=True, max_steps=1_000_000)
+        stats = simulate_trace(result.trace, model)
+        assert stats["L1D_MISSES"] < 50
+
+
+class TestPass:
+    def test_moves_aliased_load(self):
+        pad = find_aliased_pad()
+        unit = parse_unit(streaming_loop(pad))
+        result = run_passes(unit, "PREFALIGN")
+        assert result.total("PREFALIGN", "loads_moved") == 1
+        layout = relax_section(unit, unit.get_section(".text"))
+        for entry, place in layout.placement.items():
+            if entry.is_instruction and entry.insn.reads_memory:
+                assert place.address % 256 != 0
+
+    def test_fixes_the_misses(self):
+        pad = find_aliased_pad()
+        unit = parse_unit(streaming_loop(pad))
+        run_passes(unit, "PREFALIGN")
+        result = run_unit(unit, collect_trace=True, max_steps=1_000_000)
+        stats = simulate_trace(result.trace, core2())
+        assert stats["L1D_MISSES"] < 50
+
+    def test_leaves_clean_code_alone(self):
+        pad = find_aliased_pad()
+        unit = parse_unit(streaming_loop(pad + 3))
+        result = run_passes(unit, "PREFALIGN")
+        assert result.total("PREFALIGN", "loads_moved") == 0
+
+    def test_semantics_preserved(self):
+        pad = find_aliased_pad()
+        before = run_unit(parse_unit(streaming_loop(pad)),
+                          max_steps=1_000_000)
+        unit = parse_unit(streaming_loop(pad))
+        run_passes(unit, "PREFALIGN")
+        after = run_unit(unit, max_steps=1_000_000)
+        assert before.state.gp["rax"] == after.state.gp["rax"]
+
+    def test_count_only(self):
+        pad = find_aliased_pad()
+        unit = parse_unit(streaming_loop(pad))
+        before = unit.instruction_count()
+        result = run_passes(unit, "PREFALIGN=count_only[1]")
+        assert result.total("PREFALIGN", "loads_moved") == 1
+        assert unit.instruction_count() == before

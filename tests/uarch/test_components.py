@@ -1,0 +1,170 @@
+"""Tests for branch predictor, cache, and uop classification."""
+
+import pytest
+
+from repro.uarch import model as M
+from repro.uarch.branch_predictor import BranchPredictor
+from repro.uarch.cache import DataCache
+from repro.uarch.classify import compute_class, uops_of
+from repro.uarch.model import ProcessorModel
+from repro.uarch.profiles import blinded_profile, core2, opteron, pentium4
+from repro.x86.parser import parse_instruction
+
+
+def insn(text):
+    return parse_instruction(text).insn
+
+
+class TestBranchPredictor:
+    def test_biased_branch_learns(self):
+        predictor = BranchPredictor(core2())
+        for _ in range(10):
+            predictor.update(0x1000, True)
+        assert predictor.predict(0x1000)
+        assert predictor.mispredictions <= 1
+
+    def test_aliasing_in_one_bucket(self):
+        """Two branches 8 bytes apart share PC>>5 state (paper §III.C.g)."""
+        predictor = BranchPredictor(core2())
+        a, b = 0x1000, 0x1008
+        assert core2().bp_index(a) == core2().bp_index(b)
+        for _ in range(50):
+            predictor.update(a, True)
+            predictor.update(b, False)     # thrashes the shared counter
+        assert predictor.mispredictions > 40
+
+    def test_no_aliasing_across_buckets(self):
+        predictor = BranchPredictor(core2())
+        a, b = 0x1000, 0x1040
+        assert core2().bp_index(a) != core2().bp_index(b)
+        for _ in range(50):
+            predictor.update(a, True)
+            predictor.update(b, False)
+        assert predictor.mispredictions <= 4
+
+    def test_index_uses_shift(self):
+        model = core2()
+        assert model.bp_index(0x123) == (0x123 >> 5) % model.bp_table_size
+
+
+class TestDataCache:
+    def test_hit_after_fill(self):
+        cache = DataCache(core2())
+        assert not cache.access(0x1000)    # cold miss
+        assert cache.access(0x1000)        # hit
+        assert cache.access(0x103F)        # same 64-byte line
+
+    def test_capacity_eviction(self):
+        model = core2()
+        cache = DataCache(model)
+        lines = model.cache_ways + 2
+        stride = model.cache_sets * model.cache_line_bytes
+        for i in range(lines):
+            cache.access(i * stride)       # all map to set 0
+        assert not cache.access(0)          # evicted (LRU)
+        assert cache.evictions >= 2
+
+    def test_lru_order(self):
+        model = core2()
+        cache = DataCache(model)
+        stride = model.cache_sets * model.cache_line_bytes
+        for i in range(model.cache_ways):
+            cache.access(i * stride)
+        cache.access(0)                     # refresh line 0
+        cache.access(model.cache_ways * stride)  # evicts line 1, not 0
+        assert cache.access(0)
+
+    def test_nta_fill_does_not_pollute(self):
+        """§III.E.k: NTA fills replace a single way."""
+        model = core2()
+        cache = DataCache(model)
+        stride = model.cache_sets * model.cache_line_bytes
+        for i in range(model.cache_ways):
+            cache.access(i * stride)        # fill the set
+        nta_addr = 100 * stride
+        cache.hint_nta(nta_addr)
+        cache.access(nta_addr)              # non-temporal fill
+        # The NTA line sits at LRU: the next fill evicts it, and all but
+        # one of the originally resident lines survive.
+        cache.access(101 * stride)
+        assert not cache.contains(nta_addr)
+        survivors = sum(cache.contains(i * stride)
+                        for i in range(model.cache_ways))
+        assert survivors >= model.cache_ways - 2
+
+
+class TestClassification:
+    @pytest.mark.parametrize("text,cls", [
+        ("addl $1, %eax", M.ALU),
+        ("leaq (%rax), %rbx", M.LEA),
+        ("sarl %ecx", M.SHIFT),
+        ("imull %ebx, %eax", M.MUL),
+        ("idivl %ecx", M.DIV),
+        ("jne .L", M.BRANCH),
+        ("addsd %xmm0, %xmm1", M.FP_ADD),
+        ("mulss %xmm0, %xmm1", M.FP_MUL),
+        ("cmovel %eax, %ebx", M.CMOV),
+        ("nop", M.NOP),
+    ])
+    def test_compute_class(self, text, cls):
+        assert compute_class(insn(text)) == cls
+
+    def test_load_op_splits_into_two_uops(self):
+        uops = uops_of(insn("addl (%rdi), %eax"))
+        assert [u[0] for u in uops] == [M.LOAD, M.ALU]
+
+    def test_rmw_is_three_uops(self):
+        uops = uops_of(insn("addl $1, (%rdi)"))
+        assert [u[0] for u in uops] == [M.LOAD, M.ALU, M.STORE]
+
+    def test_plain_store_is_one_uop(self):
+        uops = uops_of(insn("movl %eax, (%rdi)"))
+        assert [u[0] for u in uops] == [M.STORE]
+
+    def test_plain_load_is_one_uop(self):
+        uops = uops_of(insn("movl (%rdi), %eax"))
+        assert [u[0] for u in uops] == [M.LOAD]
+
+    def test_nop_has_no_ports(self):
+        uops = uops_of(insn("nop"))
+        assert uops == [(M.NOP, False, False)]
+        assert core2().port_map[M.NOP] == ()
+
+    def test_call_is_store_plus_branch(self):
+        uops = uops_of(insn("call f"))
+        assert [u[0] for u in uops] == [M.STORE, M.BRANCH]
+
+
+class TestProfiles:
+    def test_core2_paper_parameters(self):
+        model = core2()
+        assert model.decode_line_bytes == 16   # §III.C.e
+        assert model.lsd_max_lines == 4        # §III.C.f
+        assert model.lsd_min_iterations == 64  # §III.C.f
+        assert model.bp_index_shift == 5       # §III.C.g
+        assert model.port_map[M.LEA] == (0,)   # §III.F
+        assert model.port_map[M.SHIFT] == (0, 5)
+
+    def test_opteron_differs(self):
+        intel, amd = core2(), opteron()
+        assert amd.decode_line_bytes != intel.decode_line_bytes
+        assert amd.bp_index_shift != intel.bp_index_shift
+        assert amd.port_map[M.ALU] == (0, 1, 2)
+
+    def test_pentium4_has_no_lsd(self):
+        assert not pentium4().lsd_enabled
+
+    def test_blinded_profiles_are_deterministic(self):
+        a, b = blinded_profile(5), blinded_profile(5)
+        assert a.decode_line_bytes == b.decode_line_bytes
+        assert a.latency == b.latency
+
+    def test_blinded_profiles_vary(self):
+        values = {blinded_profile(seed).bp_index_shift
+                  for seed in range(20)}
+        assert len(values) > 1
+
+    def test_cache_geometry(self):
+        model = core2()
+        assert model.cache_sets * model.cache_ways \
+            * model.cache_line_bytes == model.cache_size_bytes

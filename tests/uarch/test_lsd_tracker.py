@@ -1,0 +1,123 @@
+"""Unit tests for the LSD tracker's loop-eligibility rules (§III.C.f)."""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.sim import run_unit
+from repro.uarch import counters as C
+from repro.uarch.pipeline import _LsdTracker, simulate_trace
+from repro.uarch.profiles import core2
+
+
+def stats_for(source, model=None, max_steps=2_000_000):
+    result = run_unit(parse_unit(source), collect_trace=True,
+                      max_steps=max_steps)
+    assert result.reason == "ret"
+    return simulate_trace(result.trace, model or core2())
+
+
+def loop(body, trips, align=True):
+    directive = "    .p2align 4" if align else ""
+    return f"""
+.text
+.globl main
+main:
+    movq ${trips}, %rbp
+{directive}
+.Lloop:
+{body}
+    subq $1, %rbp
+    jne .Lloop
+    ret
+"""
+
+
+class TestEligibility:
+    def test_minimum_iterations(self):
+        """Paper: "The loop must execute a minimum of 64 iterations"."""
+        threshold = core2().lsd_min_iterations
+        below = stats_for(loop("    addq $1, %rax", threshold - 2))
+        at = stats_for(loop("    addq $1, %rax", threshold + 50))
+        assert below[C.LSD_UOPS] == 0
+        assert at[C.LSD_UOPS] > 0
+
+    def test_line_budget(self):
+        """"must not span more than four 16-byte decoding lines"."""
+        small = "\n".join("    addl $%d, %%eax" % i for i in range(12))
+        big = "\n".join("    addl $%d, %%eax" % i for i in range(30))
+        assert stats_for(loop(small, 500))[C.LSD_UOPS] > 0
+        assert stats_for(loop(big, 500))[C.LSD_UOPS] == 0
+
+    def test_branch_type_restriction(self):
+        """"may only contain certain types of branches" — a call inside
+        the body disqualifies the loop."""
+        source = """
+.text
+.globl main
+main:
+    movq $300, %rbp
+.Lloop:
+    call helper
+    subq $1, %rbp
+    jne .Lloop
+    ret
+.type helper, @function
+helper:
+    ret
+"""
+        assert stats_for(source)[C.LSD_UOPS] == 0
+
+    def test_internal_forward_branch_allowed(self):
+        body = """
+    testq $1, %rbp
+    je .Lskip
+    addq $1, %rax
+.Lskip:
+    addq $2, %rbx
+"""
+        stats = stats_for(loop(body, 500))
+        assert stats[C.LSD_UOPS] > 0
+
+    def test_too_many_branches_disqualify(self):
+        body = "\n".join("""
+    testq $%d, %%rbp
+    je .Ls%d
+    addq $1, %%rax
+.Ls%d:""" % (1 << i, i, i) for i in range(5))
+        stats = stats_for(loop(body, 400))
+        assert stats[C.LSD_UOPS] == 0
+
+    def test_nested_inner_loop_resets_candidate(self):
+        source = """
+.text
+.globl main
+main:
+    movq $100, %rbx
+.Louter:
+    movq $3, %rbp
+.Linner:
+    addq $1, %rax
+    subq $1, %rbp
+    jne .Linner
+    subq $1, %rbx
+    jne .Louter
+    ret
+"""
+        # Neither loop reaches 64 *consecutive* iterations of one branch.
+        assert stats_for(source)[C.LSD_UOPS] == 0
+
+
+class TestTrackerObject:
+    def test_reset_clears_state(self):
+        tracker = _LsdTracker(core2())
+        tracker.branch_addr = 0x100
+        tracker.iterations = 99
+        tracker.active = True
+        tracker.reset()
+        assert tracker.branch_addr is None
+        assert tracker.iterations == 0
+        assert not tracker.active
+
+    def test_activation_counted_once(self):
+        stats = stats_for(loop("    addq $1, %rax", 800))
+        assert stats[C.LSD_ACTIVE_LOOPS] == 1

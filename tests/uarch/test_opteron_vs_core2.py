@@ -1,0 +1,90 @@
+"""Cross-platform behaviour checks: the same code, two models.
+
+The paper's §V.B point is that identical transformations have different
+effects on Intel vs AMD; these tests pin the model-level differences that
+produce it.
+"""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.sim import run_unit
+from repro.uarch import counters as C
+from repro.uarch.pipeline import simulate_trace
+from repro.uarch.profiles import core2, opteron
+
+
+def both(source, max_steps=2_000_000):
+    result = run_unit(parse_unit(source), collect_trace=True,
+                      max_steps=max_steps)
+    assert result.reason == "ret"
+    return (simulate_trace(result.trace, core2()),
+            simulate_trace(result.trace, opteron()))
+
+
+def loop(body, trips, align=""):
+    return f"""
+.text
+.globl main
+main:
+    movq ${trips}, %rbp
+{align}
+.Lloop:
+{body}
+    subq $1, %rbp
+    jne .Lloop
+    ret
+"""
+
+
+class TestWindowSizes:
+    def test_17_byte_loop_crossing(self):
+        """A body crossing a 16-byte line hurts Core-2 decode but fits an
+        Opteron 32-byte window."""
+        source = loop("    movss %xmm0,(%rdi,%rax,4)\n"
+                      "    addq $1, %rax\n"
+                      "    andq $7, %rax", 40,
+                      align="    .p2align 4\n    nop\n" * 1 + "    nop\n"
+                      * 10)
+        intel, amd = both(source)
+        # Intel sees two 16B lines/iter; AMD still one 32B window when
+        # the body stays under its wider grid.
+        assert intel[C.DECODE_LINES] >= amd[C.DECODE_LINES]
+
+    def test_lsd_thresholds_differ(self):
+        """A 40-iteration loop streams on Opteron (threshold 32) but not
+        on Core-2 (threshold 64)."""
+        source = loop("    addq $1, %rax", 40, align="    .p2align 5")
+        intel, amd = both(source)
+        assert intel[C.LSD_UOPS] == 0
+        assert amd[C.LSD_UOPS] > 0
+
+    def test_window_budget_differs(self):
+        """A 3-line body streams on Core-2 (budget 4) but not Opteron
+        (budget 1 window)."""
+        body = "\n".join("    addl $%d, %%eax" % i for i in range(12))
+        source = loop(body, 500, align="    .p2align 5")
+        intel, amd = both(source)
+        assert intel[C.LSD_UOPS] > 0
+        assert amd[C.LSD_UOPS] == 0
+
+
+class TestPredictorGeometry:
+    def test_aliasing_distance_differs(self):
+        """Branches 20 bytes apart alias on Core-2 (32-byte buckets) but
+        not on Opteron (16-byte buckets)."""
+        model_intel, model_amd = core2(), opteron()
+        a = 0x1000
+        b = 0x1000 + 20
+        assert model_intel.bp_index(a) == model_intel.bp_index(b)
+        assert model_amd.bp_index(a) != model_amd.bp_index(b)
+
+
+class TestDecodeWidth:
+    def test_wide_straightline_favors_core2(self):
+        """4-wide Core-2 decodes dense 3-byte ALU runs faster than
+        3-wide Opteron."""
+        body = "\n".join("    addl $%d, %%eax" % i for i in range(8))
+        source = loop(body, 30)
+        intel, amd = both(source)
+        assert intel.cycles < amd.cycles

@@ -1,0 +1,201 @@
+"""Tests for the pipeline timing model's causal mechanisms."""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.sim import run_unit
+from repro.uarch import counters as C
+from repro.uarch.pipeline import PipelineSimulator, simulate_trace
+from repro.uarch.profiles import core2, opteron
+
+
+def timed(source, model=None, max_steps=2_000_000, args=None):
+    unit = parse_unit(source)
+    result = run_unit(unit, collect_trace=True, max_steps=max_steps,
+                      args=args)
+    assert result.reason == "ret"
+    return simulate_trace(result.trace, model or core2())
+
+
+def counted_loop(body, trips, pre=""):
+    """A counted loop; `pre` sits between the trip-count setup and the
+    loop label, so alignment directives there position the label itself."""
+    return f"""
+.text
+.globl main
+main:
+    movq ${trips}, %rbp
+{pre}
+.Lloop:
+{body}
+    subq $1, %rbp
+    jne .Lloop
+    ret
+"""
+
+
+class TestFrontend:
+    def test_cycles_positive_and_bounded(self):
+        stats = timed(counted_loop("    addq $1, %rax", 100))
+        assert 0 < stats.cycles < 10_000
+        assert stats[C.INSTRUCTIONS] == 302
+
+    def test_line_crossing_costs(self):
+        """A loop body crossing a 16-byte line pays an extra fetch.
+
+        Trip count stays below the LSD threshold so the loop is truly
+        decode-bound."""
+        trips = core2().lsd_min_iterations - 10
+        aligned = timed(counted_loop("    movss %xmm0,(%rdi,%rax,4)",
+                                     trips, pre="    .p2align 4"),
+                        args=[0x600000])
+        crossing = timed(counted_loop("    movss %xmm0,(%rdi,%rax,4)",
+                                      trips, pre="    .p2align 4\n"
+                                          + "    nop\n" * 11),
+                         args=[0x600000])
+        assert crossing[C.DECODE_LINES] > aligned[C.DECODE_LINES]
+        assert crossing.cycles > aligned.cycles
+
+    def test_decode_width_caps(self):
+        """More instructions than decode width per line take extra cycles."""
+        few = timed(counted_loop("    nop\n" * 2, 500))
+        many = timed(counted_loop("    nop\n" * 12, 500))
+        assert many.cycles > few.cycles
+
+
+class TestLsd:
+    def hot_loop(self, trips):
+        return counted_loop("    addq $1, %rax", trips,
+                            pre="    .p2align 4")
+
+    def test_lsd_engages_after_threshold(self):
+        below = timed(self.hot_loop(core2().lsd_min_iterations - 4))
+        above = timed(self.hot_loop(500))
+        assert below[C.LSD_UOPS] == 0
+        assert above[C.LSD_UOPS] > 0
+        assert above[C.LSD_ACTIVE_LOOPS] == 1
+
+    def test_oversized_loop_never_streams(self):
+        body = "\n".join("    addl $%d, %%eax" % i for i in range(30))
+        stats = timed(counted_loop(body, 500))
+        assert stats[C.LSD_UOPS] == 0
+
+    def test_call_poisons_loop(self):
+        source = """
+.text
+.globl main
+main:
+    movq $200, %rbp
+.Lloop:
+    call helper
+    subq $1, %rbp
+    jne .Lloop
+    ret
+.type helper, @function
+helper:
+    ret
+"""
+        stats = timed(source)
+        assert stats[C.LSD_UOPS] == 0
+
+    def test_lsd_disabled_profile(self):
+        from repro.uarch.profiles import pentium4
+        stats = timed(self.hot_loop(500), model=pentium4())
+        assert stats[C.LSD_UOPS] == 0
+
+
+class TestBranchPrediction:
+    def test_biased_loop_predicts_well(self):
+        stats = timed(counted_loop("    addq $1, %rax", 500))
+        assert stats[C.BR_MISP] <= 3
+
+    def test_alternating_pattern_mispredicts(self):
+        source = """
+.text
+.globl main
+main:
+    movq $200, %rbp
+.Lloop:
+    testq $1, %rbp
+    je .Lskip
+    addq $1, %rax
+.Lskip:
+    subq $1, %rbp
+    jne .Lloop
+    ret
+"""
+        stats = timed(source)
+        assert stats[C.BR_MISP] > 50
+
+    def test_mispredicts_cost_cycles(self):
+        predictable = timed(counted_loop("    addq $1, %rax", 300))
+        source = """
+.text
+.globl main
+main:
+    movq $300, %rbp
+.Lloop:
+    testq $1, %rbp
+    je .Lskip
+    addq $1, %rax
+.Lskip:
+    subq $1, %rbp
+    jne .Lloop
+    ret
+"""
+        unpredictable = timed(source)
+        extra_cycles = unpredictable.cycles - predictable.cycles
+        assert extra_cycles > unpredictable[C.BR_MISP] \
+            * core2().bp_mispredict_penalty // 2
+
+
+class TestBackend:
+    def test_dependent_chain_slower_than_independent(self):
+        chain = timed(counted_loop(
+            "    imulq %rax, %rax\n" * 4, 200))
+        independent = timed(counted_loop(
+            "    imulq $3, %rbx, %rcx\n" * 4, 200))
+        assert chain.cycles > independent.cycles
+
+    def test_load_latency_observed(self):
+        pointer_chase = counted_loop(
+            "    movq (%rdi), %rdi", 500,
+            pre="    leaq buf(%rip), %rdi") + """
+.section .bss
+buf:
+    .zero 64
+"""
+        # A pointer chase pays full load latency per iteration.
+        stats = timed(pointer_chase)
+        per_iter = stats.cycles / 500
+        assert per_iter >= core2().latency["load"]
+
+    def test_cache_misses_counted(self):
+        streaming = counted_loop("""
+    movq (%rdi,%rbp,8), %rdx
+    addq %rdx, %rax
+""", 2000, pre="    leaq buf(%rip), %rdi") + """
+.section .bss
+buf:
+    .zero 65536
+"""
+        stats = timed(streaming)
+        # 2000 loads spanning 16000 bytes -> ~250 distinct 64B lines.
+        assert 150 <= stats[C.L1D_MISSES] <= 400
+
+    def test_forwarding_stalls_counted(self):
+        from repro.workloads import kernels
+        stats = timed(kernels.hash_bench(False, trip=500))
+        sched = timed(kernels.hash_bench(True, trip=500))
+        assert stats[C.RESOURCE_STALLS_RS_FULL] \
+            > sched[C.RESOURCE_STALLS_RS_FULL]
+
+
+class TestStatsApi:
+    def test_ipc(self):
+        stats = timed(counted_loop("    addq $1, %rax", 100))
+        assert 0 < stats.ipc() < 6
+
+    def test_getitem_missing_counter(self):
+        stats = timed(counted_loop("    nop", 10))
+        assert stats["NOT_A_COUNTER"] == 0

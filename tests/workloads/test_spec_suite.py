@@ -1,0 +1,87 @@
+"""Suite-wide invariants for every synthetic SPEC benchmark."""
+
+import pytest
+
+from repro.analysis.relax import relax_section
+from repro.ir import parse_unit
+from repro.verify import disassemble_compare
+from repro.workloads.spec import (
+    SPEC2000_INT,
+    SPEC2006_FP,
+    SPEC2006_SCHED,
+    _RECIPES,
+    build_benchmark,
+)
+
+ALL_BENCHMARKS = SPEC2000_INT + SPEC2006_FP + SPEC2006_SCHED
+
+
+class TestSuiteInvariants:
+    def test_recipe_table_covers_all_names(self):
+        assert set(ALL_BENCHMARKS) == set(_RECIPES)
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_builds_and_relaxes(self, name):
+        program = build_benchmark(name)
+        unit = program.unit()
+        layout = relax_section(unit, unit.get_section(".text"))
+        assert layout.converged
+        assert layout.size > 100
+
+    @pytest.mark.parametrize("name", ALL_BENCHMARKS)
+    def test_calibration_holds(self, name):
+        recipe = _RECIPES[name]
+        if recipe.offset is None or recipe.kind == "plain":
+            pytest.skip("no calibrated offset")
+        unit = build_benchmark(name).unit()
+        layout = relax_section(unit, unit.get_section(".text"))
+        assert layout.symtab[".Lhot"] % recipe.grid == recipe.offset, \
+            "%s hot-label calibration drifted" % name
+
+    @pytest.mark.parametrize("name", ["252.eon", "454.calculix",
+                                      "429.mcf", "164.gzip"])
+    def test_roundtrip_verifies(self, name):
+        """The §III.A disassemble-and-compare check over the suite."""
+        program = build_benchmark(name)
+        result = disassemble_compare(program.source)
+        assert result.identical, result.first_diff
+
+    def test_prealign_calibration(self):
+        for name in SPEC2006_FP:
+            recipe = _RECIPES[name]
+            unit = build_benchmark(name).unit()
+            layout = relax_section(unit, unit.get_section(".text"))
+            assert layout.symtab[".Lprealign"] % 32 \
+                == recipe.prealign_offset, name
+            # With the directive in place the hot loop is window-aligned.
+            assert layout.symtab[".Lhot"] % 32 == 0, name
+
+    def test_window_loop_sizes(self):
+        """calculix/dealII hot bodies must sit just over one 32-byte
+        window, shrinking under it after REDMOV or REDTEST."""
+        from repro.passes import run_passes
+
+        for name in SPEC2006_FP:
+            unit = build_benchmark(name).unit()
+            layout = relax_section(unit, unit.get_section(".text"))
+            start = layout.symtab[".Lhot"]
+            # Find the loop's back branch: the last entry targeting .Lhot.
+            end = None
+            for entry, place in layout.placement.items():
+                if entry.is_instruction \
+                        and entry.insn.branch_target_label() == ".Lhot":
+                    end = place.address + place.size
+            size = end - start
+            assert 32 < size <= 40, (name, size)
+            for spec in ("REDMOV", "REDTEST"):
+                opt = build_benchmark(name).unit()
+                run_passes(opt, spec)
+                opt_layout = relax_section(opt, opt.get_section(".text"))
+                opt_start = opt_layout.symtab[".Lhot"]
+                opt_end = None
+                for entry, place in opt_layout.placement.items():
+                    if entry.is_instruction \
+                            and entry.insn.branch_target_label() \
+                            == ".Lhot":
+                        opt_end = place.address + place.size
+                assert opt_end - opt_start <= 32, (name, spec)

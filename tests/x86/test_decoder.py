@@ -1,0 +1,241 @@
+"""Tests for the decoder: encode/decode round trips and §III.A verify."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.verify import disassemble_compare
+from repro.x86.decoder import DecodeError, decode_all, decode_one, disassemble
+from repro.x86.encoder import encode_instruction
+from repro.x86.parser import parse_instruction
+
+
+def roundtrip(text: str) -> str:
+    """encode -> decode -> canonical text."""
+    insn = parse_instruction(text).insn
+    data = encode_instruction(insn)
+    decoded = decode_one(data)
+    assert decoded.length == len(data), text
+    return str(decoded.insn)
+
+
+def reencode(text: str) -> None:
+    """encode -> decode -> re-encode must reproduce the exact bytes."""
+    insn = parse_instruction(text).insn
+    data = encode_instruction(insn)
+    decoded = decode_one(data)
+    again = encode_instruction(decoded.insn)
+    assert again == data, "%s: %s != %s" % (text, again.hex(), data.hex())
+
+
+NONBRANCH = [
+    "mov %rsp, %rbp", "movl %eax, %ebx", "movb %ah, %bh",
+    "movq $5, %rax", "movl $5, -4(%rbp)", "movq 24(%rsp), %rdx",
+    "movl 8(%rax,%rbx,4), %edx", "movl (,%rbx,8), %eax",
+    "movabsq $0x1122334455667788, %rdx",
+    "movzbl (%rdi), %eax", "movsbl 1(%rdi,%r8,4), %edx",
+    "movslq %eax, %rdx",
+    "addq $1, %r8", "addl $200, %ebx", "addl $200, %eax",
+    "andl $255, %eax", "subl $16, %r15d", "cmpl %r8d, %r9d",
+    "testl %r15d, %r15d", "testb $1, %al", "testl $256, %edx",
+    "leaq 2(%rdx), %r8", "leal (%rax,%rax,4), %eax",
+    "incl %eax", "decq %r9", "negl %edx", "notq %rcx",
+    "shrl $12, %edi", "sarl %ecx", "shlq $3, %rax", "shrl %cl, %edx",
+    "imull %ebx, %eax", "imull $100, %ecx, %edx", "mull %ecx",
+    "idivl %esi",
+    "push %rbp", "pushq %r12", "pop %rbp", "pushq $5",
+    "sete %al", "setg %cl", "cmovel %edx, %eax", "cmovgq %r8, %r9",
+    "xchgl %ebx, %ecx", "bswapq %r9",
+    "cltq", "cltd", "cqto", "cwtl", "nop", "leave", "ret", "ud2",
+    "hlt", "int3", "rdtsc", "cpuid", "mfence", "lfence", "sfence",
+    "prefetchnta (%rdi)", "prefetcht0 0x40(%rsi)",
+    "movss %xmm0,(%rdi,%rax,4)", "movss (%rdi), %xmm1",
+    "movsd %xmm0, %xmm1", "addsd %xmm9, %xmm10",
+    "mulsd (%rdi), %xmm3", "divss %xmm1, %xmm0",
+    "xorps %xmm0, %xmm0", "pxor %xmm2, %xmm2",
+    "ucomiss %xmm1, %xmm0", "movaps %xmm0, %xmm1",
+    "cvtsi2sd %eax, %xmm0", "cvttsd2siq %xmm0, %rax",
+    "cvtss2sd %xmm1, %xmm2",
+    "movd %eax, %xmm0", "movq %rax, %xmm0", "movq %xmm0, %rax",
+    "movq %xmm1, %xmm2",
+    "jmp *%rax", "jmp *(%rax,%rbx,8)", "call *%rdx",
+    "movb %sil, %dil", "addw %ax, %bx",
+    "nopl 64(%rax,%rax,1)",
+]
+
+
+@pytest.mark.parametrize("text", NONBRANCH)
+def test_reencode_identity(text):
+    reencode(text)
+
+
+class TestBranches:
+    def test_short_jmp_target(self):
+        insn = parse_instruction("jmp .t").insn
+        data = encode_instruction(insn, symtab={".t": 0x20}, address=0x10)
+        decoded = decode_one(data, address=0x10)
+        assert decoded.branch_target == 0x20
+
+    def test_long_jcc_target(self):
+        insn = parse_instruction("jne .t").insn
+        data = encode_instruction(insn, symtab={".t": 0x400}, address=0)
+        decoded = decode_one(data, address=0)
+        assert decoded.branch_target == 0x400
+        assert decoded.insn.cond == "ne"
+
+    def test_backward_branch(self):
+        insn = parse_instruction("jg .t").insn
+        data = encode_instruction(insn, symtab={".t": 0x5}, address=0x50)
+        decoded = decode_one(data, address=0x50)
+        assert decoded.branch_target == 0x5
+
+    def test_call_target(self):
+        insn = parse_instruction("call f").insn
+        data = encode_instruction(insn, symtab={"f": 0x100}, address=0)
+        decoded = decode_one(data, address=0)
+        assert decoded.branch_target == 0x100
+
+
+class TestImageDecoding:
+    def image(self, source):
+        from repro.analysis.relax import relax_section
+        from repro.ir import parse_unit
+
+        unit = parse_unit(source)
+        return relax_section(unit, unit.get_section(".text")).code_image()
+
+    def test_decode_whole_program(self):
+        image = self.image("""
+.text
+f:
+    push %rbp
+    movl $5, %eax
+.Ltop:
+    subl $1, %eax
+    jne .Ltop
+    pop %rbp
+    ret
+""")
+        decoded = decode_all(image)
+        bases = [d.insn.base for d in decoded]
+        assert bases == ["push", "mov", "sub", "j", "pop", "ret"]
+
+    def test_disassembly_reassembles(self):
+        image = self.image("""
+.text
+f:
+    movl $3, %ecx
+.Ltop:
+    addl $2, %eax
+    subl $1, %ecx
+    jne .Ltop
+    ret
+""")
+        text = disassemble(image)
+        assert ".Laddr_" in text
+        reassembled = self.image(text)
+        assert reassembled == image
+
+    def test_bad_bytes_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x0f\xff\xff")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodeError):
+            decode_one(b"\x48")
+
+
+class TestPaperVerifyFlow:
+    """§III.A: disassemble O1/O2 and verify textual identity."""
+
+    def test_roundtrip_program_verifies(self):
+        source = """
+.text
+.globl main
+.type main, @function
+main:
+    push %rbp
+    mov %rsp, %rbp
+    movl $100, %ecx
+.Lloop:
+    addl $1, %eax
+    imull $3, %eax, %eax
+    subl $1, %ecx
+    jne .Lloop
+    leave
+    ret
+"""
+        result = disassemble_compare(source)
+        assert result.identical, result.first_diff
+
+    def test_corpus_verifies(self):
+        from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+
+        source = generate_corpus_text(CorpusConfig(seed=11, scale=0.002))
+        result = disassemble_compare(source)
+        assert result.identical, result.first_diff
+
+    def test_kernels_verify(self):
+        from repro.workloads import kernels
+
+        for source in (kernels.hash_bench(), kernels.fig4_loop(),
+                       kernels.eon_loop()):
+            result = disassemble_compare(source)
+            assert result.identical, result.first_diff
+
+
+# ---------------------------------------------------------------------------
+# Property: random instructions re-encode identically after decoding.
+# ---------------------------------------------------------------------------
+
+_REGS64 = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp",
+           "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"]
+
+
+@st.composite
+def random_encodable(draw):
+    kind = draw(st.sampled_from(
+        ["alu", "mov_rm", "mov_mr", "mov_imm", "lea", "shift", "unary",
+         "push", "setcc", "cmov", "sse"]))
+    r1 = draw(st.sampled_from(_REGS64))
+    r2 = draw(st.sampled_from(_REGS64))
+    disp = draw(st.integers(-512, 512))
+    imm = draw(st.integers(-2 ** 31, 2 ** 31 - 1))
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "cmp"]))
+    if kind == "alu":
+        return "%sq %%%s, %%%s" % (op, r1, r2)
+    if kind == "mov_rm":
+        return "movq %%%s, %d(%%%s)" % (r1, disp, r2)
+    if kind == "mov_mr":
+        return "movq %d(%%%s), %%%s" % (disp, r1, r2)
+    if kind == "mov_imm":
+        return "movl $%d, %%%sd" % (imm, "r8")
+    if kind == "lea":
+        scale = draw(st.sampled_from([1, 2, 4, 8]))
+        if r2 == "rsp":
+            r2 = "rbx"
+        return "leaq %d(%%%s,%%%s,%d), %%%s" % (disp, r1, r2, scale, r1)
+    if kind == "shift":
+        return "s%sq $%d, %%%s" % (draw(st.sampled_from(["hl", "hr", "ar"])),
+                                   draw(st.integers(1, 63)), r1)
+    if kind == "unary":
+        return "%sq %%%s" % (draw(st.sampled_from(["neg", "not", "inc",
+                                                   "dec"])), r1)
+    if kind == "push":
+        return "%s %%%s" % (draw(st.sampled_from(["push", "pop"])), r1)
+    if kind == "setcc":
+        return "set%s %%al" % draw(st.sampled_from(
+            ["e", "ne", "l", "g", "a", "b", "s", "ns"]))
+    if kind == "cmov":
+        return "cmov%sq %%%s, %%%s" % (
+            draw(st.sampled_from(["e", "ne", "l", "g"])), r1, r2)
+    xmm1 = "xmm%d" % draw(st.integers(0, 15))
+    xmm2 = "xmm%d" % draw(st.integers(0, 15))
+    return "%s %%%s, %%%s" % (
+        draw(st.sampled_from(["addsd", "mulss", "movsd", "xorps"])),
+        xmm1, xmm2)
+
+
+@given(random_encodable())
+@settings(max_examples=150, deadline=None)
+def test_decoder_roundtrip_property(text):
+    reencode(text)

@@ -1,0 +1,56 @@
+"""Whole-program disassembly round trips over the workload suite."""
+
+import pytest
+
+from repro.analysis.relax import relax_section
+from repro.ir import parse_unit
+from repro.verify import disassemble_compare
+from repro.x86.decoder import decode_all
+from repro.workloads import kernels
+from repro.workloads.spec import build_benchmark
+
+
+def text_image(source):
+    unit = parse_unit(source)
+    return relax_section(unit, unit.get_section(".text")).code_image()
+
+
+ALL_KERNELS = {
+    "fig1": lambda: kernels.mcf_fig1(True, pad=5),
+    "fig4": lambda: kernels.fig4_loop(6),
+    "eon": lambda: kernels.eon_loop(aligned=True),
+    "hash": lambda: kernels.hash_bench(True),
+    "nested": lambda: kernels.nested_short_loops(True),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+def test_kernel_images_fully_decodable(name):
+    image = text_image(ALL_KERNELS[name]())
+    decoded = decode_all(image)
+    assert sum(d.length for d in decoded) == len(image)
+    # Every decoded instruction carries its encoding slice.
+    offset = 0
+    for item in decoded:
+        assert item.insn.encoding == image[offset:offset + item.length]
+        offset += item.length
+
+
+@pytest.mark.parametrize("name", ["175.vpr", "447.dealII", "256.bzip2"])
+def test_spec_benchmarks_verify_via_disassembly(name):
+    """§III.A applied to the evaluation suite itself."""
+    program = build_benchmark(name)
+    result = disassemble_compare(program.source)
+    assert result.identical, result.first_diff
+
+
+def test_branch_targets_decode_to_label_addresses():
+    source = kernels.eon_loop()
+    unit = parse_unit(source)
+    layout = relax_section(unit, unit.get_section(".text"))
+    image = layout.code_image()
+    decoded = decode_all(image)
+    label_addresses = set(layout.symtab.values())
+    for item in decoded:
+        if item.branch_target is not None:
+            assert item.branch_target in label_addresses

@@ -1,0 +1,177 @@
+"""Unit tests for the encoder, pinned to the paper's own listings."""
+
+import pytest
+
+from repro.x86.encoder import (
+    EncodeError,
+    encode_instruction,
+    instruction_length,
+    nop_sequence,
+)
+from repro.x86.parser import parse_instruction
+
+
+def enc(text, symtab=None, address=None):
+    insn = parse_instruction(text).insn
+    return encode_instruction(insn, symtab=symtab, address=address)
+
+
+class TestPaperListings:
+    """The exact encodings from the relaxation example in §II."""
+
+    @pytest.mark.parametrize("text,expected", [
+        ("push %rbp", "55"),
+        ("mov %rsp,%rbp", "4889e5"),
+        ("movl $0x5,-0x4(%rbp)", "c745fc05000000"),
+        ("addl $0x1,-0x4(%rbp)", "8345fc01"),
+        ("subl $0x1,-0x4(%rbp)", "836dfc01"),
+        ("cmpl $0x0,-0x4(%rbp)", "837dfc00"),
+        ("nop", "90"),
+    ])
+    def test_section2_listing(self, text, expected):
+        assert enc(text).hex() == expected
+
+    def test_short_jmp_from_listing(self):
+        # "b: eb 7f  jmp 8c" — target 0x8c from address 0xb.
+        assert enc("jmp .target", symtab={".target": 0x8C},
+                   address=0xB).hex() == "eb7f"
+
+    def test_long_jmp_after_growth(self):
+        # "b: e9 80 00 00 00  jmpq 90" — rel8 no longer fits.
+        assert enc("jmp .target", symtab={".target": 0x90},
+                   address=0xB).hex() == "e980000000"
+
+    def test_backward_jne_long(self):
+        # The paper lists "90: 0f 85 7a ff ff ff  jne d", but the correct
+        # displacement to 0xd from the instruction end (0x96) is -137 =
+        # 0xffffff77 (the listing's 0x7a is a typo; its own second listing
+        # computes the analogous displacement correctly).
+        assert enc("jne .target", symtab={".target": 0xD},
+                   address=0x90).hex() == "0f8577ffffff"
+
+
+class TestImmediateSelection:
+    def test_imm8_sign_extended_form(self):
+        assert enc("addl $1, %ebx").hex() == "83c301"
+
+    def test_imm32_form(self):
+        assert enc("addl $1000, %ebx").hex() == "81c3e8030000"
+
+    def test_accumulator_shortcut(self):
+        assert enc("addl $1000, %eax").hex() == "05e8030000"
+
+    def test_mov_imm64_uses_movabs_form(self):
+        encoding = enc("movq $0x1122334455667788, %rax")
+        assert encoding.hex() == "48b88877665544332211"
+
+    def test_mov_imm32_sign_extended(self):
+        assert enc("movq $-1, %rax").hex() == "48c7c0ffffffff"
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodeError):
+            enc("addl $0x1ffffffff, %eax")
+
+
+class TestModRM:
+    def test_rsp_base_needs_sib(self):
+        assert enc("movq (%rsp), %rax").hex() == "488b0424"
+
+    def test_r12_base_needs_sib(self):
+        assert enc("movq (%r12), %rax").hex() == "498b0424"
+
+    def test_rbp_base_needs_disp8(self):
+        assert enc("movq (%rbp), %rax").hex() == "488b4500"
+
+    def test_r13_base_needs_disp8(self):
+        assert enc("movq (%r13), %rax").hex() == "498b4500"
+
+    def test_disp32_when_large(self):
+        assert enc("movl 0x200(%rax), %ebx").hex() == "8b9800020000"
+
+    def test_rip_relative_placeholder(self):
+        # Unresolved symbol -> zero displacement.
+        assert enc("leaq sym(%rip), %rdx").hex() == "488d150000000"[:14] \
+            or enc("leaq sym(%rip), %rdx").hex() == "488d1500000000"
+
+    def test_rip_relative_resolved(self):
+        encoding = enc("leaq sym(%rip), %rdx",
+                       symtab={"sym": 0x100}, address=0x80)
+        # rel = 0x100 - (0x80 + 7) = 0x79
+        assert encoding.hex() == "488d1579000000"
+
+
+class TestRexHandling:
+    def test_no_rex_for_legacy_32bit(self):
+        assert enc("movl %eax, %ebx").hex() == "89c3"
+
+    def test_rex_w_for_64bit(self):
+        assert enc("movq %rax, %rbx").hex() == "4889c3"
+
+    def test_rex_b_for_extended_dest(self):
+        assert enc("movl %eax, %r8d").hex() == "4189c0"
+
+    def test_rex_r_for_extended_src(self):
+        assert enc("movl %r9d, %eax").hex() == "4489c8"
+
+    def test_bare_rex_for_new_low8(self):
+        assert enc("movb %sil, %al").hex() == "4088f0"
+
+    def test_high8_with_rex_rejected(self):
+        with pytest.raises(EncodeError):
+            enc("movb %ah, %sil")
+
+    def test_high8_without_rex_ok(self):
+        assert enc("movb %ah, %bh").hex() == "88e7"
+
+
+class TestBranches:
+    def test_unresolved_branch_is_long(self):
+        assert len(enc("jmp nowhere")) == 5
+        assert len(enc("je nowhere")) == 6
+
+    def test_call_is_always_rel32(self):
+        assert len(enc("call f", symtab={"f": 10}, address=0)) == 5
+
+    def test_indirect_jump(self):
+        assert enc("jmp *%rax").hex() == "ffe0"
+        assert enc("call *%rdx").hex() == "ffd2"
+
+
+class TestMultibyteNops:
+    def test_nop_sequence_lengths(self):
+        for total in range(0, 40):
+            chunks = nop_sequence(total)
+            assert sum(len(c) for c in chunks) == total
+
+    def test_nop_sequence_rejects_negative(self):
+        with pytest.raises(ValueError):
+            nop_sequence(-1)
+
+    def test_five_byte_nop_instruction(self):
+        from repro.passes.util import make_nop5
+        from repro.x86.encoder import encode_instruction
+        assert len(encode_instruction(make_nop5())) == 5
+
+    def test_multibyte_nop_disp8_form(self):
+        assert enc("nopl 64(%rax,%rax,1)").hex() == "0f1f440040"
+
+    def test_nopw(self):
+        assert enc("nopw 64(%rax,%rax,1)").hex() == "660f1f440040"
+
+
+class TestLengths:
+    @pytest.mark.parametrize("text,length", [
+        ("nop", 1), ("ret", 1), ("leave", 1),
+        ("push %rbp", 1), ("push %r12", 2),
+        ("mov %rsp,%rbp", 3),
+        ("movss %xmm0,(%rdi,%rax,4)", 5),
+        ("movsbl 1(%rdi,%r8,4),%edx", 6),
+    ])
+    def test_lengths(self, text, length):
+        insn = parse_instruction(text).insn
+        assert instruction_length(insn) == length
+
+    def test_encoding_cached_on_instruction(self):
+        insn = parse_instruction("nop").insn
+        encode_instruction(insn)
+        assert insn.encoding == b"\x90"

@@ -1,0 +1,89 @@
+"""Differential fuzzing: random instructions vs GNU gas, byte-for-byte."""
+
+import os
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from helpers import (  # noqa: E402
+    HAVE_BINUTILS,
+    gas_encode_one,
+    mao_encode_one,
+    requires_binutils,
+)
+
+_REGS64 = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp",
+           "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"]
+_REGS32 = ["eax", "ebx", "ecx", "edx", "esi", "edi",
+           "r8d", "r9d", "r12d", "r15d"]
+_REGS8 = ["al", "bl", "cl", "dl", "sil", "dil", "r8b", "r14b"]
+
+
+@st.composite
+def fuzz_instruction(draw):
+    kind = draw(st.sampled_from(
+        ["alu64", "alu32", "alu8", "alu_imm", "alu_mem",
+         "mov_imm", "mov_mem", "lea", "shift", "unary", "movx",
+         "imul3", "test", "sse"]))
+    r64a = draw(st.sampled_from(_REGS64))
+    r64b = draw(st.sampled_from(_REGS64))
+    r32 = draw(st.sampled_from(_REGS32))
+    r8 = draw(st.sampled_from(_REGS8))
+    disp = draw(st.integers(-(1 << 20), 1 << 20))
+    imm32 = draw(st.integers(-(1 << 31), (1 << 31) - 1))
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                               "cmp", "adc", "sbb"]))
+    if kind == "alu64":
+        return "%sq %%%s, %%%s" % (op, r64a, r64b)
+    if kind == "alu32":
+        return "%sl %%%s, %%%s" % (op, r32,
+                                   draw(st.sampled_from(_REGS32)))
+    if kind == "alu8":
+        return "%sb %%%s, %%%s" % (op, r8,
+                                   draw(st.sampled_from(_REGS8)))
+    if kind == "alu_imm":
+        return "%sl $%d, %%%s" % (op, imm32, r32)
+    if kind == "alu_mem":
+        return "%sq %%%s, %d(%%%s)" % (op, r64a, disp, r64b)
+    if kind == "mov_imm":
+        return "movq $%d, %%%s" % (imm32, r64a)
+    if kind == "mov_mem":
+        scale = draw(st.sampled_from([1, 2, 4, 8]))
+        index = draw(st.sampled_from([r for r in _REGS64
+                                      if r != "rsp"]))
+        return "movq %d(%%%s,%%%s,%d), %%%s" % (disp, r64a, index,
+                                                scale, r64b)
+    if kind == "lea":
+        return "leaq %d(%%%s), %%%s" % (disp, r64a, r64b)
+    if kind == "shift":
+        return "%sq $%d, %%%s" % (
+            draw(st.sampled_from(["shl", "shr", "sar", "rol", "ror"])),
+            draw(st.integers(1, 63)), r64a)
+    if kind == "unary":
+        return "%sl %%%s" % (draw(st.sampled_from(
+            ["neg", "not", "inc", "dec", "mul", "idiv"])), r32)
+    if kind == "movx":
+        return "%s %%%s, %%%s" % (
+            draw(st.sampled_from(["movzbl", "movsbl"])), r8, r32)
+    if kind == "imul3":
+        return "imull $%d, %%%s, %%%s" % (
+            draw(st.integers(-(1 << 15), 1 << 15)), r32,
+            draw(st.sampled_from(_REGS32)))
+    if kind == "test":
+        return "testq %%%s, %%%s" % (r64a, r64b)
+    xmm1 = "xmm%d" % draw(st.integers(0, 15))
+    xmm2 = "xmm%d" % draw(st.integers(0, 15))
+    return "%s %%%s, %%%s" % (
+        draw(st.sampled_from(["addss", "addsd", "mulsd", "subss",
+                              "movss", "movsd", "ucomisd", "pxor"])),
+        xmm1, xmm2)
+
+
+@requires_binutils
+@given(fuzz_instruction())
+@settings(max_examples=200, deadline=None)
+def test_fuzzed_encoding_matches_gas(text):
+    assert mao_encode_one(text).hex() == gas_encode_one(text).hex(), text

@@ -1,0 +1,96 @@
+"""Tests for condition-code modelling."""
+
+import pytest
+
+from repro.x86.flags import (
+    CC_CANONICAL,
+    cc_encoding,
+    cc_flags_read,
+    cc_negate,
+    is_cc_suffix,
+    parity,
+    split_cc_mnemonic,
+)
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("cond,code", [
+        ("o", 0x0), ("no", 0x1), ("b", 0x2), ("ae", 0x3),
+        ("e", 0x4), ("ne", 0x5), ("be", 0x6), ("a", 0x7),
+        ("s", 0x8), ("ns", 0x9), ("p", 0xA), ("np", 0xB),
+        ("l", 0xC), ("ge", 0xD), ("le", 0xE), ("g", 0xF),
+    ])
+    def test_primary_encodings(self, cond, code):
+        assert cc_encoding(cond) == code
+
+    @pytest.mark.parametrize("alias,canonical", [
+        ("z", "e"), ("nz", "ne"), ("c", "b"), ("nc", "ae"),
+        ("nae", "b"), ("nbe", "a"), ("pe", "p"), ("po", "np"),
+        ("nge", "l"), ("nle", "g"),
+    ])
+    def test_alias_encodings(self, alias, canonical):
+        assert cc_encoding(alias) == cc_encoding(canonical)
+
+    def test_canonical_table_is_complete(self):
+        assert sorted(CC_CANONICAL) == list(range(16))
+
+
+class TestFlagsRead:
+    @pytest.mark.parametrize("cond,flags", [
+        ("e", {"ZF"}), ("ne", {"ZF"}),
+        ("b", {"CF"}), ("ae", {"CF"}),
+        ("be", {"CF", "ZF"}), ("a", {"CF", "ZF"}),
+        ("s", {"SF"}), ("ns", {"SF"}),
+        ("l", {"SF", "OF"}), ("ge", {"SF", "OF"}),
+        ("le", {"ZF", "SF", "OF"}), ("g", {"ZF", "SF", "OF"}),
+        ("o", {"OF"}), ("p", {"PF"}),
+    ])
+    def test_read_sets(self, cond, flags):
+        assert cc_flags_read(cond) == frozenset(flags)
+
+
+class TestNegation:
+    @pytest.mark.parametrize("cond,neg", [
+        ("e", "ne"), ("ne", "e"), ("l", "ge"), ("g", "le"),
+        ("b", "ae"), ("a", "be"), ("s", "ns"), ("o", "no"),
+    ])
+    def test_negate(self, cond, neg):
+        assert cc_negate(cond) == neg
+
+    def test_double_negation_is_identity(self):
+        for cond in CC_CANONICAL.values():
+            assert cc_negate(cc_negate(cond)) == cond
+
+
+class TestMnemonicSplit:
+    @pytest.mark.parametrize("mnemonic,prefix,cond", [
+        ("je", "j", "e"), ("jne", "j", "ne"), ("jg", "j", "g"),
+        ("sete", "set", "e"), ("setnbe", "set", "nbe"),
+        ("cmovle", "cmov", "le"),
+    ])
+    def test_split(self, mnemonic, prefix, cond):
+        assert split_cc_mnemonic(mnemonic) == (prefix, cond)
+
+    @pytest.mark.parametrize("mnemonic", ["jmp", "mov", "add", "not"])
+    def test_non_cc_mnemonics_raise(self, mnemonic):
+        with pytest.raises(ValueError):
+            split_cc_mnemonic(mnemonic)
+
+    def test_is_cc_suffix(self):
+        assert is_cc_suffix("ne")
+        assert not is_cc_suffix("mp")
+
+
+class TestParity:
+    def test_even_parity(self):
+        assert parity(0x00)       # zero bits set -> even
+        assert parity(0x03)
+        assert parity(0xFF)
+
+    def test_odd_parity(self):
+        assert not parity(0x01)
+        assert not parity(0x07)
+
+    def test_only_low_byte_counts(self):
+        assert parity(0x100) == parity(0x00)
+        assert parity(0x101) == parity(0x01)

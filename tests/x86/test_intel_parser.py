@@ -1,0 +1,111 @@
+"""Tests for the Intel-syntax front end (paper: gas accepts both)."""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.sim import run_unit
+from repro.x86.intel_parser import (
+    IntelSyntaxError,
+    _translate_memory,
+    translate_instruction,
+)
+
+
+class TestTranslation:
+    @pytest.mark.parametrize("intel,att", [
+        ("mov eax, 5", "mov $5, %eax"),
+        ("mov rax, rbx", "mov %rbx, %rax"),
+        ("add eax, 3", "add $3, %eax"),
+        ("ret", "ret"),
+        ("jmp target", "jmp target"),
+        ("jne target", "jne target"),
+        ("call rax", "call *%rax"),
+        ("push rbp", "push %rbp"),
+        ("mov eax, dword ptr [rsp]", "movl (%rsp), %eax"),
+        ("mov dword ptr [rbp-4], 5", "movl $5, -4(%rbp)"),
+        ("mov rdx, qword ptr [rax+rbx*4+8]",
+         "movq 8(%rax,%rbx,4), %rdx"),
+        ("lea rcx, [rsp+16]", "lea 16(%rsp), %rcx"),
+        ("mov al, byte ptr [rdi]", "movb (%rdi), %al"),
+        ("cmp rax, 7", "cmp $7, %rax"),
+        ("imul eax, ecx", "imul %ecx, %eax"),
+    ])
+    def test_translation(self, intel, att):
+        assert translate_instruction(intel) == att
+
+    def test_symbol_memory_is_rip_relative(self):
+        assert _translate_memory("counter") == "counter(%rip)"
+
+    def test_symbol_plus_register(self):
+        assert _translate_memory("table+rax*8") == "table(,%rax,8)"
+
+    def test_too_many_registers_rejected(self):
+        with pytest.raises(IntelSyntaxError):
+            _translate_memory("rax+rbx+rcx")
+
+
+class TestEndToEnd:
+    SOURCE = """
+.text
+main:
+    mov eax, 5
+    add eax, 3
+    mov dword ptr [rsp-16], eax
+    mov ebx, dword ptr [rsp-16]
+    cmp ebx, 8
+    jne skip
+    add ebx, 100
+skip:
+    ret
+"""
+
+    def test_parses_into_unit(self):
+        unit = parse_unit(self.SOURCE, syntax="intel")
+        assert unit.instruction_count() == 8
+        # Without .type directives the function heuristic also counts the
+        # bare "skip" label; "main" must come first.
+        assert unit.functions[0].name == "main"
+
+    def test_executes_correctly(self):
+        result = run_unit(parse_unit(self.SOURCE, syntax="intel"))
+        assert result.state.gp["rbx"] == 108
+
+    def test_equivalent_to_att(self):
+        att = """
+.text
+main:
+    movl $5, %eax
+    addl $3, %eax
+    movl %eax, -16(%rsp)
+    movl -16(%rsp), %ebx
+    cmpl $8, %ebx
+    jne skip
+    addl $100, %ebx
+skip:
+    ret
+"""
+        intel_run = run_unit(parse_unit(self.SOURCE, syntax="intel"))
+        att_run = run_unit(parse_unit(att))
+        assert intel_run.state.gp["rbx"] == att_run.state.gp["rbx"]
+
+    def test_passes_work_on_intel_input(self):
+        source = """
+.text
+main:
+    sub r15d, 16
+    test r15d, r15d
+    je done
+    add rsi, 3
+    add rsi, 4
+done:
+    ret
+"""
+        from repro.passes import run_passes
+        unit = parse_unit(source, syntax="intel")
+        result = run_passes(unit, "REDTEST:ADDADD")
+        assert result.total("REDTEST", "removed") == 1
+        assert result.total("ADDADD", "folded") == 1
+
+    def test_unknown_syntax_rejected(self):
+        with pytest.raises(ValueError):
+            parse_unit("nop", syntax="masm")

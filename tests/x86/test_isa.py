@@ -1,0 +1,104 @@
+"""Tests for mnemonic decomposition."""
+
+import pytest
+
+from repro.x86.isa import MnemonicInfo, UnknownMnemonic, split_mnemonic
+
+
+class TestSuffixed:
+    @pytest.mark.parametrize("mnemonic,base,width", [
+        ("addl", "add", 32), ("addq", "add", 64),
+        ("addw", "add", 16), ("addb", "add", 8),
+        ("movq", "mov", 64), ("cmpl", "cmp", 32),
+        ("testb", "test", 8), ("leaq", "lea", 64),
+        ("imulq", "imul", 64), ("mull", "mul", 32),
+        ("incl", "inc", 32), ("notq", "not", 64),
+        ("pushq", "push", 64), ("popq", "pop", 64),
+        ("xchgl", "xchg", 32), ("movabsq", "movabs", 64),
+    ])
+    def test_suffix_split(self, mnemonic, base, width):
+        info = split_mnemonic(mnemonic)
+        assert (info.base, info.width) == (base, width)
+
+    def test_unsuffixed_alu(self):
+        info = split_mnemonic("add")
+        assert info.base == "add"
+        assert info.width is None
+
+    def test_mul_is_not_m_plus_ul(self):
+        # "mul" ends in 'l' but is a base mnemonic, not "mu" + "l".
+        assert split_mnemonic("mul").base == "mul"
+        assert split_mnemonic("mul").width is None
+
+
+class TestAliases:
+    @pytest.mark.parametrize("alias,base", [
+        ("sall", "shl"), ("salq", "shl"),
+        ("cdqe", "cltq"), ("cqo", "cqto"), ("cdq", "cltd"),
+    ])
+    def test_aliases(self, alias, base):
+        assert split_mnemonic(alias).base == base
+
+    @pytest.mark.parametrize("alias,cond", [
+        ("jz", "e"), ("jnz", "ne"), ("jc", "b"), ("jnc", "ae"),
+    ])
+    def test_jcc_aliases(self, alias, cond):
+        info = split_mnemonic(alias)
+        assert info.base == "j"
+        assert info.cond == cond
+
+
+class TestConditionFamilies:
+    @pytest.mark.parametrize("mnemonic,base,cond", [
+        ("je", "j", "e"), ("jg", "j", "g"), ("jae", "j", "ae"),
+        ("sete", "set", "e"), ("setg", "set", "g"),
+        ("cmove", "cmov", "e"), ("cmovle", "cmov", "le"),
+    ])
+    def test_cc_split(self, mnemonic, base, cond):
+        info = split_mnemonic(mnemonic)
+        assert (info.base, info.cond) == (base, cond)
+
+    def test_cmov_with_size_suffix(self):
+        info = split_mnemonic("cmovel")
+        assert info.base == "cmov"
+        assert info.cond == "e"
+        assert info.width == 32
+
+    def test_jmp_is_not_conditional(self):
+        info = split_mnemonic("jmp")
+        assert info.base == "jmp"
+        assert info.cond is None
+
+    def test_jmpq_callq_retq(self):
+        assert split_mnemonic("jmpq").base == "jmp"
+        assert split_mnemonic("callq").base == "call"
+        assert split_mnemonic("retq").base == "ret"
+
+
+class TestExtendMoves:
+    @pytest.mark.parametrize("mnemonic,base,extend", [
+        ("movsbl", "movsx", (8, 32)), ("movsbq", "movsx", (8, 64)),
+        ("movswl", "movsx", (16, 32)), ("movslq", "movsx", (32, 64)),
+        ("movzbl", "movzx", (8, 32)), ("movzwq", "movzx", (16, 64)),
+    ])
+    def test_extend(self, mnemonic, base, extend):
+        info = split_mnemonic(mnemonic)
+        assert info.base == base
+        assert info.extend == extend
+
+    def test_sse_movsd_is_not_string_move(self):
+        assert split_mnemonic("movsd").base == "movsd"
+
+    def test_movss(self):
+        assert split_mnemonic("movss").base == "movss"
+
+
+class TestUnknown:
+    @pytest.mark.parametrize("mnemonic", ["frobnicate", "vaddps", "lodsb"])
+    def test_unknown_raises(self, mnemonic):
+        with pytest.raises(UnknownMnemonic):
+            split_mnemonic(mnemonic)
+
+    def test_multibyte_nop_spellings(self):
+        assert split_mnemonic("nopl").base == "nop"
+        assert split_mnemonic("nopw").base == "nop"

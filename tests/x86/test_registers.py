@@ -1,0 +1,109 @@
+"""Tests for the register model: widths, aliasing, encoding numbers."""
+
+import pytest
+
+from repro.x86.registers import (
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    GP_GROUPS,
+    alias_group,
+    get_register,
+    gp_register,
+    is_register_name,
+    parse_width_suffix,
+    registers_in_group,
+    suffix_for_width,
+    widen,
+)
+
+
+class TestLookup:
+    def test_basic_lookup(self):
+        rax = get_register("rax")
+        assert rax.width == 64
+        assert rax.number == 0
+        assert rax.group == "rax"
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_register("RAX") is get_register("rax")
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(KeyError):
+            get_register("zax")
+
+    def test_is_register_name(self):
+        assert is_register_name("r8d")
+        assert not is_register_name("r8e")
+
+    @pytest.mark.parametrize("name,width", [
+        ("rax", 64), ("eax", 32), ("ax", 16), ("al", 8), ("ah", 8),
+        ("r15", 64), ("r15d", 32), ("r15w", 16), ("r15b", 8),
+        ("xmm0", 128), ("xmm15", 128),
+    ])
+    def test_widths(self, name, width):
+        assert get_register(name).width == width
+
+    @pytest.mark.parametrize("name,number", [
+        ("rax", 0), ("rcx", 1), ("rdx", 2), ("rbx", 3),
+        ("rsp", 4), ("rbp", 5), ("rsi", 6), ("rdi", 7),
+        ("r8", 8), ("r15", 15), ("xmm9", 9),
+    ])
+    def test_hardware_numbers(self, name, number):
+        assert get_register(name).number == number
+
+
+class TestAliasing:
+    @pytest.mark.parametrize("name,group", [
+        ("eax", "rax"), ("ax", "rax"), ("al", "rax"), ("ah", "rax"),
+        ("r8d", "r8"), ("r8b", "r8"), ("sil", "rsi"), ("bpl", "rbp"),
+    ])
+    def test_alias_groups(self, name, group):
+        assert alias_group(name) == group
+
+    def test_group_members(self):
+        names = {r.name for r in registers_in_group("rax")}
+        assert names == {"rax", "eax", "ax", "al", "ah"}
+
+    def test_high8_flag(self):
+        assert get_register("ah").high8
+        assert not get_register("al").high8
+        assert not get_register("spl").high8
+
+    def test_new_low8_need_rex(self):
+        for name in ("spl", "bpl", "sil", "dil"):
+            assert get_register(name).is_new_low8
+        assert not get_register("al").is_new_low8
+
+
+class TestWiden:
+    def test_widen_up(self):
+        assert widen(get_register("al"), 64).name == "rax"
+        assert widen(get_register("r9b"), 32).name == "r9d"
+
+    def test_widen_down(self):
+        assert widen(get_register("rdi"), 8).name == "dil"
+
+    def test_widen_high8(self):
+        # ah widens to the full rax register, not something exotic.
+        assert widen(get_register("ah"), 64).name == "rax"
+
+    def test_widen_xmm_rejected(self):
+        with pytest.raises(ValueError):
+            widen(get_register("xmm1"), 64)
+
+    def test_gp_register_lookup(self):
+        assert gp_register(4, 8).name == "spl"
+        assert gp_register(12, 16).name == "r12w"
+
+
+class TestMetadata:
+    def test_groups_cover_16_registers(self):
+        assert len(GP_GROUPS) == 16
+
+    def test_calling_convention_sets_disjoint(self):
+        assert not (CALLEE_SAVED & CALLER_SAVED)
+
+    def test_suffixes(self):
+        assert parse_width_suffix("q") == 64
+        assert parse_width_suffix("x") is None
+        assert suffix_for_width(32) == "l"

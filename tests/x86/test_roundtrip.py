@@ -1,0 +1,133 @@
+"""Round-trip identity tests (the paper's §III.A verification method).
+
+"For each source file we take the compiler generated assembly file A1 ...
+Then we run MAO on A1 ... and generate an assembly file A2 ... and verify
+that both disassembled files are textually identical.  Since MAO didn't
+perform any transformations, the disassembled files must match."
+
+Here: parse -> IR -> emit -> re-parse -> relax must give byte-identical
+code images.  A hypothesis property extends this over generated programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.relax import relax_section
+from repro.ir import parse_unit
+from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+
+
+def image_of(source: str) -> bytes:
+    unit = parse_unit(source)
+    return relax_section(unit, unit.get_section(".text")).code_image()
+
+
+def roundtrip(source: str) -> str:
+    return parse_unit(source).to_asm()
+
+
+FIXED_PROGRAMS = [
+    """
+.text
+main:
+    push %rbp
+    mov %rsp,%rbp
+    movl $0x5,-0x4(%rbp)
+    jmp .L2
+.L1:
+    addl $0x1,-0x4(%rbp)
+.L2:
+    cmpl $0x0,-0x4(%rbp)
+    jne .L1
+    leave
+    ret
+""",
+    """
+.text
+f:
+    movsbl 1(%rdi,%r8,4),%edx
+    movss %xmm0,(%rdi,%rax,4)
+    leaq table(%rip), %rcx
+    jmp *(%rcx,%rax,8)
+.Lc:
+    ret
+.section .rodata
+table:
+    .quad .Lc
+""",
+]
+
+
+@pytest.mark.parametrize("source", FIXED_PROGRAMS)
+def test_roundtrip_identity_fixed(source):
+    once = roundtrip(source)
+    twice = roundtrip(once)
+    assert once == twice
+    assert image_of(source) == image_of(once)
+
+
+def test_roundtrip_identity_on_corpus():
+    source = generate_corpus_text(CorpusConfig(seed=3, scale=0.002))
+    once = roundtrip(source)
+    assert image_of(source) == image_of(once)
+    assert roundtrip(once) == once
+
+
+# ---------------------------------------------------------------------------
+# Property: random straight-line programs round-trip byte-identically.
+# ---------------------------------------------------------------------------
+
+_REGS64 = ["rax", "rbx", "rcx", "rdx", "rsi", "rdi",
+           "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"]
+_REGS32 = ["eax", "ebx", "ecx", "edx", "esi", "edi",
+           "r8d", "r9d", "r10d", "r11d"]
+
+
+@st.composite
+def random_instruction(draw):
+    kind = draw(st.sampled_from(
+        ["alu_rr", "alu_ri", "mov_rm", "mov_mr", "lea", "shift",
+         "test", "inc", "push_pop", "setcc", "nop"]))
+    r1 = draw(st.sampled_from(_REGS64))
+    r2 = draw(st.sampled_from(_REGS64))
+    e1 = draw(st.sampled_from(_REGS32))
+    e2 = draw(st.sampled_from(_REGS32))
+    imm = draw(st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1))
+    disp = draw(st.integers(min_value=-256, max_value=256))
+    op = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "cmp"]))
+    if kind == "alu_rr":
+        return "%sq %%%s, %%%s" % (op, r1, r2)
+    if kind == "alu_ri":
+        return "%sl $%d, %%%s" % (op, imm, e1)
+    if kind == "mov_rm":
+        return "movq %%%s, %d(%%%s)" % (r1, disp, r2)
+    if kind == "mov_mr":
+        return "movl %d(%%%s), %%%s" % (disp, r1, e2)
+    if kind == "lea":
+        scale = draw(st.sampled_from([1, 2, 4, 8]))
+        if r2 == "rsp":
+            r2 = "rbx"
+        return "leaq %d(%%%s,%%%s,%d), %%%s" % (disp, r1, r2, scale, r1)
+    if kind == "shift":
+        count = draw(st.integers(min_value=1, max_value=63))
+        return "shrq $%d, %%%s" % (count, r1)
+    if kind == "test":
+        return "testl %%%s, %%%s" % (e1, e2)
+    if kind == "inc":
+        return "incq %%%s" % r1
+    if kind == "push_pop":
+        return "%s %%%s" % (draw(st.sampled_from(["push", "pop"])), r1)
+    if kind == "setcc":
+        cc = draw(st.sampled_from(["e", "ne", "l", "g", "be", "s"]))
+        return "set%s %%al" % cc
+    return "nop"
+
+
+@given(st.lists(random_instruction(), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(instructions):
+    source = ".text\nf:\n" + "\n".join(
+        "    " + text for text in instructions) + "\n    ret\n"
+    once = roundtrip(source)
+    assert roundtrip(once) == once
+    assert image_of(source) == image_of(once)
