@@ -1,0 +1,21 @@
+PYTHON ?= python
+
+.PHONY: test bench bench-quick perf-report clean
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/bench_hotpath.py
+	$(PYTHON) scripts/perf_report.py --check
+
+bench-quick:
+	$(PYTHON) benchmarks/bench_hotpath.py --quick
+	$(PYTHON) scripts/perf_report.py
+
+perf-report:
+	$(PYTHON) scripts/perf_report.py
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis

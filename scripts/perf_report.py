@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Render (and optionally gate on) the hot-path benchmark results.
+
+Reads the ``BENCH_hotpath.json`` written by ``benchmarks/bench_hotpath.py``
+and prints a human-readable report.  With ``--check`` it exits non-zero
+when the fast path regresses: output not byte-identical, or the
+repeated-relaxation speedup below ``--min-speedup`` (default 2.0) — CI
+uses this to keep the perf trajectory honest.
+
+Usage::
+
+    python scripts/perf_report.py [BENCH_hotpath.json]
+    python scripts/perf_report.py --check --min-speedup 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _row(label: str, value: str) -> None:
+    print("  %-26s %s" % (label, value))
+
+
+def render(results: dict) -> None:
+    config = results.get("config", {})
+    print("hot-path benchmark (%s)" % results.get("schema", "?"))
+    _row("corpus scale", str(config.get("scale")))
+    _row("relax repeats", str(config.get("repeats")))
+    for key in ("relax_corpus", "relax_cascade"):
+        section = results.get(key)
+        if not section:
+            continue
+        print("%s:" % key)
+        _row("baseline (reference, cold)", "%.4fs" % section["baseline_s"])
+        _row("fast (incremental, warm)", "%.4fs" % section["fast_s"])
+        _row("speedup", "%.2fx" % section["speedup"])
+        _row("relax iterations", str(section["relax_iterations"]))
+        _row("cache hit rate", "%.1f%%" % (100 * section["cache_hit_rate"]))
+        _row("byte-identical", str(section["byte_identical"]))
+    parallel = results.get("parallel_pipeline")
+    if parallel:
+        print("parallel_pipeline:")
+        _row("spec", parallel["spec"])
+        _row("jobs / backend", "%d / %s"
+             % (parallel["jobs"], parallel["backend"]))
+        _row("serial", "%.4fs" % parallel["serial_s"])
+        _row("parallel", "%.4fs" % parallel["parallel_s"])
+        _row("speedup vs serial", "%.2fx" % parallel["speedup"])
+        _row("deterministic", str(parallel["deterministic"]))
+
+
+def check(results: dict, min_speedup: float) -> int:
+    failures = []
+    for key in ("relax_corpus", "relax_cascade"):
+        section = results.get(key)
+        if not section:
+            failures.append("missing section %r" % key)
+            continue
+        if not section["byte_identical"]:
+            failures.append("%s: fast path output is NOT byte-identical"
+                            % key)
+    corpus = results.get("relax_corpus") or {}
+    if corpus and corpus["speedup"] < min_speedup:
+        failures.append("relax_corpus speedup %.2fx < required %.2fx"
+                        % (corpus["speedup"], min_speedup))
+    parallel = results.get("parallel_pipeline")
+    if parallel and not parallel["deterministic"]:
+        failures.append("parallel pipeline output diverged from serial")
+    for failure in failures:
+        print("CHECK FAILED: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="render/check BENCH_hotpath.json")
+    parser.add_argument("path", nargs="?",
+                        default=os.path.join(_REPO_ROOT,
+                                             "BENCH_hotpath.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on regression")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required relax_corpus speedup (default 2.0)")
+    args = parser.parse_args(argv)
+
+    with open(args.path) as handle:
+        results = json.load(handle)
+    render(results)
+    if args.check:
+        return check(results, args.min_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,22 @@ demoted again, which guarantees termination.
 Alignment directives (``.p2align`` / ``.align`` / ``.balign``) and data
 directives contribute padding/size, so alignment-based optimization passes
 see exact addresses.
+
+Incremental layout
+------------------
+
+:func:`relax_section` keeps the monotonic promotion scheme but lays the
+section out incrementally: entry sizes live in a size vector whose prefix
+sums are the addresses, and each iteration recomputes addresses only from
+the first promoted branch onward (everything before it is untouched by a
+monotonic size change).  Instruction sizing happens once in a pre-pass —
+non-branch sizes are address-independent — instead of once per sweep, and
+the O(unit) section-membership scan is hoisted out of the per-section loop
+(:func:`section_entry_map`).  Because promotions are decided from exactly
+the same addresses the full re-walk would produce, the resulting layout is
+bit-identical to the reference algorithm, which is retained as
+:func:`relax_section_reference` and pinned by a differential test
+(``tests/analysis/test_relax_incremental.py``).
 """
 
 from __future__ import annotations
@@ -224,12 +240,170 @@ def _section_entries(unit: MaoUnit, section: Section) -> List[MaoEntry]:
     return [e for e in unit.entries() if e.section is section]
 
 
+def section_entry_map(unit: MaoUnit) -> Dict[str, List[MaoEntry]]:
+    """Group entries by section name in ONE O(unit) scan.
+
+    ``relax_unit`` used to re-scan the whole entry list once per section;
+    with many sections that is O(sections × unit).  This runs once.
+    """
+    by_section: Dict[str, List[MaoEntry]] = {}
+    for entry in unit.entries():
+        if entry.section is not None:
+            by_section.setdefault(entry.section.name, []).append(entry)
+    return by_section
+
+
+# Entry-plan kinds for the incremental layout (see relax_section).
+_KIND_LABEL = 0    # payload: label name
+_KIND_FIXED = 1    # payload: size in bytes (address-independent)
+_KIND_BRANCH = 2   # payload: (short_len, long_len)
+_KIND_ALIGN = 3    # payload: (alignment, max_skip)
+
+
+def _entry_plan(entries: List[MaoEntry],
+                section: Section) -> List[Tuple[int, object]]:
+    """Pre-size every entry; only branches and alignment stay dynamic."""
+    plan: List[Tuple[int, object]] = []
+    for entry in entries:
+        if isinstance(entry, LabelEntry):
+            plan.append((_KIND_LABEL, entry.name))
+        elif isinstance(entry, InstructionEntry):
+            insn = entry.insn
+            if _is_label_branch(insn):
+                plan.append((_KIND_BRANCH,
+                             (_short_len(insn), _long_len(insn))))
+            else:
+                try:
+                    size = len(encode_instruction(insn, symtab=None))
+                except EncodeError as exc:
+                    raise RelaxError(
+                        "cannot size instruction %s: %s" % (insn, exc)
+                    ) from exc
+                plan.append((_KIND_FIXED, size))
+        elif isinstance(entry, DirectiveEntry):
+            request = _alignment_request(entry)
+            if request is not None:
+                plan.append((_KIND_ALIGN, request))
+            else:
+                plan.append((_KIND_FIXED, directive_data_size(entry)))
+        elif isinstance(entry, OpaqueEntry):
+            raise RelaxError("cannot relax opaque entry %r in %s"
+                             % (entry.text, section.name))
+        else:
+            plan.append((_KIND_FIXED, 0))
+    return plan
+
+
 def relax_section(unit: MaoUnit, section: Section,
                   start_address: int = 0,
-                  extern_symbols: Optional[Dict[str, int]] = None
+                  extern_symbols: Optional[Dict[str, int]] = None,
+                  entries: Optional[List[MaoEntry]] = None
                   ) -> SectionLayout:
-    """Relax one section: assign addresses, sizes, and final encodings."""
-    entries = _section_entries(unit, section)
+    """Relax one section: assign addresses, sizes, and final encodings.
+
+    Incremental algorithm: sizes live in a vector whose running prefix sums
+    are the addresses.  Promotion is monotonic (short -> long, never back),
+    so after a sweep promotes branches, every entry *before* the first
+    promoted index keeps its address and only the suffix is recomputed.
+    The promotion decisions use the same addresses a full re-walk would
+    compute, so the fixpoint is bit-identical to
+    :func:`relax_section_reference`.
+
+    ``entries`` lets callers that already hold the section's entry list
+    (e.g. :func:`relax_unit` via :func:`section_entry_map`) skip the
+    O(unit) membership scan.
+    """
+    if entries is None:
+        entries = _section_entries(unit, section)
+    layout = SectionLayout(section, start_address)
+    plan = _entry_plan(entries, section)
+    n = len(entries)
+
+    sizes = [0] * n
+    addresses = [start_address] * n
+    promoted = [False] * n
+    branch_indices = [i for i in range(n) if plan[i][0] == _KIND_BRANCH]
+    symtab: Dict[str, int] = dict(extern_symbols or {})
+
+    iterations = 0
+    converged = False
+    dirty = 0   # recompute layout from this index onward
+    while iterations < MAX_RELAX_ITERATIONS:
+        iterations += 1
+
+        address = addresses[dirty] if n else start_address
+        for i in range(dirty, n):
+            addresses[i] = address
+            kind, payload = plan[i]
+            if kind == _KIND_LABEL:
+                symtab[payload] = address
+                size = 0
+            elif kind == _KIND_FIXED:
+                size = payload
+            elif kind == _KIND_BRANCH:
+                size = payload[1] if promoted[i] else payload[0]
+            else:  # _KIND_ALIGN
+                alignment, max_skip = payload
+                pad = (-address) % alignment
+                if max_skip is not None and pad > max_skip:
+                    pad = 0
+                size = pad
+            sizes[i] = size
+            address += size
+
+        # Promote out-of-range short branches; monotonic, so this loop
+        # terminates.  The cheap O(branches) check runs over every branch
+        # (an early branch can target a moved label), but layout recompute
+        # above only covers the dirty suffix.
+        first_promoted = None
+        for i in branch_indices:
+            if promoted[i]:
+                continue
+            insn = entries[i].insn
+            target_name = insn.branch_target_label()
+            target = symtab.get(target_name)
+            if target is not None:
+                rel = target - (addresses[i] + plan[i][1][0])
+                if -128 <= rel <= 127:
+                    continue
+            promoted[i] = True
+            if first_promoted is None:
+                first_promoted = i
+
+        if first_promoted is None:
+            layout.placement = {
+                entries[i]: EntryLayout(addresses[i], sizes[i])
+                for i in range(n)
+            }
+            end = (addresses[n - 1] + sizes[n - 1]) if n else start_address
+            layout.size = end - start_address
+            converged = True
+            break
+        dirty = first_promoted
+
+    layout.iterations = iterations
+    layout.converged = converged
+    layout.symtab = symtab
+    if not converged:
+        raise RelaxError("relaxation did not converge in %d iterations"
+                         % MAX_RELAX_ITERATIONS)
+
+    _final_encode(entries, layout, symtab)
+    return layout
+
+
+def relax_section_reference(unit: MaoUnit, section: Section,
+                            start_address: int = 0,
+                            extern_symbols: Optional[Dict[str, int]] = None,
+                            entries: Optional[List[MaoEntry]] = None
+                            ) -> SectionLayout:
+    """The pre-incremental full re-walk algorithm, kept verbatim.
+
+    Differential tests and the hot-path benchmark use this as the baseline
+    the incremental algorithm must match bit-for-bit.
+    """
+    if entries is None:
+        entries = _section_entries(unit, section)
     layout = SectionLayout(section, start_address)
     long_branches: Set[InstructionEntry] = set()
     symtab: Dict[str, int] = dict(extern_symbols or {})
@@ -316,7 +490,13 @@ def relax_section(unit: MaoUnit, section: Section,
         raise RelaxError("relaxation did not converge in %d iterations"
                          % MAX_RELAX_ITERATIONS)
 
-    # Final encoding pass with resolved addresses.
+    _final_encode(entries, layout, symtab)
+    return layout
+
+
+def _final_encode(entries: List[MaoEntry], layout: SectionLayout,
+                  symtab: Dict[str, int]) -> None:
+    """Final encoding pass with resolved addresses."""
     for entry in entries:
         if isinstance(entry, InstructionEntry):
             place = layout.placement[entry]
@@ -342,7 +522,6 @@ def relax_section(unit: MaoUnit, section: Section,
                         % (entry.insn, place.size, len(encoding)))
         elif isinstance(entry, LabelEntry):
             pass
-    return layout
 
 
 def _encode_long_branch(insn: Instruction, symtab: Dict[str, int],
@@ -369,13 +548,16 @@ def relax_unit(unit: MaoUnit,
     """
     layouts: Dict[str, SectionLayout] = {}
     shared: Dict[str, int] = dict(extern_symbols or {})
+    by_section = section_entry_map(unit)   # one O(unit) scan, not per section
     ordered = sorted(unit.sections.values(),
                      key=lambda s: (not s.is_code, s.name))
     for section in ordered:
-        if not _section_entries(unit, section):
+        entries = by_section.get(section.name)
+        if not entries:
             continue
         layout = relax_section(unit, section, start_address=0,
-                               extern_symbols=dict(shared))
+                               extern_symbols=dict(shared),
+                               entries=entries)
         layouts[section.name] = layout
         shared.update(layout.symtab)
     return layouts

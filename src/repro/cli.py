@@ -50,6 +50,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="print per-pass transformation statistics")
     parser.add_argument("--time", action="store_true",
                         help="report wall-clock time per pass pipeline")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan function-scoped passes across N workers "
+                             "(default: 1, serial)")
+    parser.add_argument("--parallel-backend", choices=("thread", "process"),
+                        default="thread",
+                        help="worker pool kind for --jobs > 1 "
+                             "(default: thread)")
     parser.add_argument("-o", dest="output", default=None,
                         help="output file (shorthand for a final ASM pass)")
     parser.add_argument("--64", dest="gas64", action="store_true",
@@ -101,7 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     pipeline = PassPipeline(spec_items)
     start = time.perf_counter()
-    result = pipeline.run(unit)
+    result = pipeline.run(unit, jobs=args.jobs,
+                          backend=args.parallel_backend)
     pass_time = time.perf_counter() - start
 
     if args.stats:

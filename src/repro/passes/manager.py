@@ -9,15 +9,34 @@ order::
 
 selects pass ``LFIND`` with option ``trace`` set to ``3``, then pass ``ASM``
 with option ``o`` (output) set to ``/dev/null``.
+
+Parallel pipeline
+-----------------
+
+``PassPipeline.run(unit, jobs=N)`` fans independent function-scoped passes
+across a ``concurrent.futures`` pool.  Function bodies are disjoint, so a
+function pass can run on every function concurrently; unit-scoped passes
+(reading, emission) always fall back to serial.  ``PassReport`` merging is
+deterministic: reports are appended in function order regardless of worker
+completion order, so serial and parallel runs produce identical results.
+
+Two backends exist.  ``thread`` (default) runs passes directly on the
+shared IR — structural mutations are made atomic by the unit's mutation
+lock.  ``process`` round-trips each eligible function through textual
+assembly to a worker process (parse → pass → emit) and splices the result
+back; functions whose span crosses sections, or that contain opaque
+entries, transparently run in-process instead.
 """
 
 from __future__ import annotations
 
 import re
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Type
 
-from repro.ir.unit import MaoUnit
+from repro.ir.entries import MaoEntry, OpaqueEntry
+from repro.ir.unit import Function, MaoUnit
 from repro.passes.base import MaoFunctionPass, MaoPass, MaoUnitPass
 
 _FUNC_PASSES: Dict[str, Type[MaoFunctionPass]] = {}
@@ -58,7 +77,13 @@ _OPT_RE = re.compile(r"([a-zA-Z_][a-zA-Z_0-9]*)\[([^\]]*)\]")
 
 
 def parse_pass_spec(spec: str) -> List[Tuple[str, Dict[str, Any]]]:
-    """Parse ``PASS=opt[val]+opt2[val2]:PASS2`` into (name, options) pairs."""
+    """Parse ``PASS=opt[val]+opt2[val2]:PASS2`` into (name, options) pairs.
+
+    The option grammar is strict: after ``=``, the text must be a
+    ``+``-joined sequence of ``name[value]`` items covering the whole
+    string — ``LFIND=trace[3]garbage`` is rejected rather than silently
+    parsed as ``trace=3``.
+    """
     result: List[Tuple[str, Dict[str, Any]]] = []
     for item in spec.split(":"):
         item = item.strip()
@@ -66,14 +91,29 @@ def parse_pass_spec(spec: str) -> List[Tuple[str, Dict[str, Any]]]:
             continue
         if "=" in item:
             name, opt_text = item.split("=", 1)
+            name = name.strip()
+            if not name:
+                raise ValueError("missing pass name in spec item %r" % item)
             options: Dict[str, Any] = {}
-            consumed = 0
-            for match in _OPT_RE.finditer(opt_text):
+            pos = 0
+            while pos < len(opt_text):
+                match = _OPT_RE.match(opt_text, pos)
+                if match is None:
+                    raise ValueError(
+                        "cannot parse options %r for pass %s "
+                        "(junk at %r)" % (opt_text, name, opt_text[pos:]))
                 options[match.group(1)] = match.group(2)
-                consumed += 1
-            if consumed == 0 and opt_text:
-                raise ValueError("cannot parse options %r for pass %s"
-                                 % (opt_text, name))
+                pos = match.end()
+                if pos < len(opt_text):
+                    if opt_text[pos] != "+":
+                        raise ValueError(
+                            "cannot parse options %r for pass %s "
+                            "(junk at %r)" % (opt_text, name, opt_text[pos:]))
+                    pos += 1
+                    if pos == len(opt_text):
+                        raise ValueError(
+                            "cannot parse options %r for pass %s "
+                            "(trailing '+')" % (opt_text, name))
         else:
             name, options = item, {}
         result.append((name, options))
@@ -123,20 +163,33 @@ class PassPipeline:
         self.passes.append((name, options))
         return self
 
-    def run(self, unit: MaoUnit) -> PipelineResult:
+    def run(self, unit: MaoUnit, jobs: int = 1,
+            backend: str = "thread") -> PipelineResult:
+        """Run the pipeline.
+
+        ``jobs`` > 1 fans each function-scoped pass over the unit's
+        functions using a ``concurrent.futures`` pool (``backend``:
+        ``"thread"`` or ``"process"``); unit passes always run serially.
+        Reports are merged in function order, so the result is
+        deterministic and identical to a serial run.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        if backend not in ("thread", "process"):
+            raise ValueError("unknown pipeline backend %r" % backend)
         result = PipelineResult()
         for name, options in self.passes:
             cls = get_pass(name)
             if issubclass(cls, MaoFunctionPass):
-                for function in unit.functions:
-                    pass_obj = cls(options, unit, function)
-                    pass_obj.dump_ir("before")
-                    keep_going = pass_obj.Go()
-                    pass_obj.dump_ir("after")
-                    result.reports.append(
-                        PassReport(name, function.name, pass_obj.stats))
-                    if not keep_going:
-                        return result
+                parallel = jobs > 1 and len(unit.functions) > 1
+                if parallel:
+                    keep_going = self._run_function_pass_parallel(
+                        cls, name, options, unit, result, jobs, backend)
+                else:
+                    keep_going = self._run_function_pass_serial(
+                        cls, name, options, unit, result)
+                if not keep_going:
+                    return result
             else:
                 pass_obj = cls(options, unit)
                 keep_going = pass_obj.Go()
@@ -146,7 +199,165 @@ class PassPipeline:
                     return result
         return result
 
+    @staticmethod
+    def _run_function_pass_serial(cls: Type[MaoFunctionPass], name: str,
+                                  options: Dict[str, Any], unit: MaoUnit,
+                                  result: PipelineResult) -> bool:
+        for function in unit.functions:
+            stats, keep_going = _apply_function_pass(
+                cls, options, unit, function)
+            result.reports.append(PassReport(name, function.name, stats))
+            if not keep_going:
+                return False
+        return True
 
-def run_passes(unit: MaoUnit, spec: str) -> PipelineResult:
+    @staticmethod
+    def _run_function_pass_parallel(cls: Type[MaoFunctionPass], name: str,
+                                    options: Dict[str, Any], unit: MaoUnit,
+                                    result: PipelineResult, jobs: int,
+                                    backend: str) -> bool:
+        functions = list(unit.functions)
+        if backend == "thread":
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(pool.map(
+                    lambda fn: _apply_function_pass(cls, options, unit, fn),
+                    functions))
+        else:
+            outcomes = _run_process_backend(
+                cls, name, options, unit, functions, jobs)
+        # Deterministic merge: function order, not completion order.
+        for function, (stats, keep_going) in zip(functions, outcomes):
+            result.reports.append(PassReport(name, function.name, stats))
+            if not keep_going:
+                return False
+        return True
+
+
+def _apply_function_pass(cls: Type[MaoFunctionPass],
+                         options: Dict[str, Any], unit: MaoUnit,
+                         function: Function) -> Tuple[Dict[str, int], bool]:
+    """Instantiate and run one function pass in-process."""
+    pass_obj = cls(options, unit, function)
+    pass_obj.dump_ir("before")
+    keep_going = pass_obj.Go()
+    pass_obj.dump_ir("after")
+    return pass_obj.stats, keep_going
+
+
+# ---------------------------------------------------------------------------
+# Process backend: round-trip a function through textual assembly.
+# ---------------------------------------------------------------------------
+
+def _function_span(function: Function) -> Optional[List[MaoEntry]]:
+    """The function's entries, or None if it is ineligible for the
+    process backend (span crosses sections, or contains opaque entries)."""
+    span: List[MaoEntry] = []
+    entry = function.start
+    while entry is not None and entry is not function.end:
+        if entry.section is not function.section:
+            return None
+        if isinstance(entry, OpaqueEntry):
+            return None
+        span.append(entry)
+        entry = entry.next
+    return span
+
+
+def _render_function(function: Function, span: List[MaoEntry]) -> str:
+    section = function.section
+    if section.name == ".text":
+        header = [".text"]
+    elif section.flags:
+        header = ['.section %s, "%s"' % (section.name, section.flags)]
+    else:
+        header = [".section %s" % section.name]
+    header.append(".type %s, @function" % function.name)
+    return "\n".join(header + [e.to_asm() for e in span]) + "\n"
+
+
+def _pass_process_worker(payload: Tuple[str, Dict[str, Any], str, str]
+                         ) -> Tuple[str, Dict[str, int], bool]:
+    pass_name, options, function_name, asm_text = payload
+    import repro.passes  # noqa: F401 — register built-ins in spawned children
+    from repro.ir.builder import parse_unit
+
+    unit = parse_unit(asm_text)
+    cls = get_pass(pass_name)
+    function = unit.function_named(function_name)
+    stats, keep_going = _apply_function_pass(cls, options, unit, function)
+    return unit.to_asm(), stats, keep_going
+
+
+def _splice_function(unit: MaoUnit, function: Function,
+                     new_text: str) -> None:
+    """Replace the function's body with the worker's optimized text.
+
+    The original LabelEntry node is kept in place — neighbouring
+    ``Function`` views use it as their ``end`` anchor — and only the
+    entries after it are swapped out.
+    """
+    from repro.ir.builder import parse_unit
+
+    new_unit = parse_unit(new_text)
+    new_fn = new_unit.function_named(function.name)
+
+    body: List[MaoEntry] = []
+    node = new_fn.start.next
+    while node is not None:
+        nxt = node.next
+        body.append(node)
+        node = nxt
+
+    node = function.start.next
+    while node is not None and node is not function.end:
+        nxt = node.next
+        unit.remove(node)
+        node = nxt
+
+    anchor: MaoEntry = function.start
+    for entry in body:
+        entry.prev = entry.next = None
+        entry.section = function.section
+        unit.insert_after(anchor, entry)
+        anchor = entry
+
+
+def _run_process_backend(cls: Type[MaoFunctionPass], name: str,
+                         options: Dict[str, Any], unit: MaoUnit,
+                         functions: List[Function], jobs: int
+                         ) -> List[Tuple[Dict[str, int], bool]]:
+    payload_indices: List[int] = []
+    payloads: List[Tuple[str, Dict[str, Any], str, str]] = []
+    for index, function in enumerate(functions):
+        span = _function_span(function)
+        if span is not None:
+            payload_indices.append(index)
+            payloads.append(
+                (name, options, function.name,
+                 _render_function(function, span)))
+
+    worker_results: Dict[int, Tuple[str, Dict[str, int], bool]] = {}
+    if payloads:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for index, outcome in zip(payload_indices,
+                                      pool.map(_pass_process_worker,
+                                               payloads)):
+                worker_results[index] = outcome
+
+    outcomes: List[Tuple[Dict[str, int], bool]] = []
+    for index, function in enumerate(functions):
+        if index in worker_results:
+            new_text, stats, keep_going = worker_results[index]
+            _splice_function(unit, function, new_text)
+            outcomes.append((stats, keep_going))
+        else:
+            # Ineligible for text round-trip: run in-process instead.
+            outcomes.append(
+                _apply_function_pass(cls, options, unit, function))
+    return outcomes
+
+
+def run_passes(unit: MaoUnit, spec: str, jobs: int = 1,
+               backend: str = "thread") -> PipelineResult:
     """Convenience: run a ``--mao=`` style spec string over a unit."""
-    return PassPipeline.from_spec(spec).run(unit)
+    return PassPipeline.from_spec(spec).run(unit, jobs=jobs, backend=backend)

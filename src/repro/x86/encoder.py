@@ -17,16 +17,35 @@ Two entry points matter:
 
 Differential tests (``tests/x86/test_encoder_vs_gas.py``) pin these encodings
 against the real GNU assembler.
+
+Encoding cache
+--------------
+
+Relaxation re-sizes every instruction on each of up to 100 sweeps, and the
+optimize→assemble hot path re-encodes the same canonical instructions over
+and over (a corpus has a few hundred distinct instruction forms repeated
+tens of thousands of times).  :func:`encode_instruction` therefore memoizes
+its result process-wide, keyed on the instruction's canonical form
+``(prefixes, mnemonic, operands)``.
+
+The cache is only sound for *address-independent* instructions — the vast
+majority.  :func:`symbol_dependent` classifies the rest: any instruction
+with a label target, a symbolic memory displacement, or a symbolic
+immediate may encode differently depending on ``symtab``/``address`` and
+always bypasses the cache.  Hit/miss/bypass counters are exposed through
+:func:`encoding_cache_stats` so benchmarks can track hit rates over time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.x86.flags import cc_encoding
 from repro.x86.instruction import Instruction
 from repro.x86.operands import (
     Immediate,
+    LabelRef,
     Memory,
     Operand,
     RegisterOperand,
@@ -36,6 +55,81 @@ from repro.x86.registers import Register
 
 class EncodeError(Exception):
     """The instruction cannot be encoded (unsupported or malformed)."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding cache.
+# ---------------------------------------------------------------------------
+
+#: canonical form -> encoding, for address-independent instructions.
+_ENCODE_CACHE: Dict[Tuple, bytes] = {}
+_CACHE_ENABLED = True
+_CACHE_STATS = {"hits": 0, "misses": 0, "bypasses": 0}
+
+
+def symbol_dependent(insn: Instruction) -> bool:
+    """True if the encoding may depend on ``symtab`` or ``address``.
+
+    Three operand shapes make an encoding context-sensitive: a label
+    branch/call target (displacement form and value depend on the resolved
+    distance), a memory operand with a symbolic displacement (RIP-relative
+    fixups and symtab-resolved disp32 forms), and a symbolic immediate.
+    Everything else encodes identically at every address.
+
+    The verdict is memoized on the instruction (operands are immutable
+    value objects, so it cannot change over the instruction's lifetime).
+    """
+    verdict = insn._symdep
+    if verdict is None:
+        verdict = False
+        for op in insn.operands:
+            if isinstance(op, LabelRef):
+                verdict = True
+                break
+            if isinstance(op, (Memory, Immediate)) and op.symbol is not None:
+                verdict = True
+                break
+        insn._symdep = verdict
+    return verdict
+
+
+def _cache_key(insn: Instruction) -> Tuple:
+    return (tuple(insn.prefixes), insn.mnemonic, tuple(insn.operands))
+
+
+def encoding_cache_stats() -> Dict[str, float]:
+    """Counter snapshot, plus the derived hit rate (hits / lookups)."""
+    stats: Dict[str, float] = dict(_CACHE_STATS)
+    lookups = stats["hits"] + stats["misses"]
+    stats["entries"] = len(_ENCODE_CACHE)
+    stats["hit_rate"] = (stats["hits"] / lookups) if lookups else 0.0
+    return stats
+
+
+def reset_encoding_cache() -> None:
+    """Drop all cached encodings and zero the counters."""
+    _ENCODE_CACHE.clear()
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
+
+
+def set_encoding_cache_enabled(enabled: bool) -> bool:
+    """Toggle the cache; returns the previous setting."""
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def encoding_cache_disabled() -> Iterator[None]:
+    """Context manager: force every encode to run the full encoder
+    (differential tests compare this against the cached path)."""
+    previous = set_encoding_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_encoding_cache_enabled(previous)
 
 
 # The classic ALU group shares one encoding scheme; the value is the
@@ -814,9 +908,36 @@ def encode_instruction(insn: Instruction,
             displacements).  Falls back to ``insn.address``.
 
     Returns the encoding; also caches it on ``insn.encoding``.
+
+    Address-independent instructions (``not symbol_dependent(insn)``) are
+    served from the process-wide encoding cache; symbol-dependent forms
+    always run the full encoder.
     """
     if address is None:
         address = insn.address
+
+    cacheable = _CACHE_ENABLED and not symbol_dependent(insn)
+    if cacheable:
+        # Fast path: the encoding pinned on this very instruction object
+        # (no key construction, no hashing).
+        cached = insn._cached_encoding
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            insn.encoding = cached
+            return cached
+        # Slow path: the process-wide canonical-form cache, shared between
+        # equal instructions ("encode exactly once per process").
+        key = _cache_key(insn)
+        cached = _ENCODE_CACHE.get(key)
+        if cached is not None:
+            _CACHE_STATS["hits"] += 1
+            insn._cached_encoding = cached
+            insn.encoding = cached
+            return cached
+        _CACHE_STATS["misses"] += 1
+    else:
+        _CACHE_STATS["bypasses"] += 1
+
     enc = _Enc()
     for p in insn.prefixes:
         if p not in _LEGACY_PREFIX:
@@ -894,6 +1015,9 @@ def encode_instruction(insn: Instruction,
 
     data = enc.emit(symtab, address)
     insn.encoding = data
+    if cacheable:
+        _ENCODE_CACHE[key] = data
+        insn._cached_encoding = data
     return data
 
 

@@ -36,7 +36,7 @@ class Instruction:
     """
 
     __slots__ = ("mnemonic", "info", "operands", "prefixes",
-                 "encoding", "address")
+                 "encoding", "address", "_cached_encoding", "_symdep")
 
     def __init__(self, mnemonic: str, operands: Optional[List[Operand]] = None,
                  prefixes: Optional[List[str]] = None) -> None:
@@ -46,6 +46,12 @@ class Instruction:
         self.prefixes: List[str] = list(prefixes or [])
         self.encoding: Optional[bytes] = None
         self.address: Optional[int] = None
+        #: Encoder-owned memo slots (see repro.x86.encoder): the pinned
+        #: address-independent encoding and the symbol_dependent() verdict.
+        #: Sound because operands are immutable value objects — passes build
+        #: new Instructions rather than mutating operands in place.
+        self._cached_encoding: Optional[bytes] = None
+        self._symdep: Optional[bool] = None
 
     # ---- structural accessors -------------------------------------------
 
@@ -212,6 +218,8 @@ class Instruction:
                           list(self.prefixes))
         new.encoding = self.encoding
         new.address = self.address
+        new._cached_encoding = self._cached_encoding
+        new._symdep = self._symdep
         return new
 
     def __str__(self) -> str:

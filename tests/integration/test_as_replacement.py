@@ -12,6 +12,17 @@ from helpers import HAVE_BINUTILS, requires_binutils  # noqa: E402
 SCRIPT = os.path.join(os.path.dirname(__file__), "..", "..",
                       "scripts", "mao-as")
 
+
+def mao_as_cmd(*args):
+    """Command line for mao-as, robust to a lost executable bit.
+
+    The script is plain Python, so when the checkout dropped its exec bit
+    (archive round-trips do this) we can still run it via the interpreter.
+    """
+    if os.access(SCRIPT, os.X_OK):
+        return [SCRIPT, *args]
+    return [sys.executable, SCRIPT, *args]
+
 SOURCE = """
 .text
 .globl f
@@ -34,8 +45,8 @@ def asm(tmp_path):
 class TestAsReplacement:
     def test_optimizes_then_assembles(self, asm, tmp_path):
         obj = tmp_path / "out.o"
-        subprocess.run([SCRIPT, "--mao=REDTEST", "--64",
-                        "-o", str(obj), str(asm)], check=True)
+        subprocess.run(mao_as_cmd("--mao=REDTEST", "--64",
+                                   "-o", str(obj), str(asm)), check=True)
         disasm = subprocess.run(["objdump", "-d", str(obj)],
                                 capture_output=True, text=True,
                                 check=True).stdout
@@ -46,7 +57,7 @@ class TestAsReplacement:
     def test_passthrough_without_mao_options(self, asm, tmp_path):
         """Without --mao= the script behaves like plain `as`."""
         obj = tmp_path / "out.o"
-        subprocess.run([SCRIPT, "--64", "-o", str(obj), str(asm)],
+        subprocess.run(mao_as_cmd("--64", "-o", str(obj), str(asm)),
                        check=True)
         disasm = subprocess.run(["objdump", "-d", str(obj)],
                                 capture_output=True, text=True,
@@ -56,6 +67,6 @@ class TestAsReplacement:
 
     def test_multiple_passes(self, asm, tmp_path):
         obj = tmp_path / "out.o"
-        subprocess.run([SCRIPT, "--mao=REDTEST:LOOP16", "--64",
-                        "-o", str(obj), str(asm)], check=True)
+        subprocess.run(mao_as_cmd("--mao=REDTEST:LOOP16", "--64",
+                                   "-o", str(obj), str(asm)), check=True)
         assert obj.exists()

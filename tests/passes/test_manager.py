@@ -37,6 +37,45 @@ class TestSpecParsing:
         with pytest.raises(ValueError):
             parse_pass_spec("FOO=what")
 
+    def test_trailing_junk_rejected(self):
+        # This used to parse silently, dropping "garbage" on the floor.
+        with pytest.raises(ValueError):
+            parse_pass_spec("LFIND=trace[3]garbage")
+
+    def test_junk_between_options_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pass_spec("NOPIN=seed[3]junk+density[0.1]")
+
+    def test_trailing_plus_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pass_spec("NOPIN=seed[3]+")
+
+    def test_empty_spec(self):
+        assert parse_pass_spec("") == []
+        assert parse_pass_spec("  ") == []
+
+    def test_empty_option_block(self):
+        assert parse_pass_spec("REDTEST=") == [("REDTEST", {})]
+
+    def test_plus_inside_bracket_value(self):
+        spec = parse_pass_spec("ASM=o[a+b.s]")
+        assert spec == [("ASM", {"o": "a+b.s"})]
+
+    def test_empty_segments_skipped(self):
+        # Like PATH, `::` is tolerated — but `=opts` with no name is not.
+        assert parse_pass_spec("REDTEST::REDZEE") == [
+            ("REDTEST", {}), ("REDZEE", {})]
+
+    def test_missing_pass_name_rejected(self):
+        with pytest.raises(ValueError):
+            parse_pass_spec("=trace[3]")
+
+    def test_unknown_pass_error_names_known_passes(self):
+        unit = parse_unit(".text\nf:\n    ret\n")
+        with pytest.raises(KeyError) as err:
+            run_passes(unit, "NOSUCHPASS")
+        assert "known:" in str(err.value)
+
 
 class TestRegistry:
     def test_builtin_passes_registered(self):
@@ -145,3 +184,56 @@ main:
 """)
         result = run_passes(unit, "LFIND")
         assert result.total("LFIND", "loops") == 1
+
+
+class TestParallelPipeline:
+    """jobs=N must be indistinguishable from serial — same IR, same
+    reports, in function order — whatever the backend."""
+
+    MULTI = "\n".join(
+        """
+.globl f{i}
+.type f{i}, @function
+f{i}:
+    andl $255, %eax
+    mov %eax, %eax
+    subl $16, %r15d
+    testl %r15d, %r15d
+    ret
+""".format(i=i) for i in range(4))
+    MULTI = ".text\n" + MULTI
+
+    SPEC = "REDZEE:REDTEST:ADDADD"
+
+    def _run(self, jobs, backend="thread"):
+        unit = parse_unit(self.MULTI)
+        result = run_passes(unit, self.SPEC, jobs=jobs, backend=backend)
+        return unit.to_asm(), [(r.pass_name, r.scope, r.stats)
+                               for r in result.reports]
+
+    def test_thread_backend_matches_serial(self):
+        serial_asm, serial_reports = self._run(jobs=1)
+        parallel_asm, parallel_reports = self._run(jobs=4)
+        assert parallel_asm == serial_asm
+        assert parallel_reports == serial_reports
+
+    def test_process_backend_matches_serial(self):
+        serial_asm, serial_reports = self._run(jobs=1)
+        parallel_asm, parallel_reports = self._run(jobs=2,
+                                                   backend="process")
+        assert parallel_asm == serial_asm
+        assert parallel_reports == serial_reports
+
+    def test_reports_in_function_order(self):
+        _, reports = self._run(jobs=4)
+        for name in ("REDZEE", "REDTEST", "ADDADD"):
+            scopes = [scope for pass_name, scope, _ in reports
+                      if pass_name == name]
+            assert scopes == ["f0", "f1", "f2", "f3"]
+
+    def test_invalid_jobs_rejected(self):
+        unit = parse_unit(self.MULTI)
+        with pytest.raises(ValueError):
+            run_passes(unit, self.SPEC, jobs=0)
+        with pytest.raises(ValueError):
+            run_passes(unit, self.SPEC, backend="fiber")

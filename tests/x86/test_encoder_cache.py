@@ -1,0 +1,136 @@
+"""Tests for the encoding cache (fast-path engine).
+
+The cache is only sound for address-independent instructions: anything
+referencing a symbol (LabelRef operands, symbolic Memory/Immediate) must
+bypass it, because its bytes depend on where the instruction lands.  The
+tests here pin down that soundness contract:
+
+* a differential test encodes the whole workload corpus with the cache
+  enabled and disabled and requires byte-identical section images;
+* a property test generates symbol-dependent instructions and asserts
+  they never produce a cache hit (bypass counter only);
+* counter tests check the hit/miss bookkeeping the perf harness reports.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.relax import relax_unit
+from repro.ir import parse_unit
+from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+from repro.x86 import encoder
+from repro.x86.encoder import (
+    encode_instruction,
+    encoding_cache_disabled,
+    encoding_cache_stats,
+    reset_encoding_cache,
+    symbol_dependent,
+)
+from repro.x86.instruction import imm, label, make, mem, reg
+from repro.x86.operands import Immediate
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_encoding_cache()
+    yield
+    reset_encoding_cache()
+
+
+def _unit_images(text):
+    unit = parse_unit(text)
+    layouts = relax_unit(unit)
+    return {name: layout.code_image() for name, layout in layouts.items()}
+
+
+class TestDifferential:
+    def test_corpus_byte_identical_with_and_without_cache(self):
+        text = generate_corpus_text(CorpusConfig(seed=7, scale=0.01))
+        with encoding_cache_disabled():
+            cold = _unit_images(text)
+        reset_encoding_cache()
+        warm_first = _unit_images(text)    # populates the cache
+        warm_second = _unit_images(text)   # served from the cache
+        assert encoding_cache_stats()["hits"] > 0
+        assert cold == warm_first == warm_second
+
+    def test_disabled_cache_does_not_record_stats(self):
+        insn = make("addl", imm(1), reg("eax"))
+        with encoding_cache_disabled():
+            encode_instruction(insn, symtab=None)
+        stats = encoding_cache_stats()
+        assert stats["hits"] == stats["misses"] == 0
+
+
+class TestCounters:
+    def test_miss_then_hit_for_repeated_instruction(self):
+        # Two distinct objects with the same canonical form: the second
+        # lookup must be served from the process-wide cache.
+        encode_instruction(make("addl", imm(1), reg("eax")), symtab=None)
+        encode_instruction(make("addl", imm(1), reg("eax")), symtab=None)
+        stats = encoding_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+
+    def test_object_pin_hit_on_reencode(self):
+        # Re-encoding the *same object* hits the per-object pin.
+        insn = make("subq", imm(8), reg("rsp"))
+        first = encode_instruction(insn, symtab=None)
+        second = encode_instruction(insn, symtab=None)
+        assert first == second
+        assert encoding_cache_stats()["hits"] == 1
+
+    def test_distinct_forms_do_not_collide(self):
+        a = encode_instruction(make("addl", imm(1), reg("eax")), symtab=None)
+        b = encode_instruction(make("addl", imm(2), reg("eax")), symtab=None)
+        assert a != b
+        assert encoding_cache_stats()["entries"] == 2
+
+
+# Strategies producing *symbol-dependent* instructions: label-target
+# branches, symbolic memory references, and symbolic immediates.
+_names = st.sampled_from([".L1", ".Ltarget", "ext_func", "table"])
+
+_symdep_insns = st.one_of(
+    _names.map(lambda n: make("jmp", label(n))),
+    _names.map(lambda n: make("je", label(n))),
+    _names.map(lambda n: make("call", label(n))),
+    st.tuples(_names, st.sampled_from(["rip", "rax", "rbx"])).map(
+        lambda t: make("movq", mem(symbol=t[0], base=t[1]), reg("rcx"))),
+    _names.map(lambda n: make("movl", Immediate(0, symbol=n), reg("eax"))),
+)
+
+
+class TestSymbolDependence:
+    @given(_symdep_insns)
+    def test_symbol_dependent_forms_never_hit_the_cache(self, insn):
+        assert symbol_dependent(insn)
+        reset_encoding_cache()
+        symtab = {name: 0x1000 for name in
+                  (".L1", ".Ltarget", "ext_func", "table")}
+        for _ in range(3):
+            try:
+                encode_instruction(insn.clone(), symtab=symtab)
+            except encoder.EncodeError:
+                pass  # encodability isn't the property under test
+        stats = encoding_cache_stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["bypasses"] > 0
+        assert stats["entries"] == 0
+
+    def test_address_independent_forms_are_not_symbol_dependent(self):
+        for insn in (make("addl", imm(1), reg("eax")),
+                     make("movq", reg("rax"), reg("rbx")),
+                     make("movl", mem(disp=8, base="rbp"), reg("ecx")),
+                     make("ret")):
+            assert not symbol_dependent(insn)
+
+    def test_verdict_is_memoized_per_object(self):
+        insn = make("jmp", label(".L9"))
+        assert symbol_dependent(insn)
+        assert insn._symdep is True
+        plain = make("nop")
+        assert not symbol_dependent(plain)
+        assert plain._symdep is False
