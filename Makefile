@@ -1,17 +1,23 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-quick perf-report clean
+.PHONY: test bench bench-quick bench-suite perf-report clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) benchmarks/bench_hotpath.py
+	$(PYTHON) benchmarks/bench_sim_engine.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
 	$(PYTHON) benchmarks/bench_hotpath.py --quick
+	$(PYTHON) benchmarks/bench_sim_engine.py --quick
 	$(PYTHON) scripts/perf_report.py
+
+bench-suite:
+	PYTHONPATH=src $(PYTHON) scripts/bench_runner.py --quick
+	$(PYTHON) scripts/perf_report.py --check
 
 perf-report:
 	$(PYTHON) scripts/perf_report.py

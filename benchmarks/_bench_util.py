@@ -14,19 +14,18 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.ir import parse_unit
 from repro.passes import run_passes
-from repro.sim import run_unit
-from repro.uarch.pipeline import SimStats, simulate_trace
+from repro.uarch.pipeline import SimStats, simulate_unit
 
 
 def measure(source_or_unit, model, max_steps=4_000_000,
             args=None) -> SimStats:
-    """Interpret + time a program on a processor model."""
+    """Interpret + time a program on a processor model (streaming)."""
     unit = parse_unit(source_or_unit) if isinstance(source_or_unit, str) \
         else source_or_unit
-    result = run_unit(unit, collect_trace=True, max_steps=max_steps,
-                      args=args)
+    result, stats = simulate_unit(unit, model, max_steps=max_steps,
+                                  args=args)
     assert result.reason == "ret", result.reason
-    return simulate_trace(result.trace, model)
+    return stats
 
 
 def delta_for_pass(program, spec: str, model) -> float:

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Parallel benchmark runner: shard ``benchmarks/bench_*.py`` across a
+process pool and merge the results deterministically into
+``BENCH_sim.json``.
+
+Every benchmark file is an independent process (the simulator is CPU-bound
+pure Python, so process-level sharding is the only parallelism that pays).
+Two kinds of shard are recognised:
+
+* **script benches** (``bench_hotpath.py``, ``bench_sim_engine.py``) have
+  their own ``main`` and JSON output; they are invoked with ``-o <tmp>``
+  (plus ``--quick`` when requested) and their JSON is carried whole.
+* **pytest benches** (everything else) run under
+  ``pytest --benchmark-only --benchmark-json=<tmp>``; the per-test timing
+  stats are extracted.
+
+The merge is deterministic: shards are keyed by file name, test rows are
+sorted, and the engine sections produced by ``bench_sim_engine.py`` stay
+at the top level of the output (so ``scripts/perf_report.py`` can render
+and gate the merged file exactly like a direct ``bench_sim_engine.py``
+run).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runner.py --quick --jobs 4
+    PYTHONPATH=src python scripts/bench_runner.py --filter 'bench_fig*'
+    python scripts/perf_report.py BENCH_sim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import fnmatch
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BENCH_DIR = os.path.join(_REPO_ROOT, "benchmarks")
+
+#: Benches with their own __main__/JSON contract (everything else is a
+#: pytest-benchmark file).
+_SCRIPT_BENCHES = ("bench_hotpath.py", "bench_sim_engine.py")
+
+
+def _shard_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(_REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def run_shard(filename: str, quick: bool, timeout: float) -> dict:
+    """Run one benchmark file in its own process; return its summary."""
+    path = os.path.join(_BENCH_DIR, filename)
+    is_script = filename in _SCRIPT_BENCHES
+    fd, tmp = tempfile.mkstemp(prefix="bench_", suffix=".json")
+    os.close(fd)
+    try:
+        if is_script:
+            cmd = [sys.executable, path, "-o", tmp]
+            if quick:
+                cmd.append("--quick")
+        else:
+            cmd = [sys.executable, "-m", "pytest", path, "-q",
+                   "--benchmark-only", "--benchmark-json=%s" % tmp]
+        start = time.perf_counter()
+        try:
+            proc = subprocess.run(cmd, cwd=_REPO_ROOT, env=_shard_env(),
+                                  capture_output=True, text=True,
+                                  timeout=timeout)
+            status = "ok" if proc.returncode == 0 else "failed"
+            tail = (proc.stdout + proc.stderr).strip().splitlines()[-3:]
+        except subprocess.TimeoutExpired:
+            status, tail = "timeout", []
+        elapsed = time.perf_counter() - start
+        shard = {
+            "kind": "script" if is_script else "pytest",
+            "status": status,
+            "elapsed_s": round(elapsed, 3),
+        }
+        if status != "ok":
+            shard["log_tail"] = tail
+        payload = None
+        if os.path.getsize(tmp):
+            with open(tmp) as handle:
+                payload = json.load(handle)
+        if payload is None:
+            return shard
+        if is_script:
+            shard["results"] = payload
+        else:
+            shard["tests"] = sorted(
+                ({"name": b["name"],
+                  "mean_s": round(b["stats"]["mean"], 6),
+                  "rounds": b["stats"]["rounds"]}
+                 for b in payload.get("benchmarks", [])),
+                key=lambda row: row["name"])
+        return shard
+    finally:
+        os.unlink(tmp)
+
+
+def discover(pattern: str) -> list:
+    names = sorted(f for f in os.listdir(_BENCH_DIR)
+                   if f.startswith("bench_") and f.endswith(".py"))
+    return [f for f in names if fnmatch.fnmatch(f, pattern)]
+
+
+def merge(shards: dict) -> dict:
+    """Deterministic merge: engine sections at top level, suite below."""
+    engine = (shards.get("bench_sim_engine.py") or {}).get("results")
+    merged = dict(engine) if engine else {"schema": "mao-bench-sim/1"}
+    suite = {}
+    for name in sorted(shards):
+        shard = dict(shards[name])
+        if name == "bench_sim_engine.py":
+            shard.pop("results", None)  # hoisted to the top level
+        suite[name] = shard
+    merged["suite"] = suite
+    return merged
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="shard benchmarks/bench_*.py across a process pool")
+    parser.add_argument("--jobs", type=int,
+                        default=min(os.cpu_count() or 2, 8),
+                        help="concurrent shard processes (default: "
+                             "min(cpus, 8))")
+    parser.add_argument("--quick", action="store_true",
+                        help="pass --quick to the script benches")
+    parser.add_argument("--filter", default="bench_*.py", metavar="GLOB",
+                        help="only run matching bench files")
+    parser.add_argument("--timeout", type=float, default=1800.0,
+                        help="per-shard timeout in seconds")
+    parser.add_argument("-o", "--output", default=None,
+                        help="merged JSON path (default: BENCH_sim.json "
+                             "next to the repo root)")
+    args = parser.parse_args(argv)
+
+    output = args.output or os.path.join(_REPO_ROOT, "BENCH_sim.json")
+    files = discover(args.filter)
+    if not files:
+        print("no bench files match %r" % args.filter, file=sys.stderr)
+        return 2
+    print("sharding %d bench files across %d processes"
+          % (len(files), args.jobs))
+
+    shards = {}
+    start = time.perf_counter()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {pool.submit(run_shard, f, args.quick, args.timeout): f
+                   for f in files}
+        for future in concurrent.futures.as_completed(futures):
+            name = futures[future]
+            shards[name] = future.result()
+            print("  %-34s %-7s %7.2fs"
+                  % (name, shards[name]["status"],
+                     shards[name]["elapsed_s"]))
+    wall = time.perf_counter() - start
+
+    merged = merge(shards)
+    merged["runner"] = {
+        "jobs": args.jobs,
+        "quick": args.quick,
+        "shards": len(files),
+        "wall_s": round(wall, 3),
+    }
+    with open(output, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    serial = sum(s["elapsed_s"] for s in shards.values())
+    print("wrote %s  (wall %.1fs, serial-equivalent %.1fs, %.2fx)"
+          % (output, wall, serial, serial / wall if wall else 0))
+
+    failed = sorted(n for n, s in shards.items() if s["status"] != "ok")
+    if failed:
+        print("FAILED shards: %s" % ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

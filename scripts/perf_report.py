@@ -1,15 +1,26 @@
 #!/usr/bin/env python3
-"""Render (and optionally gate on) the hot-path benchmark results.
+"""Render (and optionally gate on) the perf benchmark results.
 
-Reads the ``BENCH_hotpath.json`` written by ``benchmarks/bench_hotpath.py``
-and prints a human-readable report.  With ``--check`` it exits non-zero
-when the fast path regresses: output not byte-identical, or the
-repeated-relaxation speedup below ``--min-speedup`` (default 2.0) — CI
-uses this to keep the perf trajectory honest.
+Understands both tracked benchmark files, dispatching on their ``schema``
+field:
+
+* ``BENCH_hotpath.json`` (``mao-bench-hotpath/1``) from
+  ``benchmarks/bench_hotpath.py`` — encoding cache + incremental
+  relaxation + parallel pass pipeline;
+* ``BENCH_sim.json`` (``mao-bench-sim/1``) from
+  ``benchmarks/bench_sim_engine.py`` or ``scripts/bench_runner.py`` —
+  block cache + streaming + loop fast-forward (plus, when produced by
+  the runner, the sharded suite results).
+
+With ``--check`` it exits non-zero when a fast path regresses: output
+not identical to the reference, or the gated speedup below
+``--min-speedup`` (default 2.0) — CI uses this to keep the perf
+trajectory honest.  With no paths given, every tracked file that exists
+is rendered/checked.
 
 Usage::
 
-    python scripts/perf_report.py [BENCH_hotpath.json]
+    python scripts/perf_report.py [BENCH_hotpath.json BENCH_sim.json ...]
     python scripts/perf_report.py --check --min-speedup 2.0
 """
 
@@ -21,13 +32,18 @@ import os
 import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json")
 
 
 def _row(label: str, value: str) -> None:
     print("  %-26s %s" % (label, value))
 
 
-def render(results: dict) -> None:
+# ---------------------------------------------------------------------------
+# mao-bench-hotpath/1
+# ---------------------------------------------------------------------------
+
+def render_hotpath(results: dict) -> None:
     config = results.get("config", {})
     print("hot-path benchmark (%s)" % results.get("schema", "?"))
     _row("corpus scale", str(config.get("scale")))
@@ -55,7 +71,7 @@ def render(results: dict) -> None:
         _row("deterministic", str(parallel["deterministic"]))
 
 
-def check(results: dict, min_speedup: float) -> int:
+def check_hotpath(results: dict, min_speedup: float) -> list:
     failures = []
     for key in ("relax_corpus", "relax_cascade"):
         section = results.get(key)
@@ -72,29 +88,129 @@ def check(results: dict, min_speedup: float) -> int:
     parallel = results.get("parallel_pipeline")
     if parallel and not parallel["deterministic"]:
         failures.append("parallel pipeline output diverged from serial")
-    for failure in failures:
-        print("CHECK FAILED: %s" % failure, file=sys.stderr)
-    return 1 if failures else 0
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# mao-bench-sim/1
+# ---------------------------------------------------------------------------
+
+def render_sim(results: dict) -> None:
+    config = results.get("config", {})
+    print("simulation-engine benchmark (%s)" % results.get("schema", "?"))
+    _row("steady-loop trip count", str(config.get("outer")))
+    for key in ("sim_steady_loop", "sim_hash_kernel"):
+        section = results.get(key)
+        if not section:
+            continue
+        print("%s:" % key)
+        _row("workload / model", "%s / %s"
+             % (section["workload"], section["model"]))
+        _row("instructions", str(section["instructions"]))
+        _row("baseline (interp + walk)", "%.4fs" % section["baseline_s"])
+        _row("fast (blocks + stream + ff)", "%.4fs" % section["fast_s"])
+        _row("speedup", "%.2fx" % section["speedup"])
+        _row("block-cache hit rate",
+             "%.1f%%" % (100 * section["block_cache_hit_rate"]))
+        _row("ff iterations / records", "%d / %d"
+             % (section["ff_iterations"], section["ff_records"]))
+        _row("counter-identical", str(section["counter_identical"]))
+    diff = results.get("differential")
+    if diff:
+        print("differential:")
+        _row("kernel/model cases", str(diff["cases_checked"]))
+        _row("counter-identical", str(diff["counter_identical"]))
+        if diff.get("mismatches"):
+            _row("mismatches", ", ".join(diff["mismatches"]))
+    suite = results.get("suite")
+    if suite:
+        print("suite (%d shards):" % len(suite))
+        for name in sorted(suite):
+            shard = suite[name]
+            _row(name, "%-7s %7.2fs"
+                 % (shard["status"], shard["elapsed_s"]))
+
+
+def check_sim(results: dict, min_speedup: float) -> list:
+    failures = []
+    steady = results.get("sim_steady_loop")
+    if not steady:
+        # A filtered runner merge legitimately omits the engine shard;
+        # only a direct bench_sim_engine.py output must carry it.
+        if "suite" not in results:
+            failures.append("missing section 'sim_steady_loop'")
+    else:
+        if not steady["counter_identical"]:
+            failures.append("sim_steady_loop: fast engine counters are "
+                            "NOT identical to the reference walk")
+        if steady["speedup"] < min_speedup:
+            failures.append("sim_steady_loop speedup %.2fx < required "
+                            "%.2fx" % (steady["speedup"], min_speedup))
+    hashed = results.get("sim_hash_kernel")
+    if hashed and not hashed["counter_identical"]:
+        failures.append("sim_hash_kernel: fast engine counters are NOT "
+                        "identical to the reference walk")
+    diff = results.get("differential")
+    if diff and not diff["counter_identical"]:
+        failures.append("differential: mismatches on %s"
+                        % ", ".join(diff.get("mismatches", ["?"])))
+    for name, shard in sorted((results.get("suite") or {}).items()):
+        if shard["status"] != "ok":
+            failures.append("suite shard %s: %s" % (name, shard["status"]))
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Dispatch.
+# ---------------------------------------------------------------------------
+
+_SCHEMAS = {
+    "mao-bench-hotpath/1": (render_hotpath, check_hotpath),
+    "mao-bench-sim/1": (render_sim, check_sim),
+}
+
+
+def process(path: str, do_check: bool, min_speedup: float) -> list:
+    with open(path) as handle:
+        results = json.load(handle)
+    schema = results.get("schema")
+    if schema not in _SCHEMAS:
+        return ["%s: unknown schema %r" % (path, schema)]
+    render, check = _SCHEMAS[schema]
+    render(results)
+    if not do_check:
+        return []
+    return ["%s: %s" % (os.path.basename(path), f)
+            for f in check(results, min_speedup)]
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="render/check BENCH_hotpath.json")
-    parser.add_argument("path", nargs="?",
-                        default=os.path.join(_REPO_ROOT,
-                                             "BENCH_hotpath.json"))
+        description="render/check BENCH_hotpath.json and BENCH_sim.json")
+    parser.add_argument("paths", nargs="*",
+                        help="benchmark JSON files (default: every "
+                             "tracked BENCH_*.json that exists)")
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero on regression")
     parser.add_argument("--min-speedup", type=float, default=2.0,
-                        help="required relax_corpus speedup (default 2.0)")
+                        help="required gated speedup (default 2.0)")
     args = parser.parse_args(argv)
 
-    with open(args.path) as handle:
-        results = json.load(handle)
-    render(results)
-    if args.check:
-        return check(results, args.min_speedup)
-    return 0
+    paths = args.paths or [
+        os.path.join(_REPO_ROOT, name) for name in _DEFAULT_FILES
+        if os.path.exists(os.path.join(_REPO_ROOT, name))]
+    if not paths:
+        print("no benchmark files found", file=sys.stderr)
+        return 2
+
+    failures = []
+    for i, path in enumerate(paths):
+        if i:
+            print()
+        failures.extend(process(path, args.check, args.min_speedup))
+    for failure in failures:
+        print("CHECK FAILED: %s" % failure, file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

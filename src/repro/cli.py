@@ -48,6 +48,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "@register_func_pass)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-pass transformation statistics")
+    parser.add_argument("--sim-stats", action="store_true",
+                        help="print simulation-engine statistics (encoding "
+                             "cache, basic-block cache, loop fast-forward)")
     parser.add_argument("--time", action="store_true",
                         help="report wall-clock time per pass pipeline")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -122,7 +125,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.time:
         sys.stderr.write("parse: %.3fs  passes: %.3fs\n"
                          % (parse_time, pass_time))
+    if args.sim_stats:
+        print_sim_stats(sys.stderr)
     return 0
+
+
+def print_sim_stats(stream) -> None:
+    """Dump the engine caches' counters (mirrors encoding_cache_stats)."""
+    from repro.sim.interp import block_cache_stats
+    from repro.uarch.pipeline import fast_forward_stats
+    from repro.x86.encoder import encoding_cache_stats
+
+    enc = encoding_cache_stats()
+    stream.write("encoding-cache: hits=%d misses=%d bypasses=%d "
+                 "hit-rate=%.1f%%\n"
+                 % (enc["hits"], enc["misses"], enc["bypasses"],
+                    enc["hit_rate"] * 100.0))
+    blk = block_cache_stats()
+    stream.write("block-cache: compiled=%d hits=%d insns-compiled=%d "
+                 "hit-rate=%.1f%%\n"
+                 % (blk["blocks_compiled"], blk["block_hits"],
+                    blk["instructions_compiled"], blk["hit_rate"] * 100.0))
+    ff = fast_forward_stats()
+    stream.write("fast-forward: loops=%d iterations=%d records=%d "
+                 "validation-failures=%d\n"
+                 % (ff["loops_entered"], ff["iterations_fast_forwarded"],
+                    ff["records_fast_forwarded"],
+                    ff["validation_failures"]))
 
 
 if __name__ == "__main__":

@@ -6,17 +6,65 @@ in isolation and collect any specified PMU counters."
 
 Assembly and execution go through the in-repo toolchain: parse ->
 relax/encode -> architectural interpretation -> uarch timing model.
+
+Detection sweeps (``repro.mbench.detect``) evaluate the same kernel text at
+many parameter values, and many of those parameter values re-emit identical
+programs; a bounded program cache keyed by source text reuses one loaded
+program (parse + relax + load done once) across sweep points.  Each
+execution runs against a private clone of the program's memory image, so
+reuse is invisible to results — a property the detection tests assert.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Sequence
 
 from repro.ir import parse_unit
 from repro.mbench.loop import LoopList
 from repro.mbench.processor import Processor
-from repro.sim import run_unit
-from repro.uarch.pipeline import simulate_trace
+from repro.sim.loader import LoadedProgram, load_unit
+from repro.uarch.pipeline import simulate_program
+
+_PROGRAM_CACHE: "OrderedDict[tuple, LoadedProgram]" = OrderedDict()
+_PROGRAM_CACHE_MAX = 256
+_PROGRAM_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def load_program_cached(source: str,
+                        entry_symbol: str = "main") -> LoadedProgram:
+    """Parse/relax/load *source* once; later calls reuse the program.
+
+    Sound because a LoadedProgram's code image and symbol table are
+    immutable — only its memory mutates during execution, and cached
+    programs are always run with a private memory clone.
+    """
+    key = (entry_symbol, source)
+    program = _PROGRAM_CACHE.get(key)
+    if program is not None:
+        _PROGRAM_CACHE.move_to_end(key)
+        _PROGRAM_CACHE_STATS["hits"] += 1
+        return program
+    _PROGRAM_CACHE_STATS["misses"] += 1
+    program = load_unit(parse_unit(source), entry_symbol)
+    _PROGRAM_CACHE[key] = program
+    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
+        _PROGRAM_CACHE.popitem(last=False)
+    return program
+
+
+def program_cache_stats() -> Dict[str, object]:
+    stats: Dict[str, object] = dict(_PROGRAM_CACHE_STATS)
+    stats["entries"] = len(_PROGRAM_CACHE)
+    lookups = stats["hits"] + stats["misses"]
+    stats["hit_rate"] = (stats["hits"] / lookups) if lookups else 0.0
+    return stats
+
+
+def reset_program_cache() -> None:
+    _PROGRAM_CACHE.clear()
+    _PROGRAM_CACHE_STATS["hits"] = 0
+    _PROGRAM_CACHE_STATS["misses"] = 0
 
 
 class Benchmark:
@@ -37,11 +85,12 @@ class Benchmark:
         """Run the benchmark on *proc*'s model; returns the counters."""
         if self.source is None:
             self.Assemble()
-        unit = parse_unit(self.source)
-        result = run_unit(unit, collect_trace=True, max_steps=max_steps)
+        program = load_program_cached(self.source)
+        result, stats = simulate_program(program, proc.model,
+                                         max_steps=max_steps,
+                                         private_memory=True)
         if result.reason != "ret":
             raise RuntimeError("microbenchmark did not finish: %s"
                                % result.reason)
         self.last_steps = result.steps
-        stats = simulate_trace(result.trace, proc.model)
         return {name: stats[name] for name in counter_names}

@@ -115,9 +115,8 @@ def DetectBranchPredictorShift(proc: Processor,
     they thrash each other's 2-bit counter; once D >= 2^shift no placement
     aliases and mispredictions collapse.  Returns the inferred shift.
     """
-    from repro.ir import parse_unit
-    from repro.sim import run_unit
-    from repro.uarch.pipeline import simulate_trace
+    from repro.mbench.benchmark import load_program_cached
+    from repro.uarch.pipeline import simulate_program
 
     def worst_case(distance: int) -> int:
         pad = max(0, distance - 6)   # js(2) + pad + subq(4) -> jne
@@ -140,9 +139,9 @@ main:
     jne .Lloop
     ret
 """
-            unit = parse_unit(source)
-            result = run_unit(unit, collect_trace=True)
-            stats = simulate_trace(result.trace, proc.model)
+            program = load_program_cached(source)
+            _, stats = simulate_program(program, proc.model,
+                                        private_memory=True)
             worst = max(worst, stats["BR_MISP"])
         return worst
 
@@ -201,9 +200,8 @@ def DetectForwardingBandwidth(proc: Processor,
     ``RESOURCE_STALLS:RS_FULL`` events appear.  Returns the largest stream
     count that runs stall-free.
     """
-    from repro.ir import parse_unit
-    from repro.sim import run_unit
-    from repro.uarch.pipeline import simulate_trace
+    from repro.mbench.benchmark import load_program_cached
+    from repro.uarch.pipeline import simulate_program
 
     alu_regs = ["rbx", "rcx", "rdx"]
     clean = 0
@@ -232,9 +230,9 @@ main:
 buf:
     .zero 64
 """ % (trip_count, "\n".join(body))
-        unit = parse_unit(source)
-        result = run_unit(unit, collect_trace=True)
-        stats = simulate_trace(result.trace, proc.model)
+        program = load_program_cached(source)
+        _, stats = simulate_program(program, proc.model,
+                                    private_memory=True)
         if stats["RESOURCE_STALLS_RS_FULL"] > trip_count // 4:
             return clean
         clean = streams

@@ -6,16 +6,31 @@ flag, and memory semantics.  Produces:
 * final architectural state — used by tests to prove optimization passes
   preserve behaviour (our stand-in for the paper's disassemble-and-compare
   methodology, but stronger);
-* a dynamic execution trace — consumed by the ``repro.uarch`` timing model;
+* a dynamic execution trace — consumed by the ``repro.uarch`` timing model,
+  either materialized (``collect_trace=True``) or streamed record-by-record
+  through ``trace_callback`` so simulation and timing overlap without the
+  peak-memory cost of a full trace list;
 * optional PMU-style samples (instruction address + register-file snapshot)
   — consumed by the instruction-simulation pass (paper §III.E.m).
+
+The hot execution path is *trace-compiled*: the first time an address is
+executed, the straight-line run up to the next control transfer is decoded
+into a basic block of ``_CompiledStep`` thunks with every static fact —
+semantics handler, encoding length, memory-operand shape, branch-ness —
+resolved once per static instruction instead of once per dynamic step.
+Blocks are cached on the :class:`LoadedProgram` keyed by start address,
+which is sound because the code image (addresses and encodings) is
+immutable after load.  The original one-instruction-at-a-time loop is kept
+as the reference path (``block_cache_disabled()``) and differential tests
+assert both produce identical state, traces, and step counts.
 """
 
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.ir.entries import InstructionEntry
 from repro.ir.unit import MaoUnit
@@ -37,6 +52,119 @@ RETURN_SENTINEL = 0xDEAD0000
 
 class SimError(Exception):
     """Execution fault (bad jump target, unsupported instruction, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Basic-block cache plumbing (mirrors repro.x86.encoder's encoding cache).
+#
+# Compiled blocks live on LoadedProgram.block_cache so they are shared by
+# every Interpreter over the same program; the stats below are module-level
+# aggregates across all programs, like encoding_cache_stats().
+# ---------------------------------------------------------------------------
+
+_BLOCK_CACHE_ENABLED = True
+_BLOCK_STATS = {
+    "blocks_compiled": 0,
+    "block_hits": 0,
+    "instructions_compiled": 0,
+}
+
+
+def block_cache_stats() -> Dict[str, object]:
+    """Return aggregate block-cache statistics (plus derived hit rate)."""
+    stats: Dict[str, object] = dict(_BLOCK_STATS)
+    lookups = _BLOCK_STATS["block_hits"] + _BLOCK_STATS["blocks_compiled"]
+    stats["hit_rate"] = (_BLOCK_STATS["block_hits"] / lookups) if lookups \
+        else 0.0
+    stats["enabled"] = _BLOCK_CACHE_ENABLED
+    return stats
+
+
+def reset_block_cache_stats() -> None:
+    for key in _BLOCK_STATS:
+        _BLOCK_STATS[key] = 0
+
+
+def set_block_cache_enabled(enabled: bool) -> bool:
+    """Globally enable/disable block compilation; returns previous value."""
+    global _BLOCK_CACHE_ENABLED
+    previous = _BLOCK_CACHE_ENABLED
+    _BLOCK_CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def block_cache_disabled() -> Iterator[None]:
+    """Run the interpreter through the reference per-step loop."""
+    previous = set_block_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_block_cache_enabled(previous)
+
+
+# How the ``ea`` field of an ExecRecord is derived for one static
+# instruction: not at all, from its memory operand, from the stack slot a
+# push/call will write, or from the stack slot a pop/ret will read.
+_EA_NONE, _EA_MEM, _EA_PUSH, _EA_POP = 0, 1, 2, 3
+
+
+class _CompiledStep:
+    """One static instruction with every per-step-invariant fact resolved."""
+
+    __slots__ = ("entry", "insn", "handler", "address", "next_rip",
+                 "ea_mode", "mem_op")
+
+    def __init__(self, entry: InstructionEntry, handler: Callable,
+                 address: int, next_rip: int, ea_mode: int,
+                 mem_op: Optional[Memory]) -> None:
+        self.entry = entry
+        self.insn = entry.insn
+        self.handler = handler
+        self.address = address
+        self.next_rip = next_rip
+        self.ea_mode = ea_mode
+        self.mem_op = mem_op
+
+
+class _Block:
+    """A compiled straight-line run starting at one address.
+
+    ``body`` holds steps whose handlers never return an outcome (their base
+    is not a control transfer), so the hot loop can execute them without
+    inspecting return values.  ``last`` is the terminating control transfer,
+    if any.  ``fault_insn`` records an instruction with no semantics: the
+    body before it executes normally, then the block raises — preserving
+    the reference loop's partial-state-on-fault behaviour.  For blocks
+    compiled at padding addresses, ``skip_to`` is the next real instruction
+    (or the block is a fall-off fault when ``fell_off`` is set).
+    """
+
+    __slots__ = ("body", "last", "fault_insn", "skip_to", "fell_off",
+                 "slow")
+
+    def __init__(self, body: List[_CompiledStep],
+                 last: Optional[_CompiledStep],
+                 fault_insn: Optional[Instruction],
+                 skip_to: Optional[int],
+                 fell_off: bool) -> None:
+        self.body = body
+        self.last = last
+        self.fault_insn = fault_insn
+        self.skip_to = skip_to
+        self.fell_off = fell_off
+        # rdtsc reads the per-step virtual TSC, so blocks containing it
+        # must run the per-step bookkeeping path.
+        self.slow = any(s.insn.base == "rdtsc" for s in body)
+
+
+#: Bases whose handlers may return an outcome tuple; a compiled block ends
+#: at (and includes) the first one of these.
+_CT_BASES = frozenset(("jmp", "j", "call", "ret", "hlt", "ud2", "int3"))
+
+#: Safety cap on block length so pathological straight-line code cannot
+#: make single-block compilation unbounded.
+_MAX_BLOCK_STEPS = 512
 
 
 @dataclass(frozen=True)
@@ -82,9 +210,14 @@ class Interpreter:
     """Drives execution of one loaded program."""
 
     def __init__(self, program: LoadedProgram,
-                 max_steps: int = 5_000_000) -> None:
+                 max_steps: int = 5_000_000,
+                 private_memory: bool = False) -> None:
         self.program = program
-        self.memory = program.memory
+        # ``private_memory`` runs against a copy-on-construction clone so a
+        # LoadedProgram can be reused across runs (execution mutates data
+        # sections and the stack, never the code image).
+        self.memory = program.memory.clone() if private_memory \
+            else program.memory
         self.state = MachineState()
         self.max_steps = max_steps
         self.instructions_executed = 0
@@ -265,6 +398,22 @@ class Interpreter:
         samples: Optional[List[Tuple[int, Dict[str, int]]]] = (
             [] if sample_period else None)
 
+        if _BLOCK_CACHE_ENABLED:
+            if trace is not None or trace_callback is not None:
+                return self._run_blocks_traced(trace, trace_callback,
+                                               sample_period, samples)
+            return self._run_blocks(sample_period, samples)
+        return self._run_interpreted(trace, trace_callback, sample_period,
+                                     samples)
+
+    def _run_interpreted(self, trace, trace_callback, sample_period,
+                         samples) -> RunResult:
+        """Reference loop: decode static facts on every dynamic step.
+
+        Kept verbatim from the pre-block-cache engine; differential tests
+        assert the compiled path reproduces its state, trace, and steps.
+        """
+        state = self.state
         code_index = self.program.code_index
         steps = 0
         reason = "max-steps"
@@ -341,6 +490,250 @@ class Interpreter:
                 if trace_callback:
                     trace_callback(record)
 
+        self.instructions_executed = steps
+        return RunResult(steps=steps, reason=reason, state=state,
+                         memory=self.memory, trace=trace, samples=samples)
+
+    # ---- trace-compiled path -------------------------------------------------
+
+    def _compile_block(self, address: int) -> _Block:
+        """Decode the straight-line run starting at *address* into a block.
+
+        Sound to cache on the program: addresses, encodings, and operands
+        are immutable once loaded, so every static fact resolved here holds
+        for all future executions of the block.
+        """
+        program = self.program
+        code_index = program.code_index
+        dispatch = self._dispatch
+
+        if code_index.get(address) is None:
+            # Alignment padding between instructions is NOP fill in the
+            # code image; a padding block statically skips it (consuming
+            # no steps) or records the fall-off fault.
+            next_addr = program.next_instruction_address(address)
+            if next_addr is not None and next_addr - address <= 256:
+                block = _Block([], None, None, next_addr, False)
+            else:
+                block = _Block([], None, None, None, True)
+            program.block_cache[address] = block
+            _BLOCK_STATS["blocks_compiled"] += 1
+            return block
+
+        body: List[_CompiledStep] = []
+        last: Optional[_CompiledStep] = None
+        fault_insn: Optional[Instruction] = None
+        addr = address
+        while True:
+            entry_node = code_index.get(addr)
+            if entry_node is None:
+                break                    # padding: next lookup handles it
+            insn = entry_node.insn
+            base = insn.base
+            handler = dispatch.get(base)
+            if handler is None:
+                fault_insn = insn        # raise only once body has run
+                break
+            size = len(insn.encoding or b"")
+            mem_op = insn.memory_operand()
+            if mem_op is not None and base != "lea":
+                ea_mode = _EA_MEM
+            elif base in ("push", "call"):
+                ea_mode, mem_op = _EA_PUSH, None
+            elif base in ("pop", "ret"):
+                ea_mode, mem_op = _EA_POP, None
+            else:
+                ea_mode, mem_op = _EA_NONE, None
+            step = _CompiledStep(entry_node, handler, addr, addr + size,
+                                 ea_mode, mem_op)
+            if base in _CT_BASES:
+                last = step
+                break
+            body.append(step)
+            if size == 0 or len(body) >= _MAX_BLOCK_STEPS:
+                break                    # re-enter the outer loop at rip
+            addr += size
+
+        block = _Block(body, last, fault_insn, None, False)
+        program.block_cache[address] = block
+        _BLOCK_STATS["blocks_compiled"] += 1
+        _BLOCK_STATS["instructions_compiled"] += len(body) + (
+            1 if last is not None else 0)
+        return block
+
+    def _run_blocks(self, sample_period, samples) -> RunResult:
+        """Hot path: no trace, no ExecRecord allocation, no ea computation."""
+        state = self.state
+        blocks = self.program.block_cache
+        max_steps = self.max_steps
+        stats = _BLOCK_STATS
+        steps = 0
+        reason = "max-steps"
+        while steps < max_steps:
+            block = blocks.get(state.rip)
+            if block is None:
+                block = self._compile_block(state.rip)
+            else:
+                stats["block_hits"] += 1
+            body = block.body
+            if body:
+                if block.slow or sample_period \
+                        or max_steps - steps < len(body):
+                    for step in body:
+                        if steps >= max_steps:
+                            break
+                        state.rip = step.next_rip
+                        steps += 1
+                        self._tsc += 1
+                        if sample_period and steps % sample_period == 0:
+                            samples.append((step.address, state.snapshot()))
+                        step.handler(self, step.insn)
+                    if steps >= max_steps:
+                        continue         # loop condition ends the run
+                else:
+                    for step in body:
+                        state.rip = step.next_rip
+                        step.handler(self, step.insn)
+                    steps += len(body)
+                    self._tsc += len(body)
+            if block.fault_insn is not None:
+                raise SimError("no semantics for %s" % block.fault_insn)
+            step = block.last
+            if step is None:
+                if block.skip_to is not None:
+                    state.rip = block.skip_to
+                elif block.fell_off:
+                    raise SimError("execution fell off code at %#x (step %d)"
+                                   % (state.rip, steps))
+                continue
+            if steps >= max_steps:
+                continue
+            state.rip = step.next_rip
+            steps += 1
+            self._tsc += 1
+            if sample_period and steps % sample_period == 0:
+                samples.append((step.address, state.snapshot()))
+            outcome = step.handler(self, step.insn)
+            if outcome is not None:
+                kind, value = outcome
+                if kind == "jump":
+                    state.rip = value
+                elif kind == "ret":
+                    if value == RETURN_SENTINEL:
+                        reason = "ret"
+                        break
+                    state.rip = value
+                elif kind == "halt":
+                    reason = "hlt"
+                    break
+                # "nottaken" falls through to next_rip.
+        self.instructions_executed = steps
+        return RunResult(steps=steps, reason=reason, state=state,
+                         memory=self.memory, trace=None, samples=samples)
+
+    def _run_blocks_traced(self, trace, trace_callback, sample_period,
+                           samples) -> RunResult:
+        """Traced path: per-step records, ea derived from compiled facts."""
+        state = self.state
+        gp = state.gp
+        blocks = self.program.block_cache
+        max_steps = self.max_steps
+        stats = _BLOCK_STATS
+        steps = 0
+        reason = "max-steps"
+        while steps < max_steps:
+            block = blocks.get(state.rip)
+            if block is None:
+                block = self._compile_block(state.rip)
+            else:
+                stats["block_hits"] += 1
+            interrupted = False
+            for step in block.body:
+                if steps >= max_steps:
+                    interrupted = True
+                    break
+                state.rip = step.next_rip
+                steps += 1
+                self._tsc += 1
+                if sample_period and steps % sample_period == 0:
+                    samples.append((step.address, state.snapshot()))
+                mode = step.ea_mode
+                if mode == _EA_NONE:
+                    ea = None
+                elif mode == _EA_MEM:
+                    ea = self.effective_address(step.mem_op, step.insn)
+                elif mode == _EA_PUSH:
+                    ea = (gp["rsp"] - 8) & MASK64
+                else:
+                    ea = gp["rsp"]
+                step.handler(self, step.insn)
+                record = ExecRecord(step.entry, None, step.address, ea)
+                if trace is not None:
+                    trace.append(record)
+                if trace_callback is not None:
+                    trace_callback(record)
+            if interrupted:
+                continue
+            if block.fault_insn is not None:
+                raise SimError("no semantics for %s" % block.fault_insn)
+            step = block.last
+            if step is None:
+                if block.skip_to is not None:
+                    state.rip = block.skip_to
+                elif block.fell_off:
+                    raise SimError("execution fell off code at %#x (step %d)"
+                                   % (state.rip, steps))
+                continue
+            if steps >= max_steps:
+                continue
+            state.rip = step.next_rip
+            steps += 1
+            self._tsc += 1
+            if sample_period and steps % sample_period == 0:
+                samples.append((step.address, state.snapshot()))
+            mode = step.ea_mode
+            if mode == _EA_NONE:
+                ea = None
+            elif mode == _EA_MEM:
+                ea = self.effective_address(step.mem_op, step.insn)
+            elif mode == _EA_PUSH:
+                ea = (gp["rsp"] - 8) & MASK64
+            else:
+                ea = gp["rsp"]
+            taken: Optional[bool] = None
+            outcome = step.handler(self, step.insn)
+            if outcome is not None:
+                kind, value = outcome
+                if kind == "jump":
+                    state.rip = value
+                    taken = True
+                elif kind == "nottaken":
+                    taken = False
+                elif kind == "ret":
+                    if value == RETURN_SENTINEL:
+                        reason = "ret"
+                        record = ExecRecord(step.entry, None, step.address,
+                                            ea)
+                        if trace is not None:
+                            trace.append(record)
+                        if trace_callback is not None:
+                            trace_callback(record)
+                        break
+                    state.rip = value
+                    taken = True
+                elif kind == "halt":
+                    reason = "hlt"
+                    record = ExecRecord(step.entry, None, step.address, ea)
+                    if trace is not None:
+                        trace.append(record)
+                    if trace_callback is not None:
+                        trace_callback(record)
+                    break
+            record = ExecRecord(step.entry, taken, step.address, ea)
+            if trace is not None:
+                trace.append(record)
+            if trace_callback is not None:
+                trace_callback(record)
         self.instructions_executed = steps
         return RunResult(steps=steps, reason=reason, state=state,
                          memory=self.memory, trace=trace, samples=samples)

@@ -46,6 +46,10 @@ class LoadedProgram:
     entry_point: Optional[int] = None
     #: Sorted instruction start addresses (for skipping alignment pads).
     code_addresses: List[int] = field(default_factory=list)
+    #: Compiled basic blocks keyed by start address.  Owned by the program
+    #: (not the Interpreter) so every run over the same image shares them;
+    #: sound because the code image is immutable after load.
+    block_cache: Dict[int, object] = field(default_factory=dict, repr=False)
 
     def address_of(self, symbol: str) -> int:
         return self.symtab[symbol]

@@ -23,6 +23,13 @@ class SparseMemory:
             self._pages[page_id] = page
         return page
 
+    def clone(self) -> "SparseMemory":
+        """Deep copy; lets one loaded image seed many independent runs."""
+        dup = SparseMemory()
+        dup._pages = {page_id: bytearray(page)
+                      for page_id, page in self._pages.items()}
+        return dup
+
     def read(self, address: int, size: int) -> int:
         """Little-endian unsigned read of *size* bytes."""
         value = 0

@@ -45,6 +45,8 @@ class Flags:
 class MachineState:
     """Registers + flags (memory lives in SparseMemory)."""
 
+    __slots__ = ("gp", "xmm", "flags", "rip")
+
     def __init__(self) -> None:
         self.gp: Dict[str, int] = {g: 0 for g in GP_GROUPS}
         self.xmm: Dict[str, int] = {"xmm%d" % i: 0 for i in range(16)}

@@ -106,8 +106,7 @@ def layout_distribution(source: str, model,
     """
     from repro.ir import parse_unit
     from repro.passes import run_passes
-    from repro.sim import run_unit
-    from repro.uarch.pipeline import simulate_trace
+    from repro.uarch.pipeline import simulate_unit
 
     cycles: List[float] = []
     for seed in seeds:
@@ -115,8 +114,8 @@ def layout_distribution(source: str, model,
         run_passes(unit, "NOPIN=seed[%d]+density[%s]" % (seed, density))
         if spec:
             run_passes(unit, spec)
-        result = run_unit(unit, collect_trace=True, max_steps=max_steps)
+        result, stats = simulate_unit(unit, model, max_steps=max_steps)
         if result.reason != "ret":
             raise RuntimeError("perturbed run did not terminate")
-        cycles.append(float(simulate_trace(result.trace, model).cycles))
+        cycles.append(float(stats.cycles))
     return cycles

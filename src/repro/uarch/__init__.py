@@ -18,7 +18,16 @@ PMU-style counters, including ``CPU_CYCLES``.
 
 from repro.uarch.model import ProcessorModel
 from repro.uarch.profiles import core2, opteron, pentium4, blinded_profile
-from repro.uarch.pipeline import PipelineSimulator, simulate_trace, SimStats
+from repro.uarch.pipeline import (
+    FastForwardEngine,
+    PipelineSimulator,
+    SimStats,
+    fast_forward_stats,
+    simulate_program,
+    simulate_reference,
+    simulate_trace,
+    simulate_unit,
+)
 from repro.uarch import counters
 
 __all__ = [
@@ -28,7 +37,12 @@ __all__ = [
     "pentium4",
     "blinded_profile",
     "PipelineSimulator",
+    "FastForwardEngine",
     "simulate_trace",
+    "simulate_reference",
+    "simulate_program",
+    "simulate_unit",
+    "fast_forward_stats",
     "SimStats",
     "counters",
 ]

@@ -47,3 +47,19 @@ class BranchPredictor:
     def alias_count(self) -> int:
         """Number of table buckets in use (diagnostic)."""
         return len(self._counters)
+
+    # ---- steady-state fast-forward support --------------------------------
+
+    def ff_snapshot(self):
+        """(table copy, predictions, mispredictions) for loop fast-forward."""
+        return (dict(self._counters), self.predictions, self.mispredictions)
+
+    def ff_apply(self, d_predictions: int, d_mispredictions: int,
+                 repeats: int) -> None:
+        """Advance event counts by *repeats* validated loop iterations.
+
+        The counter table itself must be a fixed point of the iteration
+        (checked by the validator), so only the counts move.
+        """
+        self.predictions += d_predictions * repeats
+        self.mispredictions += d_mispredictions * repeats

@@ -44,6 +44,26 @@ class DataCache:
         line, ways = self._locate(address)
         return line in ways
 
+    # ---- steady-state fast-forward support --------------------------------
+
+    def ff_snapshot(self):
+        """Immutable view of tag state + event counts for loop fast-forward.
+
+        The tag/LRU/NTA state must be a fixed point of a steady loop
+        iteration (checked by the validator); hits/misses/evictions are the
+        per-iteration deltas that get replayed algebraically.
+        """
+        return (tuple(tuple(ways) for ways in self.sets),
+                dict(self._nta_pending),
+                self.last_access_nta,
+                self.hits, self.misses, self.evictions)
+
+    def ff_apply(self, d_hits: int, d_misses: int, d_evictions: int,
+                 repeats: int) -> None:
+        self.hits += d_hits * repeats
+        self.misses += d_misses * repeats
+        self.evictions += d_evictions * repeats
+
     def access(self, address: int, is_write: bool = False) -> bool:
         """Touch a line; returns True on hit."""
         line, ways = self._locate(address)

@@ -18,14 +18,39 @@ cycle under these constraints:
 The absolute cycle counts are not meant to match real silicon; the *causal
 structure* matches the performance cliffs the paper documents, which is what
 the reproduction benches rely on.
+
+Two engine layers sit on top of the per-record walk:
+
+* **Streaming** — ``simulate_unit``/``simulate_program`` couple the
+  interpreter's ``trace_callback`` straight into the pipeline so timing
+  overlaps execution and no trace list is ever materialized.
+* **Steady-state fast-forward** — :class:`FastForwardEngine` watches for a
+  loop (taken backward branch) whose iterations repeat the exact same
+  record signature (address, outcome, effective address).  After K
+  identical iterations it snapshots the pipeline, replays one period, and
+  checks the *soundness condition*: every piece of clock-typed state
+  advanced by exactly the same constant ``c`` (or is dead — at or below the
+  fetch horizon, where it can never again win a ``max`` against a ready
+  time), and every piece of pattern-typed state (predictor counters, cache
+  tags/LRU, LSD tracking) is a fixed point of the iteration.  Because the
+  pipeline transition combines clocks only through ``+const``/``max``
+  against values at or above the horizon, a validated iteration implies N
+  iterations advance every live clock by ``N*c`` and every counter by N
+  times its measured delta — so skipped iterations are *bit-identical* to
+  walking them, which differential tests against ``simulate_reference``
+  assert.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
+    Set, Tuple
 
-from repro.sim.interp import ExecRecord
+from repro.ir.unit import MaoUnit
+from repro.sim.interp import ExecRecord, Interpreter, RunResult
+from repro.sim.loader import LoadedProgram, load_unit
 from repro.uarch import counters as C
 from repro.uarch import model as M
 from repro.uarch.branch_predictor import BranchPredictor
@@ -184,9 +209,15 @@ class PipelineSimulator:
         self.mem_ready: Dict[int, int] = {}
         self._forwards: Dict[int, int] = {}
         self._fw_watermark = 0
+        self._fw_gc_limit = 65536
         self.last_completion = 0
 
         self.counts: Dict[str, int] = {name: 0 for name in C.ALL}
+
+        # Static per-instruction facts (uops, side effects, branch-ness)
+        # memoized by identity; each value keeps a reference to its
+        # instruction so an id can never be recycled while cached.
+        self._facts: Dict[int, tuple] = {}
 
     # ---- helpers ---------------------------------------------------------
 
@@ -279,6 +310,35 @@ class PipelineSimulator:
             ready = self.flags_ready
         return ready
 
+    def _insn_facts(self, insn: Instruction) -> tuple:
+        """Resolve per-instruction static facts once, not once per record."""
+        facts = self._facts.get(id(insn))
+        if facts is not None:
+            return facts
+        uop_list = uops_of(insn)
+        try:
+            uses = frozenset(sideeffects.reg_uses(insn))
+            reads_flags = bool(sideeffects.flags_read(insn))
+        except sideeffects.UnknownSideEffects:
+            uses = frozenset(r.group for r in insn.register_operands())
+            reads_flags = True
+        try:
+            defs = frozenset(sideeffects.reg_defs(insn))
+            wflags = bool(sideeffects.flags_written(insn)
+                          | sideeffects.flags_undefined(insn))
+        except sideeffects.UnknownSideEffects:
+            defs = frozenset(r.group for r in insn.register_operands())
+            wflags = True
+        base = insn.base
+        if base.startswith("prefetch"):
+            prefetch = 1 if base == "prefetchnta" else 2
+        else:
+            prefetch = 0
+        facts = (insn, uop_list, uses, reads_flags, defs, wflags,
+                 base in ("j", "jmp", "call", "ret"), base == "j", prefetch)
+        self._facts[id(insn)] = facts
+        return facts
+
     # ---- main ------------------------------------------------------------
 
     def feed(self, record: ExecRecord) -> None:
@@ -289,23 +349,23 @@ class PipelineSimulator:
         streaming = self.lsd.active
         fetch_cycle = self._frontend_advance(record, streaming)
 
-        operand_ready = max(fetch_cycle, self._operand_ready(insn))
-        uop_list = uops_of(insn)
+        (_, uop_list, uses, reads_flags, defs, wflags, is_branch, is_cond,
+         prefetch) = self._insn_facts(insn)
+
+        operand_ready = fetch_cycle
+        for group in uses:
+            t = self.reg_ready.get(group, 0)
+            if t > operand_ready:
+                operand_ready = t
+        if reads_flags and self.flags_ready > operand_ready:
+            operand_ready = self.flags_ready
         self.counts[C.UOPS] += len(uop_list)
 
-        try:
-            defs = sideeffects.reg_defs(insn)
-            wflags = bool(sideeffects.flags_written(insn)
-                          | sideeffects.flags_undefined(insn))
-        except sideeffects.UnknownSideEffects:
-            defs = {r.group for r in insn.register_operands()}
-            wflags = True
         has_reg_result = bool(defs)
 
         # Prefetch hints touch the cache without port pressure.
-        if insn.base.startswith("prefetch") and self.cache is not None \
-                and record.ea is not None:
-            if insn.base == "prefetchnta":
+        if prefetch and self.cache is not None and record.ea is not None:
+            if prefetch == 1:
                 self.cache.hint_nta(record.ea)
             else:
                 self.cache.access(record.ea)
@@ -371,8 +431,7 @@ class PipelineSimulator:
 
         # Branch handling.
         taken = record.taken
-        is_branch = insn.base in ("j", "jmp", "call", "ret")
-        if insn.base == "j":
+        if is_cond:
             self.counts[C.BR_EXEC] += 1
             mispredicted = self.predictor.update(record.address,
                                                  bool(taken))
@@ -396,11 +455,15 @@ class PipelineSimulator:
             # Fell out of the LSD: fetch restarts.
             self._current_line = None
 
-        # Garbage-collect the forwarding histogram occasionally.
-        if len(self._forwards) > 65536:
+        # Garbage-collect the forwarding histogram occasionally.  On
+        # backend-bound traces every entry can sit above the horizon; the
+        # adaptive limit keeps a fruitless sweep from re-running per
+        # record (which made the walk quadratic in trace length).
+        if len(self._forwards) > self._fw_gc_limit:
             horizon = self.frontend_cycle
             self._forwards = {c: n for c, n in self._forwards.items()
                               if c >= horizon}
+            self._fw_gc_limit = max(65536, 2 * len(self._forwards))
 
     def finish(self) -> SimStats:
         total = max(self.frontend_cycle, self.last_completion) + 1
@@ -411,11 +474,389 @@ class PipelineSimulator:
         stats = SimStats(self.model.name, dict(self.counts))
         return stats
 
+    # ---- steady-state fast-forward support --------------------------------
 
-def simulate_trace(trace: Iterable[ExecRecord],
-                   model: ProcessorModel) -> SimStats:
+    def _ff_snapshot(self) -> dict:
+        """Copy every piece of state the loop validator must certify."""
+        lsd = self.lsd
+        return {
+            "frontend": self.frontend_cycle,
+            "decoded": self._decoded_this_cycle,
+            "line": self._current_line,
+            "reg_ready": dict(self.reg_ready),
+            "flags_ready": self.flags_ready,
+            "port_free": list(self.port_free),
+            "mem_ready": dict(self.mem_ready),
+            "forwards": dict(self._forwards),
+            "fw_watermark": self._fw_watermark,
+            "last_completion": self.last_completion,
+            "counts": dict(self.counts),
+            "pred": self.predictor.ff_snapshot(),
+            "cache": self.cache.ff_snapshot() if self.cache is not None
+            else None,
+            "lsd": (lsd.branch_addr, lsd.target, lsd.iterations,
+                    frozenset(lsd.lines), lsd.branches, lsd.poisoned,
+                    lsd.active, lsd.activations),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Steady-state loop fast-forward.
+# ---------------------------------------------------------------------------
+
+_FF_ENABLED = True
+_FF_STATS = {
+    "loops_entered": 0,
+    "iterations_fast_forwarded": 0,
+    "records_fast_forwarded": 0,
+    "validation_failures": 0,
+}
+
+
+def fast_forward_stats() -> Dict[str, object]:
+    stats: Dict[str, object] = dict(_FF_STATS)
+    stats["enabled"] = _FF_ENABLED
+    return stats
+
+
+def reset_fast_forward_stats() -> None:
+    for key in _FF_STATS:
+        _FF_STATS[key] = 0
+
+
+def set_fast_forward_enabled(enabled: bool) -> bool:
+    global _FF_ENABLED
+    previous = _FF_ENABLED
+    _FF_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def fast_forward_disabled() -> Iterator[None]:
+    previous = set_fast_forward_enabled(False)
+    try:
+        yield
+    finally:
+        set_fast_forward_enabled(previous)
+
+
+def _clock_ok(v0: int, v1: int, c: int, h0: int, h1: int) -> bool:
+    """One clock value advanced by exactly *c*, or is dead in both snapshots.
+
+    A clock value is *dead* once it is at or below the fetch horizon: every
+    future use is ``max(value, ready)`` with ``ready >= frontend_cycle``, so
+    it can never influence an issue time, a completion, or a counter again.
+    Dead values are allowed to drift between the fast-forwarded run and the
+    full replay — that drift is counter-invisible by construction.
+    """
+    return v1 == v0 + c or (v0 <= h0 and v1 <= h1)
+
+
+def _ff_delta(s0: dict, s1: dict, expected_records: int) -> Optional[dict]:
+    """Validate one measured period; return its delta or None if unsound."""
+    c = s1["frontend"] - s0["frontend"]
+    if c < 1:
+        return None
+    h0, h1 = s0["frontend"], s1["frontend"]
+    if s1["decoded"] != s0["decoded"] or s1["line"] != s0["line"]:
+        return None
+    if not _clock_ok(s0["flags_ready"], s1["flags_ready"], c, h0, h1):
+        return None
+    if not _clock_ok(s0["fw_watermark"], s1["fw_watermark"], c, h0, h1):
+        return None
+    if not _clock_ok(s0["last_completion"], s1["last_completion"], c, h0,
+                     h1):
+        return None
+    for v0, v1 in zip(s0["port_free"], s1["port_free"]):
+        if not _clock_ok(v0, v1, c, h0, h1):
+            return None
+    for table in ("reg_ready", "mem_ready"):
+        t0, t1 = s0[table], s1[table]
+        for key in t0.keys() | t1.keys():
+            if not _clock_ok(t0.get(key, 0), t1.get(key, 0), c, h0, h1):
+                return None
+    # The forwarding histogram must match exactly on its live window
+    # (entries below the horizon can never be indexed again).
+    live0 = {k: v for k, v in s0["forwards"].items() if k >= h0}
+    live1 = {k - c: v for k, v in s1["forwards"].items() if k >= h1}
+    if live0 != live1:
+        return None
+    table0, npred0, nmisp0 = s0["pred"]
+    table1, npred1, nmisp1 = s1["pred"]
+    if table0 != table1:
+        return None
+    if s0["cache"] is not None:
+        c0, c1 = s0["cache"], s1["cache"]
+        if c0[:3] != c1[:3]:
+            return None
+        cache_delta = (c1[3] - c0[3], c1[4] - c0[4], c1[5] - c0[5])
+    else:
+        cache_delta = (0, 0, 0)
+    l0, l1 = s0["lsd"], s1["lsd"]
+    if (l0[0], l0[1], l0[3], l0[4], l0[5], l0[6], l0[7]) \
+            != (l1[0], l1[1], l1[3], l1[4], l1[5], l1[6], l1[7]):
+        return None
+    lsd_iters = l1[2] - l0[2]
+    # An LSD candidate still below its activation threshold would flip the
+    # front end into streaming mode partway through the skipped region;
+    # only fast-forward once it has activated (or will never track).
+    if lsd_iters != 0 and not l1[6]:
+        return None
+    counts_delta: Dict[str, int] = {}
+    for name, after in s1["counts"].items():
+        diff = after - s0["counts"][name]
+        if diff < 0:
+            return None
+        counts_delta[name] = diff
+    if counts_delta.get(C.INSTRUCTIONS, 0) != expected_records:
+        return None
+    return {"c": c, "counts": counts_delta,
+            "pred": (npred1 - npred0, nmisp1 - nmisp0),
+            "cache": cache_delta, "lsd_iters": lsd_iters}
+
+
+def _ff_apply(pl: PipelineSimulator, delta: dict, repeats: int) -> None:
+    """Advance the pipeline by *repeats* validated iterations at once."""
+    shift = delta["c"] * repeats
+    pl.frontend_cycle += shift
+    pl.flags_ready += shift
+    pl._fw_watermark += shift
+    pl.last_completion += shift
+    pl.port_free = [v + shift for v in pl.port_free]
+    pl.reg_ready = {k: v + shift for k, v in pl.reg_ready.items()}
+    pl.mem_ready = {k: v + shift for k, v in pl.mem_ready.items()}
+    pl._forwards = {k + shift: v for k, v in pl._forwards.items()}
+    counts = pl.counts
+    for name, diff in delta["counts"].items():
+        if diff:
+            counts[name] += diff * repeats
+    d_pred, d_misp = delta["pred"]
+    pl.predictor.ff_apply(d_pred, d_misp, repeats)
+    if pl.cache is not None:
+        pl.cache.ff_apply(*delta["cache"], repeats)
+    pl.lsd.iterations += delta["lsd_iters"] * repeats
+
+
+class FastForwardEngine:
+    """Streaming wrapper around a PipelineSimulator that skips steady loops.
+
+    Feed it ExecRecords like a pipeline.  It keys loops by their taken
+    backward branch, fingerprints each iteration as the tuple of
+    ``(address, taken, ea)`` records in its body, and once
+    ``min_repeats`` consecutive iterations fingerprint identically it
+    measures one period and validates the soundness condition (see
+    ``_ff_delta``).  While a validated loop keeps matching, whole
+    iterations are replaced by one ``_ff_apply`` per drained batch; the
+    first diverging record replays any buffered partial iteration through
+    the normal walk, so exits are exact.
+    """
+
+    def __init__(self, pipeline: PipelineSimulator, min_repeats: int = 8,
+                 max_body: int = 2048) -> None:
+        self.pl = pipeline
+        self.min_repeats = min_repeats
+        self.max_body = max_body
+        self._targets: Dict[int, tuple] = {}
+
+        self.cur: List[tuple] = []          # records since last boundary
+        self.key: Optional[tuple] = None    # (branch addr, target)
+        self.prev_sig: Optional[tuple] = None
+        self.repeats = 0
+        self._retry_at: Dict[tuple, int] = {}
+
+        self.measuring = False
+        self.measure_left = 0
+        self.s0: Optional[dict] = None
+        self.period = 1
+        self.fails = 0
+
+        self.skipping = False
+        self.unit_sig: Tuple[tuple, ...] = ()
+        self.pos = 0
+        self.buf: List[ExecRecord] = []
+        self.pending = 0
+        self.delta: Optional[dict] = None
+        self._draining = False
+
+    # -- skip state ---------------------------------------------------------
+
+    def feed(self, record: ExecRecord) -> None:
+        if self.skipping:
+            if (record.address, record.taken, record.ea) \
+                    == self.unit_sig[self.pos]:
+                self.buf.append(record)
+                self.pos += 1
+                if self.pos == len(self.unit_sig):
+                    self.pending += 1
+                    self.pos = 0
+                    self.buf.clear()
+                return
+            self._drain()
+        self._scan_feed(record)
+
+    def _drain(self) -> None:
+        """Apply accumulated skips, then replay the buffered partial tail."""
+        pending, buffered = self.pending, self.buf
+        self.skipping = False
+        self.pending = 0
+        self.buf = []
+        self.pos = 0
+        if pending:
+            _ff_apply(self.pl, self.delta, pending)
+            _FF_STATS["iterations_fast_forwarded"] += pending * self.period
+            _FF_STATS["records_fast_forwarded"] += \
+                pending * len(self.unit_sig)
+        self._draining = True
+        try:
+            for buffered_record in buffered:
+                self._scan_feed(buffered_record)
+        finally:
+            self._draining = False
+
+    # -- scan/measure state --------------------------------------------------
+
+    def _scan_feed(self, record: ExecRecord) -> None:
+        self.pl.feed(record)
+        self.cur.append((record.address, record.taken, record.ea))
+        if record.taken:
+            key = self._backward_key(record)
+            if key is not None:
+                self._boundary(key)
+                return
+        if len(self.cur) > self.max_body:
+            self.cur = []
+            self.prev_sig = None
+            self.repeats = 0
+            self.measuring = False
+
+    def _backward_key(self, record: ExecRecord) -> Optional[tuple]:
+        cached = self._targets.get(id(record.insn))
+        if cached is None:
+            # Pin the instruction in the cache value so its id stays unique
+            # for this engine's lifetime.
+            cached = (record.insn, _taken_target(record))
+            self._targets[id(record.insn)] = cached
+        target = cached[1]
+        if target is not None and target <= record.address:
+            return (record.address, target)
+        return None
+
+    def _boundary(self, key: tuple) -> None:
+        sig = tuple(self.cur)
+        self.cur = []
+        if self.measuring:
+            if key == self.key and sig == self.prev_sig:
+                self.measure_left -= 1
+                if self.measure_left > 0:
+                    return
+                s1 = self.pl._ff_snapshot()
+                delta = _ff_delta(self.s0, s1, len(sig) * self.period)
+                if delta is not None:
+                    self.measuring = False
+                    self.delta = delta
+                    self.unit_sig = sig * self.period
+                    self.skipping = True
+                    self.pos = 0
+                    self.pending = 0
+                    self.buf = []
+                    _FF_STATS["loops_entered"] += 1
+                    return
+                _FF_STATS["validation_failures"] += 1
+                self.fails += 1
+                if self.fails >= 6:
+                    # Not steady yet (warm-up, drifting clocks): back off
+                    # exponentially before re-arming this loop.
+                    self._retry_at[key] = self.repeats * 2 + 16
+                    self.measuring = False
+                    return
+                if self.fails in (2, 4):
+                    # A period-p pattern (e.g. decode slots realigning
+                    # every other iteration) validates at a multiple.
+                    self.period *= 2
+                self.s0 = s1
+                self.measure_left = self.period
+                return
+            self.measuring = False   # pattern broke mid-measurement
+        if key == self.key and sig == self.prev_sig:
+            self.repeats += 1
+            if not self._draining and not self.skipping \
+                    and self.repeats >= self._retry_at.get(
+                        key, self.min_repeats):
+                self.s0 = self.pl._ff_snapshot()
+                self.measure_left = self.period
+                self.measuring = True
+        else:
+            self.key = key
+            self.prev_sig = sig
+            self.repeats = 0
+            self.period = 1
+            self.fails = 0
+
+    def finish(self) -> SimStats:
+        if self.skipping:
+            self._drain()
+        return self.pl.finish()
+
+
+# ---------------------------------------------------------------------------
+# Entry points.
+# ---------------------------------------------------------------------------
+
+def simulate_trace(trace: Iterable[ExecRecord], model: ProcessorModel,
+                   fast_forward: bool = True) -> SimStats:
     """Run the timing model over a complete trace."""
     pipeline = PipelineSimulator(model)
+    if fast_forward and _FF_ENABLED:
+        engine = FastForwardEngine(pipeline)
+        for record in trace:
+            engine.feed(record)
+        return engine.finish()
     for record in trace:
         pipeline.feed(record)
     return pipeline.finish()
+
+
+def simulate_reference(trace: Iterable[ExecRecord],
+                       model: ProcessorModel) -> SimStats:
+    """The retained full walk: every record through the pipeline, no skips."""
+    return simulate_trace(trace, model, fast_forward=False)
+
+
+def simulate_program(program: LoadedProgram, model: ProcessorModel,
+                     entry: Optional[int] = None,
+                     max_steps: int = 5_000_000,
+                     args: Optional[List[int]] = None,
+                     fast_forward: bool = True,
+                     private_memory: bool = False
+                     ) -> Tuple[RunResult, SimStats]:
+    """Execute a loaded program and time it in one streaming pass.
+
+    Records flow from the interpreter's ``trace_callback`` straight into
+    the pipeline (optionally through the fast-forward engine) — no trace
+    list is materialized.  ``private_memory`` runs against a clone of the
+    program's memory image so the same LoadedProgram can be reused across
+    sweeps.
+    """
+    pipeline = PipelineSimulator(model)
+    consumer: Callable[[ExecRecord], None]
+    if fast_forward and _FF_ENABLED:
+        engine = FastForwardEngine(pipeline)
+        finisher = engine
+    else:
+        finisher = pipeline
+    interp = Interpreter(program, max_steps=max_steps,
+                         private_memory=private_memory)
+    result = interp.run(entry=entry, trace_callback=finisher.feed,
+                        args=args)
+    return result, finisher.finish()
+
+
+def simulate_unit(unit: MaoUnit, model: ProcessorModel,
+                  entry_symbol: str = "main",
+                  max_steps: int = 5_000_000,
+                  args: Optional[List[int]] = None,
+                  fast_forward: bool = True) -> Tuple[RunResult, SimStats]:
+    """Load a unit and stream-simulate it (see ``simulate_program``)."""
+    program = load_unit(unit, entry_symbol)
+    return simulate_program(program, model, max_steps=max_steps, args=args,
+                            fast_forward=fast_forward)

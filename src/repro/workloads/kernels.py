@@ -88,8 +88,7 @@ def find_fig1_pad(model=None, search: int = 16,
     where inserting the single NOP gives the largest win.
     """
     from repro.ir import parse_unit
-    from repro.sim import run_unit
-    from repro.uarch.pipeline import simulate_trace
+    from repro.uarch.pipeline import simulate_unit
     from repro.uarch.profiles import core2
 
     model = model or core2()
@@ -98,8 +97,7 @@ def find_fig1_pad(model=None, search: int = 16,
         results = []
         for nop in (False, True):
             unit = parse_unit(mcf_fig1(nop, pad=pad, outer=outer))
-            run = run_unit(unit, collect_trace=True)
-            results.append(simulate_trace(run.trace, model).cycles)
+            results.append(simulate_unit(unit, model)[1].cycles)
         gain = results[0] / results[1] - 1.0
         if gain > best_gain:
             best_pad, best_gain = pad, gain

@@ -41,9 +41,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.analysis.relax import relax_section
 from repro.ir import MaoUnit, parse_unit
-from repro.sim import run_unit
 from repro.uarch.model import ProcessorModel
-from repro.uarch.pipeline import SimStats, simulate_trace
+from repro.uarch.pipeline import SimStats, simulate_unit
 
 SPEC2000_INT = [
     "164.gzip", "175.vpr", "176.gcc", "181.mcf", "186.crafty",
@@ -74,11 +73,11 @@ def measure_cycles(unit: MaoUnit, model: ProcessorModel,
                    entry: str = "main",
                    max_steps: int = 4_000_000) -> SimStats:
     """Interpret + time one unit on one processor model."""
-    result = run_unit(unit, entry_symbol=entry, collect_trace=True,
-                      max_steps=max_steps)
+    result, stats = simulate_unit(unit, model, entry_symbol=entry,
+                                  max_steps=max_steps)
     if result.reason != "ret":
         raise RuntimeError("benchmark did not terminate: %s" % result.reason)
-    return simulate_trace(result.trace, model)
+    return stats
 
 
 def _pad_to_offset(template: Callable[[int], str], label: str,

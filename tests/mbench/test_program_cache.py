@@ -1,0 +1,87 @@
+"""Tests for program reuse across detection sweeps.
+
+Detectors run the same generated kernel at many sweep points; loading it
+once and running each sweep against a private memory clone must change
+nothing but the load count — the detection results are pinned equal with
+a cold and a warm cache, and cached runs must not leak architectural
+state between executions.
+"""
+
+from repro.mbench import Processor, detect
+from repro.mbench.benchmark import (
+    load_program_cached,
+    program_cache_stats,
+    reset_program_cache,
+)
+from repro.uarch.pipeline import simulate_program
+from repro.uarch.profiles import core2
+
+
+SOURCE = (".text\n.globl main\nmain:\n"
+          "    movq $50, %rcx\n"
+          "    leaq buf(%rip), %rdi\n"
+          ".Lloop:\n"
+          "    addq %rcx, (%rdi)\n"
+          "    subq $1, %rcx\n"
+          "    jne .Lloop\n"
+          "    movq (%rdi), %rax\n"
+          "    ret\n"
+          ".section .data\nbuf:\n    .zero 8\n")
+
+
+class TestProgramCache:
+    def test_cache_hit_on_second_load(self):
+        reset_program_cache()
+        first = load_program_cached(SOURCE)
+        second = load_program_cached(SOURCE)
+        assert first is second
+        stats = program_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["entries"] == 1
+
+    def test_entry_symbol_is_part_of_the_key(self):
+        reset_program_cache()
+        source = (".text\n.globl main\n.globl alt\nmain:\n    ret\n"
+                  "alt:\n    ret\n")
+        a = load_program_cached(source, "main")
+        b = load_program_cached(source, "alt")
+        assert a is not b
+        assert program_cache_stats()["entries"] == 2
+
+    def test_cached_runs_do_not_leak_memory_state(self):
+        # The kernel sums 1..50 into .data and loads it back; a run
+        # against a stale memory image would see the previous total.
+        reset_program_cache()
+        model = core2()
+        program = load_program_cached(SOURCE)
+        for _ in range(3):
+            result, stats = simulate_program(program, model,
+                                             private_memory=True)
+            assert result.reason == "ret"
+            assert result.state.gp["rax"] == sum(range(1, 51))
+        assert program_cache_stats()["entries"] == 1
+
+
+class TestDetectionUnchanged:
+    def test_latency_same_cold_and_warm(self):
+        proc = Processor(core2())
+        reset_program_cache()
+        cold = detect.InstructionLatency(proc, "addq %r, %r",
+                                         trip_count=300)
+        warm = detect.InstructionLatency(proc, "addq %r, %r",
+                                         trip_count=300)
+        assert cold == warm == core2().latency["alu"]
+
+    def test_branch_predictor_shift_detection_unchanged(self):
+        reset_program_cache()
+        proc = Processor(core2())
+        cold = detect.DetectBranchPredictorShift(proc)
+        misses = program_cache_stats()["misses"]
+        warm = detect.DetectBranchPredictorShift(proc)
+        assert cold == warm == core2().bp_index_shift
+        # The repeat sweep reuses every loaded program: only hits, no
+        # further loads.
+        stats = program_cache_stats()
+        assert stats["misses"] == misses
+        assert stats["hits"] >= misses

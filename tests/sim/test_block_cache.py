@@ -1,0 +1,208 @@
+"""Differential tests for the trace-compiled basic-block engine.
+
+The block cache may only change *speed*: every run must produce the same
+steps, reason, architectural state, memory image, and (when traced) the
+same ExecRecord stream as the per-instruction reference loop.  The cache
+is sound because the code image is immutable after load, so these tests
+pin that contract on the paper's kernels plus the awkward shapes —
+padding gaps, faults mid-block, max-steps cut-offs, rdtsc blocks.
+"""
+
+import pytest
+
+from repro.ir import parse_unit
+from repro.sim import interp
+from repro.sim.interp import (
+    ExecRecord,
+    Interpreter,
+    SimError,
+    block_cache_disabled,
+    block_cache_stats,
+    reset_block_cache_stats,
+    run_unit,
+)
+from repro.sim.loader import load_unit
+from repro.workloads import kernels
+
+
+def _fingerprint(result):
+    return (result.steps, result.reason,
+            tuple(sorted(result.state.gp.items())),
+            tuple(sorted(result.state.flags.snapshot().items())),
+            result.state.rip,
+            result.memory.snapshot_hash() if result.memory else None)
+
+
+def _trace_sig(result):
+    return [(r.address, r.taken, r.ea) for r in result.trace]
+
+
+def run_both(source, collect_trace=True, max_steps=100_000, args=None):
+    """One reference (cache-disabled) run and one block-cached run."""
+    with block_cache_disabled():
+        ref = run_unit(parse_unit(source), collect_trace=collect_trace,
+                       max_steps=max_steps, args=args)
+    fast = run_unit(parse_unit(source), collect_trace=collect_trace,
+                    max_steps=max_steps, args=args)
+    return ref, fast
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name,source", [
+        ("fig1", kernels.mcf_fig1(insert_nop=True, outer=4)),
+        ("fig4", kernels.fig4_loop(iterations=40)),
+        ("hash", kernels.hash_bench(trip=60)),
+        ("nested", kernels.nested_short_loops(outer=12)),
+        ("eon", kernels.eon_loop(outer=6)),
+    ])
+    def test_kernels_identical(self, name, source):
+        ref, fast = run_both(source)
+        assert _fingerprint(ref) == _fingerprint(fast)
+        assert _trace_sig(ref) == _trace_sig(fast)
+
+    def test_max_steps_cut_mid_block_identical(self):
+        source = kernels.fig4_loop(iterations=500)
+        for max_steps in (1, 7, 100, 1001):
+            ref, fast = run_both(source, max_steps=max_steps)
+            assert _fingerprint(ref) == _fingerprint(fast)
+            assert ref.reason == "max-steps"
+
+    def test_handler_fault_mid_block_preserves_partial_state(self):
+        # The instructions before the faulting divide must have executed.
+        source = (".text\n.globl main\nmain:\n"
+                  "    movl $7, %r8d\n"
+                  "    movl $9, %r9d\n"
+                  "    xorq %rcx, %rcx\n"
+                  "    movq $1, %rax\n"
+                  "    divq %rcx\n"
+                  "    ret\n")
+        states = []
+        for disabled in (True, False):
+            interp_ctx = block_cache_disabled() if disabled else _null_ctx()
+            program = load_unit(parse_unit(source), "main")
+            machine = Interpreter(program)
+            with interp_ctx:
+                with pytest.raises(SimError, match="division"):
+                    machine.run()
+            states.append((machine.state.gp["r8"],
+                           machine.state.gp["r9"]))
+        assert states[0] == states[1] == (7, 9)
+
+    def test_no_semantics_fault_matches_reference(self, monkeypatch):
+        # A decodable instruction without semantics faults after the
+        # earlier block steps committed, same as the reference loop.
+        monkeypatch.delitem(interp._DISPATCH, "bswap")
+        source = (".text\n.globl main\nmain:\n"
+                  "    movl $5, %r10d\n"
+                  "    bswap %rax\n"
+                  "    ret\n")
+        states = []
+        for disabled in (True, False):
+            interp_ctx = block_cache_disabled() if disabled else _null_ctx()
+            program = load_unit(parse_unit(source), "main")
+            machine = Interpreter(program)
+            with interp_ctx:
+                with pytest.raises(SimError, match="no semantics"):
+                    machine.run()
+            states.append(machine.state.gp["r10"])
+        assert states[0] == states[1] == 5
+
+    def test_fall_off_code_matches_reference(self):
+        # A block that runs past the last encoded instruction must fault
+        # exactly like the reference loop (after the same step count).
+        source = (".text\n.globl main\nmain:\n"
+                  "    movl $1, %eax\n"
+                  "    jmp done\n"
+                  "done:\n"
+                  "    nop\n")  # no ret: execution falls off after nop
+        for ctx in (block_cache_disabled(), _null_ctx()):
+            program = load_unit(parse_unit(source), "main")
+            machine = Interpreter(program)
+            with ctx:
+                with pytest.raises(SimError, match="fell off"):
+                    machine.run()
+
+    def test_rdtsc_block_identical(self):
+        source = (".text\n.globl main\nmain:\n"
+                  "    movq $3, %rcx\n"
+                  ".Lloop:\n"
+                  "    rdtsc\n"
+                  "    addq %rax, %rbx\n"
+                  "    subq $1, %rcx\n"
+                  "    jne .Lloop\n"
+                  "    ret\n")
+        ref, fast = run_both(source)
+        assert _fingerprint(ref) == _fingerprint(fast)
+
+    def test_sampled_run_identical(self):
+        source = kernels.hash_bench(trip=50)
+        with block_cache_disabled():
+            ref = run_unit(parse_unit(source), sample_period=16)
+        fast = run_unit(parse_unit(source), sample_period=16)
+        assert ref.samples == fast.samples
+
+
+class TestCacheBehaviour:
+    def test_blocks_compiled_once_and_hit(self):
+        reset_block_cache_stats()
+        source = kernels.fig4_loop(iterations=50)
+        run_unit(parse_unit(source))
+        stats = block_cache_stats()
+        assert stats["blocks_compiled"] >= 1
+        assert stats["block_hits"] > stats["blocks_compiled"]
+        assert 0.0 < stats["hit_rate"] <= 1.0
+
+    def test_cache_lives_on_the_program(self):
+        # Two interpreters over one LoadedProgram share compiled blocks.
+        program = load_unit(parse_unit(kernels.fig4_loop(iterations=20)),
+                            "main")
+        Interpreter(program, private_memory=True).run()
+        assert program.block_cache
+        reset_block_cache_stats()
+        Interpreter(program, private_memory=True).run()
+        assert block_cache_stats()["blocks_compiled"] == 0
+        assert block_cache_stats()["block_hits"] > 0
+
+    def test_disabled_context_restores(self):
+        assert interp._BLOCK_CACHE_ENABLED
+        with block_cache_disabled():
+            assert not interp._BLOCK_CACHE_ENABLED
+            assert not block_cache_stats()["enabled"]
+        assert interp._BLOCK_CACHE_ENABLED
+
+
+class TestNoRecordsUntraced:
+    def test_untraced_run_allocates_no_exec_records(self, monkeypatch):
+        # Static facts (ea mode, memory operand) live on the compiled
+        # block; an untraced run must not materialize a single record.
+        created = []
+
+        class CountingRecord(ExecRecord):
+            def __init__(self, *args, **kwargs):
+                created.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(interp, "ExecRecord", CountingRecord)
+        source = kernels.hash_bench(trip=40)
+        result = run_unit(parse_unit(source))
+        assert result.reason == "ret"
+        assert result.trace is None
+        assert not created
+
+    def test_traced_run_does_allocate(self, monkeypatch):
+        created = []
+
+        class CountingRecord(ExecRecord):
+            def __init__(self, *args, **kwargs):
+                created.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(interp, "ExecRecord", CountingRecord)
+        result = run_unit(parse_unit(kernels.hash_bench(trip=5)),
+                          collect_trace=True)
+        assert len(created) == len(result.trace) == result.steps
+
+
+def _null_ctx():
+    from contextlib import nullcontext
+    return nullcontext()
