@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-quick bench-suite perf-report clean
+.PHONY: test bench bench-quick bench-suite perf-report trace-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -21,6 +21,15 @@ bench-suite:
 
 perf-report:
 	$(PYTHON) scripts/perf_report.py
+
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli --mao=REDTEST:LOOP16 \
+		--sim core2 --jobs 2 --trace-out /tmp/pymao_trace.jsonl \
+		-o /tmp/pymao_trace_out.s examples/hot_loop.s
+	$(PYTHON) scripts/validate_trace.py /tmp/pymao_trace.jsonl \
+		--require optimize --require parse --require pass:REDTEST \
+		--require relax --require simulate
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_trace.jsonl
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

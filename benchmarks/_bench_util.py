@@ -12,28 +12,24 @@ from __future__ import annotations
 import sys
 from typing import Dict, List, Optional, Tuple
 
-from repro.ir import parse_unit
-from repro.passes import run_passes
-from repro.uarch.pipeline import SimStats, simulate_unit
+from repro import api
+from repro.uarch.pipeline import SimStats
 
 
 def measure(source_or_unit, model, max_steps=4_000_000,
             args=None) -> SimStats:
     """Interpret + time a program on a processor model (streaming)."""
-    unit = parse_unit(source_or_unit) if isinstance(source_or_unit, str) \
-        else source_or_unit
-    result, stats = simulate_unit(unit, model, max_steps=max_steps,
-                                  args=args)
-    assert result.reason == "ret", result.reason
-    return stats
+    sim = api.simulate(source_or_unit, model, max_steps=max_steps,
+                       args=args)
+    assert sim.result.reason == "ret", sim.result.reason
+    return sim.stats
 
 
 def delta_for_pass(program, spec: str, model) -> float:
     """Relative speedup (positive = pass helped) of a pass pipeline."""
     base = measure(program.unit(), model, max_steps=program.max_steps)
-    unit = program.unit()
-    run_passes(unit, spec)
-    opt = measure(unit, model, max_steps=program.max_steps)
+    opt_unit = api.optimize(program.unit(), spec).unit
+    opt = measure(opt_unit, model, max_steps=program.max_steps)
     return base.cycles / opt.cycles - 1.0
 
 

@@ -35,13 +35,12 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
-import repro.passes  # noqa: F401,E402  (registers built-in passes)
+from repro import api  # noqa: E402
 from repro.analysis.relax import (  # noqa: E402
     relax_section,
     relax_section_reference,
 )
 from repro.ir import parse_unit  # noqa: E402
-from repro.passes.manager import run_passes  # noqa: E402
 from repro.workloads.corpus import CorpusConfig, generate_corpus_text  # noqa: E402
 from repro.x86 import encoder  # noqa: E402
 
@@ -108,18 +107,27 @@ def bench_relax(text: str, repeats: int) -> dict:
 
 
 def bench_parallel(text: str, spec: str, jobs: int, backend: str) -> dict:
-    """Pass pipeline: serial vs. --jobs N, with a determinism check."""
+    """Pass pipeline: serial vs. --jobs N, with a determinism check.
+
+    Both runs go through the ``repro.api`` facade on pre-parsed units
+    (so only the pass pipeline is timed); the serial run's PipelineResult
+    ships in the output under its versioned ``pymao.pipeline/1`` schema
+    for ``perf_report.py`` to consume.
+    """
     unit_serial = parse_unit(text)
     unit_parallel = parse_unit(text)
 
     start = time.perf_counter()
-    run_passes(unit_serial, spec)
+    serial = api.optimize(unit_serial, spec)
     serial_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    run_passes(unit_parallel, spec, jobs=jobs, backend=backend)
+    parallel = api.optimize(unit_parallel, spec, jobs=jobs,
+                            parallel_backend=backend)
     parallel_s = time.perf_counter() - start
 
+    reports_match = ([r.to_dict() for r in serial.reports]
+                     == [r.to_dict() for r in parallel.reports])
     return {
         "spec": spec,
         "jobs": jobs,
@@ -128,7 +136,9 @@ def bench_parallel(text: str, spec: str, jobs: int, backend: str) -> dict:
         "serial_s": round(serial_s, 6),
         "parallel_s": round(parallel_s, 6),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "deterministic": unit_serial.to_asm() == unit_parallel.to_asm(),
+        "deterministic": (serial.to_asm() == parallel.to_asm()
+                          and reports_match),
+        "pipeline": serial.pipeline.to_dict(),
     }
 
 

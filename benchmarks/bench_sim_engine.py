@@ -37,14 +37,12 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
+from repro import api  # noqa: E402
 from repro.ir import parse_unit  # noqa: E402
 from repro.sim import interp  # noqa: E402
 from repro.sim.interp import run_unit  # noqa: E402
 from repro.uarch import pipeline  # noqa: E402
-from repro.uarch.pipeline import (  # noqa: E402
-    simulate_reference,
-    simulate_unit,
-)
+from repro.uarch.pipeline import simulate_reference  # noqa: E402
 from repro.uarch.profiles import core2, opteron  # noqa: E402
 from repro.workloads import kernels  # noqa: E402
 
@@ -71,7 +69,8 @@ def bench_engine(name: str, source: str, model) -> dict:
         baseline_s = time.perf_counter() - start
 
     start = time.perf_counter()
-    result_fast, stats_fast = simulate_unit(unit_fast, model)
+    sim = api.simulate(unit_fast, model)
+    result_fast, stats_fast = sim.result, sim.stats
     fast_s = time.perf_counter() - start
 
     blk = interp.block_cache_stats()
@@ -120,7 +119,8 @@ def bench_differential(quick: bool) -> dict:
                     pipeline.fast_forward_disabled():
                 base = run_unit(parse_unit(source), collect_trace=True)
                 ref = simulate_reference(base.trace, model)
-            run, fast = simulate_unit(parse_unit(source), model)
+            sim = api.simulate(source, model)
+            run, fast = sim.result, sim.stats
             checked += 1
             if (ref.counters != fast.counters
                     or _run_state(base) != _run_state(run)):

@@ -1,0 +1,16 @@
+# A small optimize+simulate smoke input: a redundant test to delete
+# (REDTEST), a short loop for LOOP16 to consider, and a `main` entry the
+# simulator can run to completion.  Used by `make trace-smoke` and CI.
+.text
+.globl main
+.type main, @function
+main:
+    movl $200, %ecx
+    xorl %eax, %eax
+.Lloop:
+    addl $3, %eax
+    testl %eax, %eax
+    subl $1, %ecx
+    jne .Lloop
+    mov %eax, %eax
+    ret

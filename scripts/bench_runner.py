@@ -20,6 +20,12 @@ at the top level of the output (so ``scripts/perf_report.py`` can render
 and gate the merged file exactly like a direct ``bench_sim_engine.py``
 run).
 
+With ``--trace-out FILE.jsonl`` the runner additionally emits a
+``pymao.trace/1`` event log — one ``bench-suite`` root span with one
+child span per shard (status/kind/elapsed attrs) plus runner metrics —
+the same schema ``mao --trace-out`` writes and
+``scripts/validate_trace.py`` / ``scripts/perf_report.py`` consume.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_runner.py --quick --jobs 4
@@ -112,6 +118,39 @@ def discover(pattern: str) -> list:
     return [f for f in names if fnmatch.fnmatch(f, pattern)]
 
 
+def write_runner_trace(path: str, shards: dict, wall: float,
+                       jobs: int, quick: bool) -> None:
+    """Emit the shard summary as a pymao.trace/1 event log."""
+    src = os.path.join(_REPO_ROOT, "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro import obs
+
+    root = obs.Span("bench-suite", {"jobs": jobs, "quick": quick})
+    root.dur_s = wall
+    registry = obs.Registry()
+    for name in sorted(shards):
+        shard = shards[name]
+        child = obs.Span("shard:%s" % name,
+                         {"kind": shard["kind"],
+                          "status": shard["status"]})
+        child.dur_s = shard["elapsed_s"]
+        root.children.append(child)
+        registry.inc("runner.shards")
+        if shard["status"] != "ok":
+            registry.inc("runner.failures")
+        for row in shard.get("tests", ()):
+            registry.observe("runner.test_mean_s", row["mean_s"])
+    registry.gauge("runner.wall_s", round(wall, 3))
+    registry.gauge("runner.jobs", jobs)
+    sink = obs.JsonlSink(path)
+    try:
+        obs.write_trace(sink, [root], registry=registry,
+                        tool="bench_runner", quick=quick)
+    finally:
+        sink.close()
+
+
 def merge(shards: dict) -> dict:
     """Deterministic merge: engine sections at top level, suite below."""
     engine = (shards.get("bench_sim_engine.py") or {}).get("results")
@@ -142,6 +181,9 @@ def main(argv=None) -> int:
     parser.add_argument("-o", "--output", default=None,
                         help="merged JSON path (default: BENCH_sim.json "
                              "next to the repo root)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                        help="also write a pymao.trace/1 event log of "
+                             "the shard runs")
     args = parser.parse_args(argv)
 
     output = args.output or os.path.join(_REPO_ROOT, "BENCH_sim.json")
@@ -178,6 +220,11 @@ def main(argv=None) -> int:
     serial = sum(s["elapsed_s"] for s in shards.values())
     print("wrote %s  (wall %.1fs, serial-equivalent %.1fs, %.2fx)"
           % (output, wall, serial, serial / wall if wall else 0))
+
+    if args.trace_out:
+        write_runner_trace(args.trace_out, shards, wall,
+                           args.jobs, args.quick)
+        print("wrote %s" % args.trace_out)
 
     failed = sorted(n for n, s in shards.items() if s["status"] != "ok")
     if failed:

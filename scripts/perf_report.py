@@ -6,11 +6,17 @@ field:
 
 * ``BENCH_hotpath.json`` (``mao-bench-hotpath/1``) from
   ``benchmarks/bench_hotpath.py`` — encoding cache + incremental
-  relaxation + parallel pass pipeline;
+  relaxation + parallel pass pipeline; its ``parallel_pipeline.pipeline``
+  section is a versioned ``pymao.pipeline/1`` PipelineResult, rebuilt
+  through ``PipelineResult.from_dict`` (no duck-typed dict poking);
 * ``BENCH_sim.json`` (``mao-bench-sim/1``) from
   ``benchmarks/bench_sim_engine.py`` or ``scripts/bench_runner.py`` —
   block cache + streaming + loop fast-forward (plus, when produced by
   the runner, the sharded suite results).
+
+``.jsonl`` paths are treated as ``pymao.trace/1`` event logs (the
+``--trace-out`` / bench-runner format): validated with
+``scripts/validate_trace.py`` and summarized.
 
 With ``--check`` it exits non-zero when a fast path regresses: output
 not identical to the reference, or the gated speedup below
@@ -34,9 +40,27 @@ import sys
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json")
 
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import validate_trace  # noqa: E402  (sibling script)
+
 
 def _row(label: str, value: str) -> None:
     print("  %-26s %s" % (label, value))
+
+
+def _load_pipeline(data: dict):
+    """Rebuild a serialized PipelineResult; None if absent/invalid."""
+    from repro.passes.manager import PipelineResult
+
+    if not data:
+        return None
+    try:
+        return PipelineResult.from_dict(data)
+    except (ValueError, KeyError, TypeError):
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -69,6 +93,13 @@ def render_hotpath(results: dict) -> None:
         _row("parallel", "%.4fs" % parallel["parallel_s"])
         _row("speedup vs serial", "%.2fx" % parallel["speedup"])
         _row("deterministic", str(parallel["deterministic"]))
+        pipeline = _load_pipeline(parallel.get("pipeline"))
+        if pipeline is not None:
+            for name in pipeline.pass_names():
+                totals = pipeline.stats_for(name)
+                summary = "  ".join("%s=%d" % (k, v)
+                                    for k, v in sorted(totals.items()))
+                _row("pass %s" % name, summary or "(no stats)")
 
 
 def check_hotpath(results: dict, min_speedup: float) -> list:
@@ -86,8 +117,13 @@ def check_hotpath(results: dict, min_speedup: float) -> list:
         failures.append("relax_corpus speedup %.2fx < required %.2fx"
                         % (corpus["speedup"], min_speedup))
     parallel = results.get("parallel_pipeline")
-    if parallel and not parallel["deterministic"]:
-        failures.append("parallel pipeline output diverged from serial")
+    if parallel:
+        if not parallel["deterministic"]:
+            failures.append("parallel pipeline output diverged from serial")
+        if "pipeline" in parallel \
+                and _load_pipeline(parallel["pipeline"]) is None:
+            failures.append("parallel_pipeline.pipeline is not a valid "
+                            "pymao.pipeline/1 document")
     return failures
 
 
@@ -161,6 +197,38 @@ def check_sim(results: dict, min_speedup: float) -> list:
 
 
 # ---------------------------------------------------------------------------
+# pymao.trace/1 event logs (.jsonl)
+# ---------------------------------------------------------------------------
+
+def _span_count(span: dict) -> int:
+    return 1 + sum(_span_count(c) for c in span.get("children", ()))
+
+
+def render_trace(path: str, events: list) -> None:
+    spans = [e for e in events if e.get("type") == "span"]
+    metrics = [e for e in events if e.get("type") == "metrics"]
+    print("trace event log (%s)" % validate_trace.SCHEMA)
+    _row("file", os.path.basename(path))
+    _row("events", str(len(events)))
+    _row("root spans", str(len(spans)))
+    _row("total spans", str(sum(_span_count(s) for s in spans)))
+    for span in spans:
+        _row("span %s" % span["name"], "%.4fs" % span["dur_s"])
+    for event in metrics:
+        values = event.get("values", {})
+        _row("metrics series", str(len(values)))
+
+
+def check_trace(events: list) -> list:
+    errors = validate_trace.validate_events(events, [])
+    if errors:
+        return errors
+    if not any(e.get("type") == "span" for e in events):
+        return ["trace log carries no spans"]
+    return []
+
+
+# ---------------------------------------------------------------------------
 # Dispatch.
 # ---------------------------------------------------------------------------
 
@@ -171,6 +239,14 @@ _SCHEMAS = {
 
 
 def process(path: str, do_check: bool, min_speedup: float) -> list:
+    if path.endswith(".jsonl"):
+        parse_errors: list = []
+        events = validate_trace.read_events(path, parse_errors)
+        render_trace(path, events)
+        if not do_check:
+            return []
+        return ["%s: %s" % (os.path.basename(path), f)
+                for f in parse_errors + check_trace(events)]
     with open(path) as handle:
         results = json.load(handle)
     schema = results.get("schema")

@@ -1,7 +1,14 @@
 """PyMAO — a reproduction of "MAO: An Extensible Micro-Architectural
 Optimizer" (Hundt, Raman, Thuresson, Vachharajani — CGO 2011).
 
-The common entry points, re-exported for convenience::
+The supported front door is :mod:`repro.api`::
+
+    from repro import api
+
+    result = api.optimize(open("hot.s").read(), "REDZEE:REDTEST:LOOP16")
+    sim = api.simulate(result.unit, "core2")
+
+The lower-level entry points stay re-exported for convenience::
 
     from repro import parse_unit, run_passes, run_unit, simulate_trace
     from repro import core2, opteron
@@ -25,14 +32,18 @@ Subpackages:
   synthetic benchmarks.
 * ``repro.profiling`` — sampling, annotation, reuse distance, edge
   profiles.
+* ``repro.api`` — the supported facade (``optimize`` / ``simulate``).
+* ``repro.obs`` — tracing spans, the metrics registry, trace sinks.
 """
 
 __version__ = "0.1.0"
 
+from repro import obs
 from repro.ir import MaoUnit, parse_unit
 from repro.passes import PassPipeline, run_passes
 from repro.sim import run_unit
 from repro.uarch import core2, opteron, simulate_trace
+from repro import api
 
 __all__ = [
     "__version__",
@@ -44,4 +55,6 @@ __all__ = [
     "core2",
     "opteron",
     "simulate_trace",
+    "api",
+    "obs",
 ]

@@ -299,6 +299,24 @@ def relax_section(unit: MaoUnit, section: Section,
                   extern_symbols: Optional[Dict[str, int]] = None,
                   entries: Optional[List[MaoEntry]] = None
                   ) -> SectionLayout:
+    """Relax one section (traced wrapper over the incremental algorithm)."""
+    from repro import obs
+
+    with obs.span("relax", section=section.name) as span:
+        layout = _relax_section_incremental(
+            unit, section, start_address=start_address,
+            extern_symbols=extern_symbols, entries=entries)
+        if span:
+            span.attach(iterations=layout.iterations, size=layout.size)
+    return layout
+
+
+def _relax_section_incremental(unit: MaoUnit, section: Section,
+                               start_address: int = 0,
+                               extern_symbols: Optional[Dict[str,
+                                                             int]] = None,
+                               entries: Optional[List[MaoEntry]] = None
+                               ) -> SectionLayout:
     """Relax one section: assign addresses, sizes, and final encodings.
 
     Incremental algorithm: sizes live in a vector whose running prefix sums

@@ -1,0 +1,180 @@
+"""``repro.api`` — the supported front door to PyMAO.
+
+Callers (the CLI, the benches, tests, a future server) previously glued
+``parse_unit`` + ``run_passes`` + ``simulate_program`` together by hand,
+each with its own timing and stat plumbing.  The facade gives the two
+operations that cover them all, both traced through :mod:`repro.obs`:
+
+* :func:`optimize` — parse (if needed) and run a pass pipeline::
+
+      result = api.optimize(src, "REDTEST:LOOP16", jobs=4)
+      result.unit, result.pipeline, result.parse_s, result.passes_s
+
+* :func:`simulate` — execute + time a program on a processor model::
+
+      sim = api.simulate(result.unit, "core2")
+      sim.cycles, sim.stats, sim.result
+
+Models may be passed as :class:`~repro.uarch.model.ProcessorModel`
+instances or by profile name (``"core2"``, ``"opteron"``,
+``"pentium4"``).  A workload kernel from :mod:`repro.workloads.kernels`
+can be named instead of source text: ``api.simulate(None, "core2",
+workload="hash_bench")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import repro.passes  # noqa: F401  (registers all built-in passes)
+from repro import obs
+from repro.ir import MaoUnit, parse_unit
+from repro.passes.manager import (
+    PassPipeline,
+    PipelineResult,
+    parse_pass_spec,
+)
+from repro.sim.interp import RunResult
+from repro.sim.loader import load_unit
+from repro.uarch import profiles
+from repro.uarch.model import ProcessorModel
+from repro.uarch.pipeline import SimStats, simulate_program
+
+SpecItems = List[Tuple[str, Dict[str, Any]]]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of one :func:`optimize` call."""
+
+    unit: MaoUnit
+    pipeline: PipelineResult
+    parse_s: float
+    passes_s: float
+
+    @property
+    def reports(self):
+        return self.pipeline.reports
+
+    def stats_for(self, pass_name: str) -> Dict[str, int]:
+        return self.pipeline.stats_for(pass_name)
+
+    def to_asm(self) -> str:
+        return self.unit.to_asm()
+
+
+@dataclass
+class SimResult:
+    """Outcome of one :func:`simulate` call."""
+
+    result: RunResult
+    stats: SimStats
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self.stats.counters
+
+    @property
+    def steps(self) -> int:
+        return self.result.steps
+
+    def __getitem__(self, counter_name: str) -> int:
+        return self.stats[counter_name]
+
+
+def _resolve_model(core: Union[str, ProcessorModel]) -> ProcessorModel:
+    if isinstance(core, ProcessorModel):
+        return core
+    factory = getattr(profiles, str(core), None)
+    if factory is None or not callable(factory):
+        raise ValueError("unknown processor model %r (try %s)"
+                         % (core, ", ".join(
+                             n for n in ("core2", "opteron", "pentium4"))))
+    return factory()
+
+
+def _resolve_spec(spec: Union[None, str, SpecItems]) -> SpecItems:
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        return parse_pass_spec(spec)
+    return list(spec)
+
+
+def optimize(src: Union[str, MaoUnit],
+             spec: Union[None, str, SpecItems] = None, *,
+             jobs: int = 1,
+             parallel_backend: str = "thread",
+             filename: str = "<string>") -> OptimizeResult:
+    """Parse *src* (source text or an already-built unit) and run *spec*
+    (a ``--mao=`` string or ``(name, options)`` items) over it."""
+    import time
+
+    with obs.span("optimize", jobs=jobs,
+                  parallel_backend=parallel_backend) as root:
+        if isinstance(src, MaoUnit):
+            unit = src
+            parse_s = 0.0
+        else:
+            with obs.span("parse", filename=filename, bytes=len(src)) as sp:
+                start = time.perf_counter()
+                unit = parse_unit(src, filename=filename)
+                parse_s = time.perf_counter() - start
+                if sp:
+                    sp.attach(entries=sum(1 for _ in unit.entries()),
+                              functions=len(unit.functions))
+        items = _resolve_spec(spec)
+        start = time.perf_counter()
+        result = PassPipeline(items).run(unit, jobs=jobs,
+                                         parallel_backend=parallel_backend)
+        passes_s = time.perf_counter() - start
+        if root:
+            root.attach(passes=[name for name, _ in items],
+                        reports=len(result.reports))
+    return OptimizeResult(unit=unit, pipeline=result,
+                          parse_s=parse_s, passes_s=passes_s)
+
+
+def simulate(src_or_unit: Union[None, str, MaoUnit],
+             core: Union[str, ProcessorModel], *,
+             workload: Union[None, str, Any] = None,
+             entry_symbol: str = "main",
+             max_steps: int = 5_000_000,
+             args: Optional[List[int]] = None,
+             fast_forward: bool = True) -> SimResult:
+    """Execute + time a program on *core* in one streaming pass.
+
+    ``src_or_unit`` is assembly text or a parsed unit; alternatively pass
+    ``workload=`` (a kernel name from :mod:`repro.workloads.kernels`, or
+    any callable returning source text) and leave ``src_or_unit`` None.
+    """
+    model = _resolve_model(core)
+    if src_or_unit is None:
+        if workload is None:
+            raise ValueError("need source text, a unit, or workload=")
+        if callable(workload):
+            src_or_unit = workload()
+        else:
+            from repro.workloads import kernels
+            factory = getattr(kernels, str(workload), None)
+            if factory is None or not callable(factory):
+                raise ValueError("unknown workload kernel %r" % (workload,))
+            src_or_unit = factory()
+    elif workload is not None:
+        raise ValueError("pass either src_or_unit or workload=, not both")
+
+    if isinstance(src_or_unit, MaoUnit):
+        unit = src_or_unit
+    else:
+        with obs.span("parse", bytes=len(src_or_unit)):
+            unit = parse_unit(src_or_unit)
+    with obs.span("load", entry=entry_symbol):
+        program = load_unit(unit, entry_symbol)
+    result, stats = simulate_program(program, model, max_steps=max_steps,
+                                     args=args, fast_forward=fast_forward)
+    return SimResult(result=result, stats=stats)

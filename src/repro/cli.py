@@ -14,22 +14,26 @@ The original MAO ships an ``as`` replacement script that filters MAO
 options and then delegates to the real assembler; ``--gas-compat`` mode
 emulates that flow by accepting (and ignoring) common gas flags like
 ``--64`` and ``-o`` so the driver can sit behind a compiler.
+
+Observability: the driver is a thin shell over :mod:`repro.api`, and all
+reporting flags are views over :mod:`repro.obs` — ``--trace-out FILE``
+writes the ``pymao.trace/1`` JSONL event log (spans + metrics snapshot),
+``--stats`` prints per-pass transformation counts, ``--sim-stats`` prints
+the engine-cache metrics, ``--time`` prints the parse/pass span timings,
+and ``--profile-spans PATTERN`` (or ``PYMAO_PROFILE``) attaches cProfile
+summaries to matching spans.  ``--sim MODEL`` simulates the optimized
+unit on a processor model after the passes run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import repro.passes  # noqa: F401  (registers all built-in passes)
-from repro.ir import parse_unit
-from repro.passes.manager import (
-    PassPipeline,
-    parse_pass_spec,
-    registered_passes,
-)
+from repro import api, obs
+from repro.passes.manager import parse_pass_spec, registered_passes
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -53,6 +57,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "cache, basic-block cache, loop fast-forward)")
     parser.add_argument("--time", action="store_true",
                         help="report wall-clock time per pass pipeline")
+    parser.add_argument("--sim", choices=("core2", "opteron", "pentium4"),
+                        default=None, metavar="MODEL",
+                        help="simulate the optimized unit on a processor "
+                             "model (core2, opteron, pentium4) and report "
+                             "cycles")
+    parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
+                        help="write the run's trace (nested spans + "
+                             "metrics snapshot) as pymao.trace/1 JSONL")
+    parser.add_argument("--profile-spans", default=None, metavar="PATTERN",
+                        help="attach cProfile summaries to spans matching "
+                             "the fnmatch PATTERN (implies span capture; "
+                             "PYMAO_PROFILE env var is the equivalent)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="fan function-scoped passes across N workers "
                              "(default: 1, serial)")
@@ -99,21 +115,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(args.input) as handle:
         source = handle.read()
 
-    start = time.perf_counter()
-    unit = parse_unit(source, filename=args.input)
-    parse_time = time.perf_counter() - start
-
     spec_items = []
     for spec in args.mao:
         spec_items.extend(parse_pass_spec(spec))
     if args.output and not any(name == "ASM" for name, _ in spec_items):
         spec_items.append(("ASM", {"o": args.output}))
 
-    pipeline = PassPipeline(spec_items)
-    start = time.perf_counter()
-    result = pipeline.run(unit, jobs=args.jobs,
-                          backend=args.parallel_backend)
-    pass_time = time.perf_counter() - start
+    if args.profile_spans:
+        obs.profile.configure(args.profile_spans)
+    tracing = bool(args.trace_out or args.profile_spans)
+    was_enabled = obs.set_enabled(True) if tracing else obs.enabled()
+    try:
+        result = api.optimize(source, spec_items, jobs=args.jobs,
+                              parallel_backend=args.parallel_backend,
+                              filename=args.input)
+        sim = None
+        if args.sim:
+            names = [f.name for f in result.unit.functions]
+            entry = "main" if "main" in names or not names else names[0]
+            sim = api.simulate(result.unit, args.sim, entry_symbol=entry)
+    finally:
+        if tracing:
+            obs.set_enabled(was_enabled)
 
     if args.stats:
         for report in result.reports:
@@ -124,34 +147,52 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  % (report.pass_name, report.scope, stats))
     if args.time:
         sys.stderr.write("parse: %.3fs  passes: %.3fs\n"
-                         % (parse_time, pass_time))
+                         % (result.parse_s, result.passes_s))
+    if sim is not None:
+        sys.stderr.write("sim[%s]: cycles=%d instructions=%d ipc=%.2f\n"
+                         % (args.sim, sim.cycles, sim.steps,
+                            sim.stats.ipc()))
     if args.sim_stats:
         print_sim_stats(sys.stderr)
+    if args.trace_out:
+        sink = obs.JsonlSink(args.trace_out)
+        try:
+            obs.write_trace(sink, obs.finish_spans(),
+                            argv=list(argv) if argv is not None
+                            else sys.argv[1:],
+                            input=args.input)
+        finally:
+            sink.close()
     return 0
 
 
 def print_sim_stats(stream) -> None:
-    """Dump the engine caches' counters (mirrors encoding_cache_stats)."""
-    from repro.sim.interp import block_cache_stats
-    from repro.uarch.pipeline import fast_forward_stats
-    from repro.x86.encoder import encoding_cache_stats
+    """Dump the engine caches' counters from the metrics registry.
 
-    enc = encoding_cache_stats()
+    Same byte format as before the registry existed; the values now come
+    from one :func:`repro.obs.Registry.snapshot` (the collectors poll the
+    caches), so this view, ``--trace-out``, and the bench event logs all
+    report identical numbers.
+    """
+    snap = obs.REGISTRY.snapshot()
     stream.write("encoding-cache: hits=%d misses=%d bypasses=%d "
                  "hit-rate=%.1f%%\n"
-                 % (enc["hits"], enc["misses"], enc["bypasses"],
-                    enc["hit_rate"] * 100.0))
-    blk = block_cache_stats()
+                 % (snap["encoding_cache.hits"],
+                    snap["encoding_cache.misses"],
+                    snap["encoding_cache.bypasses"],
+                    snap["encoding_cache.hit_rate"] * 100.0))
     stream.write("block-cache: compiled=%d hits=%d insns-compiled=%d "
                  "hit-rate=%.1f%%\n"
-                 % (blk["blocks_compiled"], blk["block_hits"],
-                    blk["instructions_compiled"], blk["hit_rate"] * 100.0))
-    ff = fast_forward_stats()
+                 % (snap["block_cache.blocks_compiled"],
+                    snap["block_cache.block_hits"],
+                    snap["block_cache.instructions_compiled"],
+                    snap["block_cache.hit_rate"] * 100.0))
     stream.write("fast-forward: loops=%d iterations=%d records=%d "
                  "validation-failures=%d\n"
-                 % (ff["loops_entered"], ff["iterations_fast_forwarded"],
-                    ff["records_fast_forwarded"],
-                    ff["validation_failures"]))
+                 % (snap["fast_forward.loops_entered"],
+                    snap["fast_forward.iterations_fast_forwarded"],
+                    snap["fast_forward.records_fast_forwarded"],
+                    snap["fast_forward.validation_failures"]))
 
 
 if __name__ == "__main__":

@@ -83,14 +83,21 @@ class Benchmark:
                 counter_names: Sequence[str],
                 max_steps: int = 2_000_000) -> Dict[str, int]:
         """Run the benchmark on *proc*'s model; returns the counters."""
-        if self.source is None:
-            self.Assemble()
-        program = load_program_cached(self.source)
-        result, stats = simulate_program(program, proc.model,
-                                         max_steps=max_steps,
-                                         private_memory=True)
-        if result.reason != "ret":
-            raise RuntimeError("microbenchmark did not finish: %s"
-                               % result.reason)
-        self.last_steps = result.steps
+        from repro import obs
+
+        with obs.span("mbench", model=proc.model.name) as span:
+            if self.source is None:
+                self.Assemble()
+            program = load_program_cached(self.source)
+            result, stats = simulate_program(program, proc.model,
+                                             max_steps=max_steps,
+                                             private_memory=True)
+            if result.reason != "ret":
+                raise RuntimeError("microbenchmark did not finish: %s"
+                                   % result.reason)
+            self.last_steps = result.steps
+            obs.REGISTRY.inc("mbench.executions")
+            if span:
+                span.attach(steps=result.steps,
+                            counters={n: stats[n] for n in counter_names})
         return {name: stats[name] for name in counter_names}

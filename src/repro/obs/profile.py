@@ -1,0 +1,72 @@
+"""Opt-in per-span cProfile capture.
+
+Profiling is gated twice: the ``PYMAO_PROFILE`` environment variable (or
+``mao --profile-spans``) must name an ``fnmatch`` pattern, and only spans
+whose name matches the pattern are profiled.  cProfile cannot nest, so
+while one span is being profiled inner spans run unprofiled; the captured
+summary (top functions by cumulative time) lands in the span's
+``profile`` attribute and travels with the trace.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import fnmatch
+import os
+import pstats
+from typing import Any, Dict, Optional
+
+ENV_VAR = "PYMAO_PROFILE"
+
+_PATTERN: Optional[str] = None
+_ACTIVE = False
+_TOP_N = 10
+
+
+def configure(pattern: Optional[str]) -> None:
+    """Set the span-name pattern to profile (None disables)."""
+    global _PATTERN
+    _PATTERN = pattern or None
+
+
+def configure_from_env(environ: Optional[Dict[str, str]] = None) -> None:
+    configure((environ or os.environ).get(ENV_VAR))
+
+
+def pattern() -> Optional[str]:
+    return _PATTERN
+
+
+def maybe_start(span_name: str) -> Optional[cProfile.Profile]:
+    """Start a profiler for this span if the gate matches and no other
+    span is being profiled."""
+    global _ACTIVE
+    if _PATTERN is None or _ACTIVE \
+            or not fnmatch.fnmatch(span_name, _PATTERN):
+        return None
+    prof = cProfile.Profile()
+    _ACTIVE = True
+    prof.enable()
+    return prof
+
+
+def stop(prof: cProfile.Profile) -> Dict[str, Any]:
+    """Stop a profiler started by :func:`maybe_start`; return a JSON-safe
+    summary of the hottest functions."""
+    global _ACTIVE
+    prof.disable()
+    _ACTIVE = False
+    stats = pstats.Stats(prof)
+    rows = []
+    entries = sorted(stats.stats.items(),
+                     key=lambda item: item[1][3], reverse=True)
+    for (filename, lineno, funcname), row in entries[:_TOP_N]:
+        cc, nc, tottime, cumtime = row[:4]
+        rows.append({
+            "function": "%s:%d:%s" % (os.path.basename(filename), lineno,
+                                      funcname),
+            "calls": nc,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    return {"total_calls": stats.total_calls, "top": rows}

@@ -1,0 +1,138 @@
+"""Trace sinks: where finished spans and metric snapshots go.
+
+Every sink consumes *events* — plain dicts, one of three types, each
+self-describing with ``"schema": "pymao.trace/1"``:
+
+* ``meta`` — first event of a stream: schema version plus free-form
+  context (argv, workload name, jobs);
+* ``span`` — one **root** span with its children nested inline (see
+  :meth:`repro.obs.span.Span.to_dict`);
+* ``metrics`` — a flat registry snapshot (``values: {name: number}``).
+
+Three sinks cover the consumers: ``JsonlSink`` writes one event per line
+(the ``--trace-out`` format, also emitted by the bench runner and gated
+by ``scripts/validate_trace.py``), ``MemorySink`` collects events for
+tests, and ``TextSink`` renders a human-readable span tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional
+
+from repro.obs.metrics import REGISTRY, Registry
+from repro.obs.span import Span, TRACE_SCHEMA
+
+
+def meta_event(**context: Any) -> Dict[str, Any]:
+    event = {"schema": TRACE_SCHEMA, "type": "meta", "version": 1}
+    event.update(context)
+    return event
+
+
+def span_event(span: Span) -> Dict[str, Any]:
+    event = span.to_dict()
+    event["schema"] = TRACE_SCHEMA
+    return event
+
+
+def metrics_event(values: Dict[str, float]) -> Dict[str, Any]:
+    return {"schema": TRACE_SCHEMA, "type": "metrics", "values": values}
+
+
+class MemorySink:
+    """Keep events in memory (tests and in-process consumers)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def spans(self) -> List[Span]:
+        return [Span.from_dict(e) for e in self.events
+                if e.get("type") == "span"]
+
+
+class JsonlSink:
+    """Write one JSON event per line (the on-disk trace format)."""
+
+    def __init__(self, path_or_file) -> None:
+        if hasattr(path_or_file, "write"):
+            self._file: IO[str] = path_or_file
+            self._owned = False
+        else:
+            self._file = open(path_or_file, "w")
+            self._owned = True
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._file.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owned:
+            self._file.close()
+
+
+class TextSink:
+    """Render spans as an indented tree and metrics as aligned rows."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self._stream = stream
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        kind = event.get("type")
+        if kind == "span":
+            self._emit_span(event, depth=0)
+        elif kind == "metrics":
+            for name, value in sorted(event.get("values", {}).items()):
+                self._stream.write("  %-44s %s\n" % (name, _fmt(value)))
+        elif kind == "meta":
+            self._stream.write("trace %s\n" % event.get("schema"))
+
+    def _emit_span(self, event: Dict[str, Any], depth: int) -> None:
+        attrs = event.get("attrs") or {}
+        rendered = " ".join("%s=%s" % (k, _fmt(v))
+                            for k, v in sorted(attrs.items())
+                            if not isinstance(v, dict))
+        self._stream.write("%s%-*s %8.3fms  %s\n"
+                           % ("  " * depth, 24 - 2 * min(depth, 8),
+                              event.get("name", "?"),
+                              1e3 * float(event.get("dur_s", 0.0)),
+                              rendered))
+        for child in event.get("children", ()):
+            self._emit_span(child, depth + 1)
+
+    def close(self) -> None:
+        self._stream.flush()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def write_trace(sink, spans: List[Span],
+                registry: Optional[Registry] = REGISTRY,
+                **meta: Any) -> None:
+    """Emit a complete trace: meta, every root span, one metrics event."""
+    sink.emit(meta_event(**meta))
+    for span in spans:
+        sink.emit(span_event(span))
+    if registry is not None:
+        sink.emit(metrics_event(registry.snapshot()))
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into event dicts."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

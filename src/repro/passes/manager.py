@@ -31,13 +31,18 @@ entries, transparently run in-process instead.
 from __future__ import annotations
 
 import re
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Type
 
+from repro import obs
 from repro.ir.entries import MaoEntry, OpaqueEntry
 from repro.ir.unit import Function, MaoUnit
 from repro.passes.base import MaoFunctionPass, MaoPass, MaoUnitPass
+
+#: Version tag of the serialized PipelineResult/PassReport format.
+PIPELINE_SCHEMA = "pymao.pipeline/1"
 
 _FUNC_PASSES: Dict[str, Type[MaoFunctionPass]] = {}
 _UNIT_PASSES: Dict[str, Type[MaoUnitPass]] = {}
@@ -128,6 +133,16 @@ class PassReport:
     scope: str                     # function name or "<unit>"
     stats: Dict[str, int] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Frozen wire format (one row of ``pymao.pipeline/1``)."""
+        return {"pass": self.pass_name, "scope": self.scope,
+                "stats": dict(self.stats)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PassReport":
+        return cls(pass_name=data["pass"], scope=data["scope"],
+                   stats=dict(data.get("stats") or {}))
+
 
 @dataclass
 class PipelineResult:
@@ -145,6 +160,29 @@ class PipelineResult:
             for key, value in report.stats.items():
                 combined[key] = combined.get(key, 0) + value
         return combined
+
+    def pass_names(self) -> List[str]:
+        """Distinct pass names in first-report order."""
+        seen: List[str] = []
+        for report in self.reports:
+            if report.pass_name not in seen:
+                seen.append(report.pass_name)
+        return seen
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Stable, versioned wire format — consumed by
+        ``scripts/perf_report.py`` and the bench JSON files."""
+        return {"schema": PIPELINE_SCHEMA,
+                "reports": [r.to_dict() for r in self.reports]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PipelineResult":
+        schema = data.get("schema")
+        if schema != PIPELINE_SCHEMA:
+            raise ValueError("unsupported pipeline schema %r (expected %r)"
+                             % (schema, PIPELINE_SCHEMA))
+        return cls(reports=[PassReport.from_dict(r)
+                            for r in data.get("reports", ())])
 
 
 class PassPipeline:
@@ -164,37 +202,50 @@ class PassPipeline:
         return self
 
     def run(self, unit: MaoUnit, jobs: int = 1,
-            backend: str = "thread") -> PipelineResult:
+            parallel_backend: Optional[str] = None, *,
+            backend: Optional[str] = None) -> PipelineResult:
         """Run the pipeline.
 
         ``jobs`` > 1 fans each function-scoped pass over the unit's
-        functions using a ``concurrent.futures`` pool (``backend``:
-        ``"thread"`` or ``"process"``); unit passes always run serially.
-        Reports are merged in function order, so the result is
+        functions using a ``concurrent.futures`` pool
+        (``parallel_backend``: ``"thread"`` or ``"process"``); unit
+        passes always run serially.  Reports — and trace spans, when
+        tracing is on — are merged in function order, so the result is
         deterministic and identical to a serial run.
+
+        ``backend=`` is the deprecated spelling of ``parallel_backend=``
+        (the CLI flag has always been ``--parallel-backend``); it still
+        works but warns.
         """
+        parallel_backend = _resolve_backend(parallel_backend, backend)
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
-        if backend not in ("thread", "process"):
-            raise ValueError("unknown pipeline backend %r" % backend)
+        if parallel_backend not in ("thread", "process"):
+            raise ValueError("unknown pipeline backend %r"
+                             % parallel_backend)
         result = PipelineResult()
         for name, options in self.passes:
             cls = get_pass(name)
             if issubclass(cls, MaoFunctionPass):
                 parallel = jobs > 1 and len(unit.functions) > 1
-                if parallel:
-                    keep_going = self._run_function_pass_parallel(
-                        cls, name, options, unit, result, jobs, backend)
-                else:
-                    keep_going = self._run_function_pass_serial(
-                        cls, name, options, unit, result)
+                with obs.span("pass:%s" % name, kind="function",
+                              parallel=parallel) as pass_span:
+                    if parallel:
+                        keep_going = self._run_function_pass_parallel(
+                            cls, name, options, unit, result, jobs,
+                            parallel_backend, pass_span)
+                    else:
+                        keep_going = self._run_function_pass_serial(
+                            cls, name, options, unit, result, pass_span)
                 if not keep_going:
                     return result
             else:
-                pass_obj = cls(options, unit)
-                keep_going = pass_obj.Go()
-                result.reports.append(
-                    PassReport(name, "<unit>", pass_obj.stats))
+                with obs.span("pass:%s" % name, kind="unit") as pass_span:
+                    pass_obj = cls(options, unit)
+                    keep_going = pass_obj.Go()
+                    if pass_span:
+                        pass_span.attach(stats=dict(pass_obj.stats))
+                _record(result, PassReport(name, "<unit>", pass_obj.stats))
                 if not keep_going:
                     return result
         return result
@@ -202,11 +253,13 @@ class PassPipeline:
     @staticmethod
     def _run_function_pass_serial(cls: Type[MaoFunctionPass], name: str,
                                   options: Dict[str, Any], unit: MaoUnit,
-                                  result: PipelineResult) -> bool:
+                                  result: PipelineResult,
+                                  pass_span: Any) -> bool:
         for function in unit.functions:
-            stats, keep_going = _apply_function_pass(
+            stats, keep_going, span = _apply_function_pass(
                 cls, options, unit, function)
-            result.reports.append(PassReport(name, function.name, stats))
+            obs.adopt_span(pass_span, span)
+            _record(result, PassReport(name, function.name, stats))
             if not keep_going:
                 return False
         return True
@@ -215,9 +268,10 @@ class PassPipeline:
     def _run_function_pass_parallel(cls: Type[MaoFunctionPass], name: str,
                                     options: Dict[str, Any], unit: MaoUnit,
                                     result: PipelineResult, jobs: int,
-                                    backend: str) -> bool:
+                                    parallel_backend: str,
+                                    pass_span: Any) -> bool:
         functions = list(unit.functions)
-        if backend == "thread":
+        if parallel_backend == "thread":
             with ThreadPoolExecutor(max_workers=jobs) as pool:
                 outcomes = list(pool.map(
                     lambda fn: _apply_function_pass(cls, options, unit, fn),
@@ -225,23 +279,61 @@ class PassPipeline:
         else:
             outcomes = _run_process_backend(
                 cls, name, options, unit, functions, jobs)
-        # Deterministic merge: function order, not completion order.
-        for function, (stats, keep_going) in zip(functions, outcomes):
-            result.reports.append(PassReport(name, function.name, stats))
+        # Deterministic merge: function order, not completion order —
+        # reports and worker span subtrees alike.
+        for function, (stats, keep_going, span) in zip(functions, outcomes):
+            obs.adopt_span(pass_span, span)
+            _record(result, PassReport(name, function.name, stats))
             if not keep_going:
                 return False
         return True
 
 
+def _resolve_backend(parallel_backend: Optional[str],
+                     backend: Optional[str]) -> str:
+    """Canonicalize the pool-kind kwarg; ``backend=`` is a deprecated
+    alias kept as a shim for pre-``pymao.pipeline/1`` callers."""
+    if backend is not None:
+        warnings.warn(
+            "the backend= keyword is deprecated; use parallel_backend= "
+            "(matching the CLI's --parallel-backend)",
+            DeprecationWarning, stacklevel=3)
+        if parallel_backend is not None and parallel_backend != backend:
+            raise ValueError(
+                "conflicting parallel_backend=%r and backend=%r"
+                % (parallel_backend, backend))
+        return backend
+    return parallel_backend if parallel_backend is not None else "thread"
+
+
+def _record(result: PipelineResult, report: PassReport) -> None:
+    """Append one report and mirror its stats into the metrics registry
+    (``pass.<NAME>.<stat>`` counters absorb the old ``--stats`` data)."""
+    result.reports.append(report)
+    registry = obs.REGISTRY
+    registry.inc("pass.%s.runs" % report.pass_name)
+    for stat, value in report.stats.items():
+        registry.inc("pass.%s.%s" % (report.pass_name, stat), value)
+
+
 def _apply_function_pass(cls: Type[MaoFunctionPass],
                          options: Dict[str, Any], unit: MaoUnit,
-                         function: Function) -> Tuple[Dict[str, int], bool]:
-    """Instantiate and run one function pass in-process."""
-    pass_obj = cls(options, unit, function)
-    pass_obj.dump_ir("before")
-    keep_going = pass_obj.Go()
-    pass_obj.dump_ir("after")
-    return pass_obj.stats, keep_going
+                         function: Function
+                         ) -> Tuple[Dict[str, int], bool, Any]:
+    """Instantiate and run one function pass in-process.
+
+    The span is *detached* — workers cannot reach the coordinator's span
+    stack — and handed back for an in-order adopt; ``None`` when tracing
+    is off.
+    """
+    with obs.detached_span("fn:%s" % function.name) as span:
+        pass_obj = cls(options, unit, function)
+        pass_obj.dump_ir("before")
+        keep_going = pass_obj.Go()
+        pass_obj.dump_ir("after")
+        if span:
+            span.attach(stats=dict(pass_obj.stats))
+    return pass_obj.stats, keep_going, (span if span else None)
 
 
 # ---------------------------------------------------------------------------
@@ -275,17 +367,24 @@ def _render_function(function: Function, span: List[MaoEntry]) -> str:
     return "\n".join(header + [e.to_asm() for e in span]) + "\n"
 
 
-def _pass_process_worker(payload: Tuple[str, Dict[str, Any], str, str]
-                         ) -> Tuple[str, Dict[str, int], bool]:
-    pass_name, options, function_name, asm_text = payload
+def _pass_process_worker(payload: Tuple[str, Dict[str, Any], str, str, bool]
+                         ) -> Tuple[str, Dict[str, int], bool,
+                                    Optional[Dict[str, Any]]]:
+    pass_name, options, function_name, asm_text, want_spans = payload
     import repro.passes  # noqa: F401 — register built-ins in spawned children
     from repro.ir.builder import parse_unit
 
+    # The parent's tracing flag does not survive into a spawned child (and
+    # must not leak out of a forked one), so it rides in the payload and
+    # spans come back serialized for the deterministic merge.
+    obs.set_enabled(want_spans)
     unit = parse_unit(asm_text)
     cls = get_pass(pass_name)
     function = unit.function_named(function_name)
-    stats, keep_going = _apply_function_pass(cls, options, unit, function)
-    return unit.to_asm(), stats, keep_going
+    stats, keep_going, span = _apply_function_pass(
+        cls, options, unit, function)
+    span_data = span.to_dict() if span is not None else None
+    return unit.to_asm(), stats, keep_going, span_data
 
 
 def _splice_function(unit: MaoUnit, function: Function,
@@ -325,18 +424,19 @@ def _splice_function(unit: MaoUnit, function: Function,
 def _run_process_backend(cls: Type[MaoFunctionPass], name: str,
                          options: Dict[str, Any], unit: MaoUnit,
                          functions: List[Function], jobs: int
-                         ) -> List[Tuple[Dict[str, int], bool]]:
+                         ) -> List[Tuple[Dict[str, int], bool, Any]]:
+    want_spans = obs.enabled()
     payload_indices: List[int] = []
-    payloads: List[Tuple[str, Dict[str, Any], str, str]] = []
+    payloads: List[Tuple[str, Dict[str, Any], str, str, bool]] = []
     for index, function in enumerate(functions):
         span = _function_span(function)
         if span is not None:
             payload_indices.append(index)
             payloads.append(
                 (name, options, function.name,
-                 _render_function(function, span)))
+                 _render_function(function, span), want_spans))
 
-    worker_results: Dict[int, Tuple[str, Dict[str, int], bool]] = {}
+    worker_results: Dict[int, tuple] = {}
     if payloads:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             for index, outcome in zip(payload_indices,
@@ -344,12 +444,13 @@ def _run_process_backend(cls: Type[MaoFunctionPass], name: str,
                                                payloads)):
                 worker_results[index] = outcome
 
-    outcomes: List[Tuple[Dict[str, int], bool]] = []
+    outcomes: List[Tuple[Dict[str, int], bool, Any]] = []
     for index, function in enumerate(functions):
         if index in worker_results:
-            new_text, stats, keep_going = worker_results[index]
+            new_text, stats, keep_going, span_data = worker_results[index]
             _splice_function(unit, function, new_text)
-            outcomes.append((stats, keep_going))
+            span = obs.Span.from_dict(span_data) if span_data else None
+            outcomes.append((stats, keep_going, span))
         else:
             # Ineligible for text round-trip: run in-process instead.
             outcomes.append(
@@ -358,6 +459,12 @@ def _run_process_backend(cls: Type[MaoFunctionPass], name: str,
 
 
 def run_passes(unit: MaoUnit, spec: str, jobs: int = 1,
-               backend: str = "thread") -> PipelineResult:
-    """Convenience: run a ``--mao=`` style spec string over a unit."""
-    return PassPipeline.from_spec(spec).run(unit, jobs=jobs, backend=backend)
+               parallel_backend: Optional[str] = None, *,
+               backend: Optional[str] = None) -> PipelineResult:
+    """Convenience: run a ``--mao=`` style spec string over a unit.
+
+    ``backend=`` is the deprecated alias of ``parallel_backend=``.
+    """
+    return PassPipeline.from_spec(spec).run(
+        unit, jobs=jobs,
+        parallel_backend=_resolve_backend(parallel_backend, backend))

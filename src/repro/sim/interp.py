@@ -1443,7 +1443,14 @@ def run_unit(unit: MaoUnit, entry_symbol: str = "main",
              args: Optional[List[int]] = None,
              sample_period: Optional[int] = None) -> RunResult:
     """Convenience: load a unit and run it from *entry_symbol*."""
-    program = load_unit(unit, entry_symbol)
-    interp = Interpreter(program, max_steps=max_steps)
-    return interp.run(collect_trace=collect_trace, args=args,
-                      sample_period=sample_period)
+    from repro import obs
+
+    with obs.span("load", entry=entry_symbol):
+        program = load_unit(unit, entry_symbol)
+    with obs.span("execute", entry=entry_symbol) as span:
+        interp = Interpreter(program, max_steps=max_steps)
+        result = interp.run(collect_trace=collect_trace, args=args,
+                            sample_period=sample_period)
+        if span:
+            span.attach(steps=result.steps, reason=result.reason)
+    return result

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, \
     Set, Tuple
 
+from repro import obs
 from repro.ir.unit import MaoUnit
 from repro.sim.interp import ExecRecord, Interpreter, RunResult
 from repro.sim.loader import LoadedProgram, load_unit
@@ -805,15 +806,22 @@ class FastForwardEngine:
 def simulate_trace(trace: Iterable[ExecRecord], model: ProcessorModel,
                    fast_forward: bool = True) -> SimStats:
     """Run the timing model over a complete trace."""
-    pipeline = PipelineSimulator(model)
-    if fast_forward and _FF_ENABLED:
-        engine = FastForwardEngine(pipeline)
-        for record in trace:
-            engine.feed(record)
-        return engine.finish()
-    for record in trace:
-        pipeline.feed(record)
-    return pipeline.finish()
+    with obs.span("simulate", model=model.name, streaming=False,
+                  fast_forward=bool(fast_forward and _FF_ENABLED)) as span:
+        pipeline = PipelineSimulator(model)
+        if fast_forward and _FF_ENABLED:
+            engine = FastForwardEngine(pipeline)
+            for record in trace:
+                engine.feed(record)
+            stats = engine.finish()
+        else:
+            for record in trace:
+                pipeline.feed(record)
+            stats = pipeline.finish()
+        if span:
+            span.attach(cycles=stats.cycles,
+                        instructions=stats[C.INSTRUCTIONS])
+    return stats
 
 
 def simulate_reference(trace: Iterable[ExecRecord],
@@ -837,18 +845,41 @@ def simulate_program(program: LoadedProgram, model: ProcessorModel,
     program's memory image so the same LoadedProgram can be reused across
     sweeps.
     """
-    pipeline = PipelineSimulator(model)
-    consumer: Callable[[ExecRecord], None]
-    if fast_forward and _FF_ENABLED:
-        engine = FastForwardEngine(pipeline)
-        finisher = engine
-    else:
-        finisher = pipeline
-    interp = Interpreter(program, max_steps=max_steps,
-                         private_memory=private_memory)
-    result = interp.run(entry=entry, trace_callback=finisher.feed,
-                        args=args)
-    return result, finisher.finish()
+    with obs.span("simulate", model=model.name,
+                  fast_forward=bool(fast_forward and _FF_ENABLED)) as span:
+        if span:
+            from repro.sim.interp import block_cache_stats
+            ff_before = dict(_FF_STATS)
+            blk_before = block_cache_stats()
+        pipeline = PipelineSimulator(model)
+        consumer: Callable[[ExecRecord], None]
+        if fast_forward and _FF_ENABLED:
+            engine = FastForwardEngine(pipeline)
+            finisher = engine
+        else:
+            finisher = pipeline
+        interp = Interpreter(program, max_steps=max_steps,
+                             private_memory=private_memory)
+        result = interp.run(entry=entry, trace_callback=finisher.feed,
+                            args=args)
+        stats = finisher.finish()
+        if span:
+            blk_after = block_cache_stats()
+            span.attach(
+                cycles=stats.cycles,
+                instructions=result.steps,
+                reason=result.reason,
+                ff_loops=_FF_STATS["loops_entered"]
+                - ff_before["loops_entered"],
+                ff_iterations=_FF_STATS["iterations_fast_forwarded"]
+                - ff_before["iterations_fast_forwarded"],
+                ff_records=_FF_STATS["records_fast_forwarded"]
+                - ff_before["records_fast_forwarded"],
+                block_hits=int(blk_after["block_hits"])
+                - int(blk_before["block_hits"]),
+                blocks_compiled=int(blk_after["blocks_compiled"])
+                - int(blk_before["blocks_compiled"]))
+    return result, stats
 
 
 def simulate_unit(unit: MaoUnit, model: ProcessorModel,
@@ -857,6 +888,7 @@ def simulate_unit(unit: MaoUnit, model: ProcessorModel,
                   args: Optional[List[int]] = None,
                   fast_forward: bool = True) -> Tuple[RunResult, SimStats]:
     """Load a unit and stream-simulate it (see ``simulate_program``)."""
-    program = load_unit(unit, entry_symbol)
+    with obs.span("load", entry=entry_symbol):
+        program = load_unit(unit, entry_symbol)
     return simulate_program(program, model, max_steps=max_steps, args=args,
                             fast_forward=fast_forward)

@@ -1,10 +1,12 @@
 """Tests for the `mao` command-line driver."""
 
+import json
 import subprocess
 import sys
 
 import pytest
 
+from repro import obs
 from repro.cli import build_arg_parser, main
 
 SOURCE = """
@@ -85,3 +87,67 @@ class TestDriver:
             capture_output=True, text=True)
         assert proc.returncode == 0
         assert out.exists()
+
+
+class TestObservabilityFlags:
+    """The api/obs redesign must not change what the old flags print."""
+
+    def test_stats_output_byte_identical_to_pre_redesign(self, asm_file,
+                                                         capsys):
+        """Regression: the exact bytes the pre-``repro.obs`` driver
+        wrote for this fixed input."""
+        assert main(["--mao=REDZEE:REDTEST", "--stats",
+                     str(asm_file)]) == 0
+        err = capsys.readouterr().err
+        assert err == ("REDZEE       f                        "
+                       "candidates=1 removed=1\n"
+                       "REDTEST      f                        "
+                       "removed=1 tests=1\n")
+
+    def test_sim_flag_reports_cycles(self, asm_file, capsys):
+        assert main(["--mao=REDTEST", "--sim", "core2",
+                     str(asm_file)]) == 0
+        err = capsys.readouterr().err
+        assert err.startswith("sim[core2]: cycles=")
+        assert "ipc=" in err
+
+    def test_sim_stats_format(self, asm_file, capsys):
+        assert main(["--mao=REDTEST", "--sim", "core2", "--sim-stats",
+                     str(asm_file)]) == 0
+        err = capsys.readouterr().err
+        assert "encoding-cache: hits=" in err
+        assert "block-cache: compiled=" in err
+        assert "fast-forward: loops=" in err
+
+    def test_trace_out_writes_valid_nested_jsonl(self, asm_file,
+                                                 tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--mao=REDZEE:REDTEST", "--sim", "core2", "--jobs",
+                     "2", "--trace-out", str(trace),
+                     str(asm_file)]) == 0
+        events = [json.loads(line)
+                  for line in trace.read_text().splitlines()]
+        assert events[0]["type"] == "meta"
+        assert all(e["schema"] == "pymao.trace/1" for e in events)
+        spans = [obs.Span.from_dict(e) for e in events
+                 if e["type"] == "span"]
+        optimize = next(s for s in spans if s.name == "optimize")
+        assert optimize.find("parse") is not None
+        assert optimize.find("pass:REDZEE") is not None
+        assert optimize.find("pass:REDTEST") is not None
+        assert optimize.find("fn:f") is not None
+        simulate = next((s.find("simulate") for s in spans
+                         if s.find("simulate")), None)
+        assert simulate is not None
+        assert "cycles" in simulate.attrs
+        (metrics,) = [e for e in events if e["type"] == "metrics"]
+        assert metrics["values"]["pass.REDTEST.removed"] >= 1
+
+    def test_trace_out_leaves_tracing_disabled_after(self, asm_file,
+                                                     tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        obs.reset_tracer()
+        assert main(["--mao=REDTEST", "--trace-out", str(trace),
+                     str(asm_file)]) == 0
+        assert not obs.enabled()
+        obs.reset_tracer()

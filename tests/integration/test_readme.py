@@ -3,6 +3,37 @@
 import pytest
 
 
+def test_api_quickstart_snippet(tmp_path):
+    from repro import api
+
+    hot = tmp_path / "hot.s"
+    hot.write_text("""
+.text
+.globl main
+.type main, @function
+main:
+    movl $100, %ecx
+.Lloop:
+    subl $16, %r15d
+    testl %r15d, %r15d
+    subl $1, %ecx
+    jne .Lloop
+    mov %eax, %eax
+    ret
+""")
+    result = api.optimize(hot.read_text(),
+                          "REDZEE:REDTEST:REDMOV:ADDADD:LOOP16")
+    stats = result.stats_for("REDTEST")
+    assert stats["tests"] == 1 and stats["removed"] == 1
+    out = tmp_path / "hot.opt.s"
+    out.write_text(result.to_asm())
+    assert "testl" not in out.read_text()
+
+    sim = api.simulate(result.unit, "core2")
+    assert sim.cycles > 0
+    assert sim["BR_MISP"] >= 0
+
+
 def test_quickstart_snippet(tmp_path):
     from repro.ir import parse_unit
     from repro.passes import run_passes

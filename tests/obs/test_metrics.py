@@ -1,0 +1,107 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import threading
+
+from repro import obs
+from repro.obs.metrics import Histogram, Registry
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+    def test_streaming_aggregates(self):
+        hist = Histogram()
+        for value in (3, 1, 2):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary == {"count": 3.0, "sum": 6.0, "mean": 2.0,
+                           "min": 1.0, "max": 3.0}
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = Registry()
+        reg.inc("hits")
+        reg.inc("hits", 4)
+        assert reg.counter_value("hits") == 5
+        assert reg.counter_value("absent") == 0
+
+    def test_gauge_overwrites(self):
+        reg = Registry()
+        reg.gauge("depth", 3)
+        reg.gauge("depth", 7.5)
+        assert reg.snapshot()["depth"] == 7.5
+
+    def test_histogram_flattens_into_snapshot(self):
+        reg = Registry()
+        reg.observe("lat", 2.0)
+        reg.observe("lat", 4.0)
+        snap = reg.snapshot()
+        assert snap["lat.count"] == 2.0
+        assert snap["lat.mean"] == 3.0
+
+    def test_snapshot_is_sorted(self):
+        reg = Registry()
+        reg.inc("zz")
+        reg.inc("aa")
+        assert list(reg.snapshot()) == ["aa", "zz"]
+
+    def test_collector_values_are_namespaced(self):
+        reg = Registry()
+        reg.register_collector("cache", lambda: {"hits": 9, "rate": 0.5})
+        snap = reg.snapshot()
+        assert snap["cache.hits"] == 9
+        assert snap["cache.rate"] == 0.5
+
+    def test_collector_non_numbers_filtered(self):
+        reg = Registry()
+        reg.register_collector(
+            "c", lambda: {"ok": True, "name": "x", "n": 1})
+        assert list(reg.snapshot()) == ["c.n"]
+
+    def test_snapshot_without_collectors(self):
+        reg = Registry()
+        reg.register_collector("c", lambda: {"n": 1})
+        reg.inc("own")
+        assert list(reg.snapshot(collectors=False)) == ["own"]
+
+    def test_reset_keeps_collectors(self):
+        reg = Registry()
+        reg.register_collector("c", lambda: {"n": 1})
+        reg.inc("own")
+        reg.reset()
+        snap = reg.snapshot()
+        assert "own" not in snap
+        assert snap["c.n"] == 1
+
+    def test_reregister_replaces(self):
+        reg = Registry()
+        reg.register_collector("c", lambda: {"n": 1})
+        reg.register_collector("c", lambda: {"n": 2})
+        assert reg.snapshot()["c.n"] == 2
+
+    def test_thread_safety_of_inc(self):
+        reg = Registry()
+
+        def hammer():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("n") == 4000
+
+
+class TestDefaultCollectors:
+    def test_engine_caches_appear_in_default_snapshot(self):
+        snap = obs.REGISTRY.snapshot()
+        for key in ("encoding_cache.hits", "block_cache.block_hits",
+                    "fast_forward.loops_entered",
+                    "program_cache.entries"):
+            assert key in snap, key

@@ -1,0 +1,118 @@
+"""Tests for the trace sinks and the pymao.trace/1 event stream."""
+
+import io
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Registry
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    obs.reset_tracer()
+    previous = obs.set_enabled(False)
+    yield
+    obs.set_enabled(previous)
+    obs.reset_tracer()
+
+
+def _record_spans():
+    obs.set_enabled(True)
+    with obs.span("optimize", jobs=1) as root:
+        with obs.span("parse") as parse:
+            parse.attach(functions=2)
+        with obs.span("pass:REDTEST"):
+            pass
+    return obs.finish_spans(), root
+
+
+class TestEvents:
+    def test_meta_event_carries_schema_and_context(self):
+        event = obs.meta_event(argv=["--mao=REDTEST"])
+        assert event["schema"] == obs.TRACE_SCHEMA
+        assert event["type"] == "meta"
+        assert event["argv"] == ["--mao=REDTEST"]
+
+    def test_span_event_nests_children_inline(self):
+        _, root = _record_spans()
+        event = obs.span_event(root)
+        assert event["schema"] == obs.TRACE_SCHEMA
+        assert [c["name"] for c in event["children"]] \
+            == ["parse", "pass:REDTEST"]
+
+    def test_metrics_event(self):
+        event = obs.metrics_event({"a": 1})
+        assert event["type"] == "metrics"
+        assert event["values"] == {"a": 1}
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_back(self, tmp_path):
+        spans, root = _record_spans()
+        registry = Registry()
+        registry.inc("pass.REDTEST.runs")
+        path = tmp_path / "trace.jsonl"
+
+        sink = obs.JsonlSink(str(path))
+        obs.write_trace(sink, spans, registry=registry, argv=["x"])
+        sink.close()
+
+        events = obs.read_jsonl(str(path))
+        assert [e["type"] for e in events] == ["meta", "span", "metrics"]
+        assert all(e["schema"] == obs.TRACE_SCHEMA for e in events)
+        rebuilt = obs.Span.from_dict(events[1])
+        assert rebuilt.to_dict() == root.to_dict()
+        assert events[2]["values"] == {"pass.REDTEST.runs": 1}
+
+    def test_validates_against_the_schema_checker(self, tmp_path):
+        import os
+        import sys
+        scripts = os.path.join(os.path.dirname(__file__), os.pardir,
+                               os.pardir, "scripts")
+        sys.path.insert(0, os.path.abspath(scripts))
+        try:
+            import validate_trace
+        finally:
+            sys.path.pop(0)
+
+        spans, _ = _record_spans()
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(str(path))
+        obs.write_trace(sink, spans, registry=Registry())
+        sink.close()
+
+        events = validate_trace.read_events(str(path))
+        assert validate_trace.validate_events(
+            events, ["optimize", "parse", "pass:REDTEST"]) == []
+
+    def test_accepts_open_file_without_closing_it(self):
+        buf = io.StringIO()
+        sink = obs.JsonlSink(buf)
+        sink.emit(obs.meta_event())
+        sink.close()
+        assert buf.getvalue().count("\n") == 1
+
+
+class TestMemorySink:
+    def test_collects_and_rebuilds_spans(self):
+        spans, root = _record_spans()
+        sink = obs.MemorySink()
+        obs.write_trace(sink, spans, registry=None, workload="t")
+        assert sink.events[0]["workload"] == "t"
+        (got,) = sink.spans()
+        assert got.to_dict() == root.to_dict()
+
+
+class TestTextSink:
+    def test_renders_indented_tree_and_metrics(self):
+        spans, _ = _record_spans()
+        registry = Registry()
+        registry.inc("pass.REDTEST.runs")
+        buf = io.StringIO()
+        obs.write_trace(obs.TextSink(buf), spans, registry=registry)
+        text = buf.getvalue()
+        assert "optimize" in text
+        assert "  parse" in text           # indented child
+        assert "functions=2" in text
+        assert "pass.REDTEST.runs" in text

@@ -1,0 +1,153 @@
+"""Tests for the hierarchical tracing spans (repro.obs.span)."""
+
+import threading
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    obs.reset_tracer()
+    previous = obs.set_enabled(False)
+    yield
+    obs.set_enabled(previous)
+    obs.reset_tracer()
+
+
+class TestDisabled:
+    def test_disabled_span_is_falsy(self):
+        with obs.span("anything") as sp:
+            assert not sp
+            assert sp is obs.NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        assert obs.finish_spans() == []
+
+    def test_null_span_absorbs_attach_and_find(self):
+        assert obs.NULL_SPAN.attach(k=1) is obs.NULL_SPAN
+        assert obs.NULL_SPAN.find("x") is None
+
+
+class TestNesting:
+    def test_nested_spans_form_a_tree(self):
+        obs.set_enabled(True)
+        with obs.span("outer", kind="test") as outer:
+            with obs.span("mid") as mid:
+                with obs.span("leaf"):
+                    pass
+            assert outer
+            assert mid
+        roots = obs.finish_spans()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["mid"]
+        assert [c.name for c in roots[0].children[0].children] == ["leaf"]
+
+    def test_siblings_in_creation_order(self):
+        obs.set_enabled(True)
+        with obs.span("root"):
+            for name in ("a", "b", "c"):
+                with obs.span(name):
+                    pass
+        (root,) = obs.finish_spans()
+        assert [c.name for c in root.children] == ["a", "b", "c"]
+
+    def test_duration_and_attrs(self):
+        obs.set_enabled(True)
+        with obs.span("timed", workload="x") as sp:
+            sp.attach(count=3)
+        (root,) = obs.finish_spans()
+        assert root.dur_s >= 0
+        assert root.attrs == {"workload": "x", "count": 3}
+
+    def test_find_walks_depth_first(self):
+        obs.set_enabled(True)
+        with obs.span("root"):
+            with obs.span("a"):
+                with obs.span("needle"):
+                    pass
+        (root,) = obs.finish_spans()
+        assert root.find("needle").name == "needle"
+        assert root.find("absent") is None
+        assert [s.name for s in root.walk()] == ["root", "a", "needle"]
+
+    def test_exception_still_closes_span(self):
+        obs.set_enabled(True)
+        with pytest.raises(RuntimeError):
+            with obs.span("root"):
+                with obs.span("inner"):
+                    raise RuntimeError("boom")
+        (root,) = obs.finish_spans()
+        assert [c.name for c in root.children] == ["inner"]
+
+
+class TestDetached:
+    def test_detached_attaches_nowhere(self):
+        obs.set_enabled(True)
+        with obs.span("root") as root:
+            with obs.detached_span("worker") as worker:
+                with obs.span("inner"):
+                    pass
+        assert worker not in root.children
+        assert [r.name for r in obs.finish_spans()] == ["root"]
+        assert [c.name for c in worker.children] == ["inner"]
+
+    def test_adopt_attaches_under_parent(self):
+        obs.set_enabled(True)
+        with obs.span("root") as root:
+            with obs.detached_span("worker") as worker:
+                pass
+            obs.adopt_span(root, worker)
+        (got,) = obs.finish_spans()
+        assert [c.name for c in got.children] == ["worker"]
+
+    def test_adopt_is_noop_for_null_spans(self):
+        obs.adopt_span(obs.NULL_SPAN, obs.NULL_SPAN)
+        assert obs.finish_spans() == []
+
+    def test_threads_get_independent_stacks(self):
+        obs.set_enabled(True)
+        done = []
+
+        def worker():
+            with obs.detached_span("thread-span") as sp:
+                pass
+            done.append(sp)
+
+        with obs.span("root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        (root,) = obs.finish_spans()
+        # The worker's detached subtree never leaked into main's tree.
+        assert root.children == []
+        assert done[0].name == "thread-span"
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        obs.set_enabled(True)
+        with obs.span("root", jobs=2) as root:
+            with obs.span("child") as child:
+                child.attach(removed=1)
+        data = root.to_dict()
+        rebuilt = obs.Span.from_dict(data)
+        assert rebuilt.to_dict() == data
+        assert rebuilt.name == "root"
+        assert rebuilt.children[0].attrs == {"removed": 1}
+
+    def test_from_dict_rejects_non_span(self):
+        with pytest.raises(ValueError):
+            obs.Span.from_dict({"type": "metrics"})
+
+    def test_tracing_enabled_context_restores(self):
+        assert not obs.enabled()
+        with obs.tracing_enabled():
+            assert obs.enabled()
+            with obs.span("inside") as sp:
+                assert sp
+        assert not obs.enabled()

@@ -207,7 +207,8 @@ f{i}:
 
     def _run(self, jobs, backend="thread"):
         unit = parse_unit(self.MULTI)
-        result = run_passes(unit, self.SPEC, jobs=jobs, backend=backend)
+        result = run_passes(unit, self.SPEC, jobs=jobs,
+                            parallel_backend=backend)
         return unit.to_asm(), [(r.pass_name, r.scope, r.stats)
                                for r in result.reports]
 
@@ -236,4 +237,4 @@ f{i}:
         with pytest.raises(ValueError):
             run_passes(unit, self.SPEC, jobs=0)
         with pytest.raises(ValueError):
-            run_passes(unit, self.SPEC, backend="fiber")
+            run_passes(unit, self.SPEC, parallel_backend="fiber")
