@@ -1,6 +1,7 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-quick bench-suite perf-report trace-smoke clean
+.PHONY: test bench bench-quick bench-suite bench-batch-smoke perf-report \
+	trace-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -8,6 +9,7 @@ test:
 bench:
 	$(PYTHON) benchmarks/bench_hotpath.py
 	$(PYTHON) benchmarks/bench_sim_engine.py
+	$(PYTHON) benchmarks/bench_batch.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
@@ -18,6 +20,14 @@ bench-quick:
 bench-suite:
 	PYTHONPATH=src $(PYTHON) scripts/bench_runner.py --quick
 	$(PYTHON) scripts/perf_report.py --check
+
+# Tiny-corpus batch smoke: the bench itself exits non-zero unless the
+# warm run hits 100% and replays byte-identical output, and the report
+# gate re-checks the recorded JSON.
+bench-batch-smoke:
+	$(PYTHON) benchmarks/bench_batch.py --quick \
+		-o /tmp/pymao_bench_batch.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_batch.json
 
 perf-report:
 	$(PYTHON) scripts/perf_report.py

@@ -12,7 +12,12 @@ field:
 * ``BENCH_sim.json`` (``mao-bench-sim/1``) from
   ``benchmarks/bench_sim_engine.py`` or ``scripts/bench_runner.py`` —
   block cache + streaming + loop fast-forward (plus, when produced by
-  the runner, the sharded suite results).
+  the runner, the sharded suite results);
+* ``BENCH_batch.json`` (``mao-bench-batch/1``) from
+  ``benchmarks/bench_batch.py`` — corpus batch engine: warm
+  artifact-cache replay vs cold optimization (gated at >= 5x on full
+  runs), 100% warm hit rate, byte-identical outputs, and jobs-1-vs-4
+  determinism on both pool backends.
 
 ``.jsonl`` paths are treated as ``pymao.trace/1`` event logs (the
 ``--trace-out`` / bench-runner format): validated with
@@ -38,7 +43,8 @@ import os
 import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-_DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json")
+_DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
+                  "BENCH_batch.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
@@ -197,6 +203,68 @@ def check_sim(results: dict, min_speedup: float) -> list:
 
 
 # ---------------------------------------------------------------------------
+# mao-bench-batch/1
+# ---------------------------------------------------------------------------
+
+#: Required warm-over-cold speedup on a full (non --quick) corpus run.
+BATCH_FULL_MIN_SPEEDUP = 5.0
+
+
+def render_batch(results: dict) -> None:
+    config = results.get("config", {})
+    print("batch-engine benchmark (%s)" % results.get("schema", "?"))
+    _row("corpus files", str(config.get("files")))
+    _row("jobs / backend", "%s / %s"
+         % (config.get("jobs"), config.get("parallel_backend")))
+    _row("spec", str(config.get("spec")))
+    for key in ("batch_cold", "batch_warm"):
+        section = results.get(key)
+        if not section:
+            continue
+        print("%s:" % key)
+        _row("elapsed", "%.4fs" % section["elapsed_s"])
+        _row("ok / errors", "%d / %d"
+             % (section["ok"], section["errors"]))
+        _row("cache hits / misses", "%d / %d"
+             % (section["cache_hits"], section["cache_misses"]))
+        _row("hit rate", "%.1f%%" % (100 * section["hit_rate"]))
+    if results.get("speedup") is not None:
+        _row("warm-over-cold speedup", "%.1fx" % results["speedup"])
+    _row("byte-identical", str(results.get("byte_identical")))
+    determinism = results.get("determinism")
+    if determinism:
+        _row("determinism (%s)" % ", ".join(determinism.get("cases", ())),
+             str(determinism.get("identical")))
+
+
+def check_batch(results: dict, min_speedup: float) -> list:
+    failures = []
+    warm = results.get("batch_warm")
+    if not results.get("batch_cold") or not warm:
+        failures.append("missing batch_cold/batch_warm section")
+        return failures
+    if warm["hit_rate"] != 1.0:
+        failures.append("warm hit rate %.1f%% < 100%%"
+                        % (100 * warm["hit_rate"]))
+    if warm["errors"] or results["batch_cold"]["errors"]:
+        failures.append("batch run reported per-file errors")
+    if not results.get("byte_identical"):
+        failures.append("warm batch output is NOT byte-identical to cold")
+    determinism = results.get("determinism") or {}
+    if not determinism.get("identical"):
+        failures.append("jobs=1 vs jobs=4 outputs/summaries diverged")
+    # The 5x warm-replay claim is about a real corpus; --quick smoke
+    # corpora only need the generic gate.
+    required = min_speedup if results.get("config", {}).get("quick") \
+        else max(min_speedup, BATCH_FULL_MIN_SPEEDUP)
+    speedup = results.get("speedup")
+    if speedup is None or speedup < required:
+        failures.append("warm speedup %sx < required %.1fx"
+                        % (speedup, required))
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # pymao.trace/1 event logs (.jsonl)
 # ---------------------------------------------------------------------------
 
@@ -235,6 +303,7 @@ def check_trace(events: list) -> list:
 _SCHEMAS = {
     "mao-bench-hotpath/1": (render_hotpath, check_hotpath),
     "mao-bench-sim/1": (render_sim, check_sim),
+    "mao-bench-batch/1": (render_batch, check_batch),
 }
 
 

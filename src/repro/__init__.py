@@ -32,8 +32,11 @@ Subpackages:
   synthetic benchmarks.
 * ``repro.profiling`` — sampling, annotation, reuse distance, edge
   profiles.
-* ``repro.api`` — the supported facade (``optimize`` / ``simulate``).
+* ``repro.api`` — the supported facade (``optimize`` / ``simulate`` /
+  ``optimize_many``).
 * ``repro.obs`` — tracing spans, the metrics registry, trace sinks.
+* ``repro.batch`` — corpus engine: multi-file scheduler plus the
+  persistent content-addressed artifact cache.
 """
 
 __version__ = "0.1.0"

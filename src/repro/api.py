@@ -15,6 +15,14 @@ operations that cover them all, both traced through :mod:`repro.obs`:
       sim = api.simulate(result.unit, "core2")
       sim.cycles, sim.stats, sim.result
 
+* :func:`optimize_many` — a whole corpus in one call, sharded across
+  workers, with a persistent content-addressed artifact cache so warm
+  rebuilds replay instead of re-optimizing::
+
+      batch = api.optimize_many(["a.s", "b.s"], "REDTEST:LOOP16",
+                                jobs=4, cache_dir="/var/cache/pymao")
+      batch.items[0].asm, batch.to_dict()   # pymao.batch/1
+
 Models may be passed as :class:`~repro.uarch.model.ProcessorModel`
 instances or by profile name (``"core2"``, ``"opteron"``,
 ``"pentium4"``).  A workload kernel from :mod:`repro.workloads.kernels`
@@ -138,6 +146,47 @@ def optimize(src: Union[str, MaoUnit],
                         reports=len(result.reports))
     return OptimizeResult(unit=unit, pipeline=result,
                           parse_s=parse_s, passes_s=passes_s)
+
+
+def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
+                  jobs: int = 1,
+                  parallel_backend: str = "thread",
+                  cache: Union[bool, Any] = True,
+                  cache_dir: Optional[str] = None,
+                  cache_salt: Optional[str] = None,
+                  max_cache_bytes: Optional[int] = None):
+    """Optimize a corpus of files (paths or ``(name, source)`` pairs).
+
+    The batch front door: shards cache misses across ``jobs`` workers on
+    the ``thread`` or ``process`` backend and returns a
+    :class:`repro.batch.BatchResult` whose ``to_dict()`` is the versioned
+    ``pymao.batch/1`` summary, in input order regardless of completion
+    order.
+
+    Caching: ``cache=True`` (default) opens the persistent artifact
+    cache at *cache_dir* (``$PYMAO_CACHE_DIR``, else
+    ``~/.cache/pymao``); ``cache=False`` disables it; an
+    :class:`repro.batch.ArtifactCache` instance is used as-is.
+    *cache_salt* / *max_cache_bytes* tune a cache built here.
+    """
+    from repro import batch as _batch
+
+    cache_obj: Optional[_batch.ArtifactCache]
+    if isinstance(cache, _batch.ArtifactCache):
+        cache_obj = cache
+    elif cache:
+        kwargs: Dict[str, Any] = {}
+        if cache_salt is not None:
+            kwargs["salt"] = cache_salt
+        if max_cache_bytes is not None:
+            kwargs["max_bytes"] = max_cache_bytes
+        cache_obj = _batch.ArtifactCache(
+            cache_dir or _batch.default_cache_dir(), **kwargs)
+    else:
+        cache_obj = None
+    return _batch.run_batch(inputs, spec, jobs=jobs,
+                            parallel_backend=parallel_backend,
+                            cache=cache_obj)
 
 
 def simulate(src_or_unit: Union[None, str, MaoUnit],

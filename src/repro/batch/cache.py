@@ -1,0 +1,246 @@
+"""The persistent content-addressed artifact cache.
+
+MAO is meant to sit inside build pipelines and re-optimize every
+translation unit on every build; across rebuilds almost all inputs are
+byte-identical, so re-running the parser and the pass pipeline on them is
+pure waste.  The cache keys each optimization *result* (the emitted
+assembly plus the versioned ``pymao.pipeline/1`` report) by what actually
+determines it::
+
+    key = sha256( salt || sha256(source) || canonical pass spec )
+
+* **salt** — a version fingerprint (``pymao`` version + pipeline schema
+  by default).  Bumping it invalidates every entry at once, which is the
+  upgrade story: a new pass implementation must never replay stale
+  artifacts.
+* **sha256(source)** — content addressing: the file *name* is
+  irrelevant, only the bytes matter, so a file moved or copied across a
+  tree still hits.
+* **canonical pass spec** — the same pass list spelled two ways
+  (``REDTEST:LOOP16`` via string or via ``(name, options)`` items) maps
+  to one canonical string; a *different* spec is a different key.
+
+Robustness properties, all covered by tests:
+
+* writes are atomic (tmp file + ``os.replace``), so a crashed or
+  concurrent writer can never publish a torn entry;
+* reads are corruption-tolerant: an unreadable / truncated / wrong-schema
+  entry counts as a miss (and is deleted best-effort), never an error;
+* the store is LRU size-bounded: reads refresh an entry's mtime and
+  ``put`` evicts oldest-mtime entries over ``max_bytes``.
+
+Every hit / miss / store / eviction is counted in the process-wide
+metrics registry (``batch.cache.{hit,miss,store,evict}``), which is what
+``mao --cache-stats`` prints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import metrics
+
+#: Version tag of the on-disk entry format.
+ARTIFACT_SCHEMA = "pymao.artifact/1"
+
+#: Default size bound for a cache directory (256 MiB).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment variable naming the cache directory for CLI / api callers.
+CACHE_DIR_ENV = "PYMAO_CACHE_DIR"
+
+
+def default_salt() -> str:
+    """The version fingerprint mixed into every key.
+
+    Covers the package version (pass implementations, ISA tables,
+    processor models all ship with it) and the report schema, so either
+    kind of upgrade invalidates the whole store.
+    """
+    from repro import __version__
+    from repro.passes.manager import PIPELINE_SCHEMA
+
+    return "pymao-%s|%s" % (__version__, PIPELINE_SCHEMA)
+
+
+def default_cache_dir() -> str:
+    """``$PYMAO_CACHE_DIR``, else ``$XDG_CACHE_HOME/pymao`` (falling back
+    to ``~/.cache/pymao``)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "pymao")
+
+
+def source_sha256(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CachedArtifact:
+    """One replayable optimization result."""
+
+    asm: str                      # emitted post-pass assembly
+    pipeline: Dict[str, Any]      # pymao.pipeline/1 document
+    source_sha256: str = ""
+    spec: str = ""
+
+
+class ArtifactCache:
+    """Content-addressed ``key -> CachedArtifact`` store on disk.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON file per entry,
+    two-character fan-out so a 100k-file corpus does not pile every entry
+    into one directory.
+    """
+
+    def __init__(self, root: str, *,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 salt: Optional[str] = None,
+                 registry: Optional[metrics.Registry] = None) -> None:
+        self.root = str(root)
+        self.max_bytes = int(max_bytes)
+        self.salt = salt if salt is not None else default_salt()
+        self._registry = registry if registry is not None else metrics.REGISTRY
+
+    # -- keying -------------------------------------------------------------
+
+    def key_for(self, source: str, canonical_spec: str) -> str:
+        """The content-addressed key: filename-independent by design."""
+        digest = hashlib.sha256()
+        digest.update(self.salt.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(source_sha256(source).encode("ascii"))
+        digest.update(b"\x00")
+        digest.update(canonical_spec.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    # -- read ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[CachedArtifact]:
+        """Look *key* up; any malformed entry is a miss, never an error."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            if os.path.exists(path):
+                # Torn or corrupt entry: drop it so it cannot keep
+                # costing a read on every lookup.
+                self._unlink(path)
+            self._registry.inc("batch.cache.miss")
+            return None
+        if (not isinstance(data, dict)
+                or data.get("schema") != ARTIFACT_SCHEMA
+                or not isinstance(data.get("asm"), str)
+                or not isinstance(data.get("pipeline"), dict)):
+            self._unlink(path)
+            self._registry.inc("batch.cache.miss")
+            return None
+        try:
+            # LRU refresh: recently-hit entries are evicted last.
+            os.utime(path, None)
+        except OSError:
+            pass
+        self._registry.inc("batch.cache.hit")
+        return CachedArtifact(asm=data["asm"], pipeline=data["pipeline"],
+                              source_sha256=data.get("source_sha256", ""),
+                              spec=data.get("spec", ""))
+
+    # -- write --------------------------------------------------------------
+
+    def put(self, key: str, asm: str, pipeline: Dict[str, Any], *,
+            source_sha: str = "", spec: str = "") -> None:
+        """Publish an entry atomically, then enforce the size bound."""
+        path = self._path(key)
+        entry = {
+            "schema": ARTIFACT_SCHEMA,
+            "key": key,
+            "source_sha256": source_sha,
+            "spec": spec,
+            "asm": asm,
+            "pipeline": pipeline,
+        }
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            self._unlink(tmp_path)
+            raise
+        self._registry.inc("batch.cache.store")
+        self._evict_over_bound(keep=path)
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> List[str]:
+        """Every entry path currently in the store."""
+        found: List[str] = []
+        if not os.path.isdir(self.root):
+            return found
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(".json") and not name.startswith(".tmp-"):
+                    found.append(os.path.join(dirpath, name))
+        return found
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                pass
+        return total
+
+    def _evict_over_bound(self, keep: Optional[str] = None) -> int:
+        """Remove oldest-mtime entries until the store fits ``max_bytes``.
+
+        The just-written entry (*keep*) survives even if it alone busts
+        the bound — evicting what the caller is about to rely on would
+        make a tiny bound behave like no cache plus write amplification.
+        """
+        stated: List[Tuple[float, int, str]] = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            stated.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return 0
+        keep_abs = os.path.abspath(keep) if keep is not None else None
+        evicted = 0
+        for _mtime, size, path in sorted(stated):
+            if total <= self.max_bytes:
+                break
+            if keep_abs is not None and os.path.abspath(path) == keep_abs:
+                continue
+            if self._unlink(path):
+                total -= size
+                evicted += 1
+                self._registry.inc("batch.cache.evict")
+        return evicted
+
+    @staticmethod
+    def _unlink(path: str) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False

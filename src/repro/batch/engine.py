@@ -1,0 +1,313 @@
+"""The corpus-scale batch scheduler.
+
+:func:`run_batch` optimizes many assembly files in one invocation — the
+unit of performance the build-pipeline deployment story needs — with
+three guarantees:
+
+* **Warm state.**  Before any work is scheduled, every input is looked up
+  in the :class:`~repro.batch.cache.ArtifactCache` (when one is given);
+  hits replay the stored emitted assembly + ``pymao.pipeline/1`` report
+  without parsing a single line.  Misses are optimized and published
+  back, so the *next* invocation is warm.
+* **Parallel misses, deterministic output.**  Cache misses are sharded
+  across a worker pool — the same ``thread`` / ``process`` backend
+  vocabulary as ``passes.manager`` — and merged back **in input order**,
+  whatever the completion order.  ``jobs=1`` and ``jobs=4`` produce
+  byte-identical outputs and an identical ``pymao.batch/1`` summary.
+* **Failure isolation.**  A file that cannot be read or parsed becomes an
+  ``"error"`` item; every other file is still processed.  The batch never
+  aborts on the first bad translation unit.
+
+Observability: the whole batch runs under one ``batch`` span with a
+``file:<name>`` detached subtree per optimized input (adopted in input
+order, mirroring the pass manager's span merge; process workers ship
+their subtree back serialized), and the metrics registry counts
+``batch.files``, ``batch.errors``, and ``batch.cache.{hit,miss,store,
+evict}``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.batch.cache import ArtifactCache, source_sha256
+from repro.passes.manager import (
+    PipelineResult,
+    _resolve_backend,
+    canonical_pass_spec,
+    parse_pass_spec,
+)
+
+#: Version tag of the serialized batch summary format.
+BATCH_SCHEMA = "pymao.batch/1"
+
+#: One input: a path on disk, or an in-memory ``(name, source)`` pair.
+BatchInput = Union[str, Tuple[str, str]]
+
+SpecItems = List[Tuple[str, Dict[str, Any]]]
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one file in a batch run."""
+
+    name: str
+    status: str                    # "ok" | "error"
+    sha256: Optional[str]          # of the source text; None if unreadable
+    cache: str                     # "hit" | "miss" | "off"
+    asm: Optional[str] = None      # emitted post-pass assembly (ok only)
+    pipeline: Optional[PipelineResult] = None
+    error: Optional[str] = None
+    parse_s: float = 0.0
+    passes_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self, timings: bool = False) -> Dict[str, Any]:
+        """One ``files[]`` row of ``pymao.batch/1``.  Deterministic by
+        default; wall-clock timings only with ``timings=True``."""
+        data: Dict[str, Any] = {"file": self.name, "status": self.status,
+                                "cache": self.cache}
+        if self.sha256 is not None:
+            data["sha256"] = self.sha256
+        if self.pipeline is not None:
+            data["pipeline"] = self.pipeline.to_dict()
+        if self.error is not None:
+            data["error"] = self.error
+        if timings:
+            data["parse_s"] = round(self.parse_s, 6)
+            data["passes_s"] = round(self.passes_s, 6)
+        return data
+
+
+@dataclass
+class BatchResult:
+    """All per-file outcomes of one :func:`run_batch` call, input order."""
+
+    spec: str                      # canonical pass spec
+    items: List[BatchItem] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for item in self.items if not item.ok)
+
+    @property
+    def errors(self) -> List[BatchItem]:
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for item in self.items if item.cache == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for item in self.items if item.cache == "miss")
+
+    def to_dict(self, timings: bool = False) -> Dict[str, Any]:
+        """The versioned ``pymao.batch/1`` summary.
+
+        Deterministic by construction (input order, no wall-clock, no
+        worker counts) so ``jobs=1`` and ``jobs=4`` runs serialize to the
+        same document; opt into timings for reporting surfaces.
+        """
+        data: Dict[str, Any] = {
+            "schema": BATCH_SCHEMA,
+            "spec": self.spec,
+            "files": [item.to_dict(timings=timings) for item in self.items],
+            "totals": {
+                "files": len(self.items),
+                "ok": self.ok_count,
+                "errors": self.error_count,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
+        }
+        if timings:
+            data["elapsed_s"] = round(self.elapsed_s, 6)
+        return data
+
+
+def _resolve_spec(spec: Union[None, str, SpecItems]) -> SpecItems:
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        return parse_pass_spec(spec)
+    return list(spec)
+
+
+def _load_inputs(inputs: Iterable[BatchInput]
+                 ) -> List[Tuple[str, Optional[str], Optional[str]]]:
+    """Normalize to ``(name, source, read_error)`` triples."""
+    loaded: List[Tuple[str, Optional[str], Optional[str]]] = []
+    for item in inputs:
+        if isinstance(item, tuple):
+            name, source = item
+            loaded.append((str(name), source, None))
+            continue
+        name = str(item)
+        try:
+            with open(name, "r", encoding="utf-8") as handle:
+                loaded.append((name, handle.read(), None))
+        except (OSError, UnicodeDecodeError) as exc:
+            loaded.append((name, None, str(exc)))
+    return loaded
+
+
+def _batch_worker(payload: Tuple[str, str, SpecItems, bool]
+                  ) -> Tuple[Optional[str], Optional[Dict[str, Any]],
+                             float, float, Optional[str],
+                             Optional[Dict[str, Any]]]:
+    """Optimize one file; never raises (a raised exception would poison
+    the whole pool map).  Top-level so the process backend can pickle it.
+    """
+    name, source, spec_items, want_spans = payload
+    import repro.passes  # noqa: F401 — register built-ins in spawned children
+    from repro import api
+
+    # Same contract as the pass manager's process worker: the parent's
+    # tracing flag rides in the payload, the span subtree rides back
+    # serialized for the deterministic input-order adopt.
+    obs.set_enabled(want_spans)
+    span_data: Optional[Dict[str, Any]] = None
+    try:
+        with obs.detached_span("file:%s" % name, bytes=len(source)) as span:
+            result = api.optimize(source, spec_items, filename=name)
+            asm = result.unit.to_asm()
+            if span:
+                span.attach(reports=len(result.pipeline.reports))
+        if span:
+            span_data = span.to_dict()
+        return (asm, result.pipeline.to_dict(),
+                result.parse_s, result.passes_s, None, span_data)
+    except Exception as exc:  # parse errors, bad specs, pass failures
+        return (None, None, 0.0, 0.0,
+                "%s: %s" % (type(exc).__name__, exc), None)
+
+
+def run_batch(inputs: Iterable[BatchInput],
+              spec: Union[None, str, SpecItems] = None, *,
+              jobs: int = 1,
+              parallel_backend: Optional[str] = None,
+              backend: Optional[str] = None,
+              cache: Optional[ArtifactCache] = None) -> BatchResult:
+    """Optimize a corpus of files through one pass spec.
+
+    ``inputs`` are file paths or ``(name, source)`` pairs; results come
+    back in input order regardless of worker completion order.  With a
+    *cache*, byte-identical sources under the same spec replay their
+    stored artifact instead of being re-optimized.  ``backend=`` is the
+    deprecated alias of ``parallel_backend=`` (as in ``passes.manager``).
+    """
+    parallel_backend = _resolve_backend(parallel_backend, backend)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1, got %d" % jobs)
+    if parallel_backend not in ("thread", "process"):
+        raise ValueError("unknown batch backend %r" % parallel_backend)
+    spec_items = _resolve_spec(spec)
+    canonical = canonical_pass_spec(spec_items)
+    loaded = _load_inputs(inputs)
+    registry = obs.REGISTRY
+
+    start = time.perf_counter()
+    with obs.span("batch", files=len(loaded), jobs=jobs,
+                  parallel_backend=parallel_backend,
+                  cache=cache is not None) as root:
+        items: List[Optional[BatchItem]] = [None] * len(loaded)
+        spans: List[Optional[obs.Span]] = [None] * len(loaded)
+        #: (index, name, source, key, sha) still needing real work.
+        pending: List[Tuple[int, str, str, Optional[str], str]] = []
+
+        for index, (name, source, read_error) in enumerate(loaded):
+            if read_error is not None:
+                items[index] = BatchItem(name=name, status="error",
+                                         sha256=None, cache="off",
+                                         error=read_error)
+                continue
+            sha = source_sha256(source)
+            if cache is None:
+                pending.append((index, name, source, None, sha))
+                continue
+            key = cache.key_for(source, canonical)
+            hit = cache.get(key)
+            if hit is not None:
+                try:
+                    pipeline = PipelineResult.from_dict(hit.pipeline)
+                except (ValueError, KeyError, TypeError):
+                    # Stale schema inside an otherwise-readable entry:
+                    # treat as a miss like any other corruption.
+                    pending.append((index, name, source, key, sha))
+                    continue
+                items[index] = BatchItem(name=name, status="ok", sha256=sha,
+                                         cache="hit", asm=hit.asm,
+                                         pipeline=pipeline)
+                continue
+            pending.append((index, name, source, key, sha))
+
+        if pending:
+            want_spans = obs.enabled()
+            payloads = [(name, source, spec_items, want_spans)
+                        for _index, name, source, _key, _sha in pending]
+            if jobs > 1 and len(pending) > 1:
+                pool_cls = (ThreadPoolExecutor
+                            if parallel_backend == "thread"
+                            else ProcessPoolExecutor)
+                with pool_cls(max_workers=jobs) as pool:
+                    outcomes = list(pool.map(_batch_worker, payloads))
+            else:
+                outcomes = [_batch_worker(payload) for payload in payloads]
+
+            cache_state = "off" if cache is None else "miss"
+            for (index, name, _source, key, sha), outcome \
+                    in zip(pending, outcomes):
+                asm, pipeline_data, parse_s, passes_s, error, span_data \
+                    = outcome
+                if span_data is not None:
+                    spans[index] = obs.Span.from_dict(span_data)
+                if error is not None:
+                    items[index] = BatchItem(name=name, status="error",
+                                             sha256=sha, cache=cache_state,
+                                             error=error)
+                    continue
+                pipeline = PipelineResult.from_dict(pipeline_data)
+                items[index] = BatchItem(name=name, status="ok", sha256=sha,
+                                         cache=cache_state, asm=asm,
+                                         pipeline=pipeline,
+                                         parse_s=parse_s, passes_s=passes_s)
+                if cache is not None and key is not None:
+                    cache.put(key, asm, pipeline_data,
+                              source_sha=sha, spec=canonical)
+
+        # Deterministic span merge: input order, not completion order.
+        for span in spans:
+            if span is not None:
+                obs.adopt_span(root if root else None, span)
+
+        result = BatchResult(spec=canonical,
+                             items=[item for item in items
+                                    if item is not None])
+        result.elapsed_s = time.perf_counter() - start
+        registry.inc("batch.files", len(result.items))
+        if result.error_count:
+            registry.inc("batch.errors", result.error_count)
+        if root:
+            root.attach(ok=result.ok_count, errors=result.error_count,
+                        cache_hits=result.cache_hits,
+                        cache_misses=result.cache_misses)
+    return result

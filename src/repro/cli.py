@@ -15,6 +15,16 @@ options and then delegates to the real assembler; ``--gas-compat`` mode
 emulates that flow by accepting (and ignoring) common gas flags like
 ``--64`` and ``-o`` so the driver can sit behind a compiler.
 
+Batch mode: more than one input file (globs are expanded, so quoted
+patterns work from scripts) switches the driver to the corpus engine —
+``repro.api.optimize_many`` — which shards files across ``--jobs``
+workers and replays warm results from the persistent content-addressed
+artifact cache (``--cache-dir`` / ``$PYMAO_CACHE_DIR``, default
+``~/.cache/pymao``; ``--no-cache`` disables it).  ``-o`` names an output
+*directory* in batch mode.  A file that fails to read or parse does not
+abort the batch: every other file is still processed, the failures are
+reported at the end, and the exit status is non-zero.
+
 Observability: the driver is a thin shell over :mod:`repro.api`, and all
 reporting flags are views over :mod:`repro.obs` — ``--trace-out FILE``
 writes the ``pymao.trace/1`` JSONL event log (spans + metrics snapshot),
@@ -28,6 +38,9 @@ unit on a processor model after the passes run.
 from __future__ import annotations
 
 import argparse
+import glob as _glob
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -55,6 +68,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sim-stats", action="store_true",
                         help="print simulation-engine statistics (encoding "
                              "cache, basic-block cache, loop fast-forward)")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print artifact-cache statistics (batch-mode "
+                             "hits/misses/evictions from the metrics "
+                             "registry)")
     parser.add_argument("--time", action="store_true",
                         help="report wall-clock time per pass pipeline")
     parser.add_argument("--sim", choices=("core2", "opteron", "pentium4"),
@@ -76,12 +93,42 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         default="thread",
                         help="worker pool kind for --jobs > 1 "
                              "(default: thread)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact-cache directory for batch mode "
+                             "(default: $PYMAO_CACHE_DIR, else "
+                             "~/.cache/pymao)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache in batch mode")
+    parser.add_argument("--batch-summary", default=None,
+                        metavar="FILE.json",
+                        help="write the batch run's pymao.batch/1 summary "
+                             "as JSON (batch mode only)")
     parser.add_argument("-o", dest="output", default=None,
-                        help="output file (shorthand for a final ASM pass)")
+                        help="output file (shorthand for a final ASM pass); "
+                             "an output directory in batch mode")
     parser.add_argument("--64", dest="gas64", action="store_true",
                         help="gas compatibility flag (accepted, implied)")
-    parser.add_argument("input", nargs="?", help="input assembly file")
+    parser.add_argument("input", nargs="*",
+                        help="input assembly file(s); more than one "
+                             "switches to batch mode, and glob patterns "
+                             "are expanded")
     return parser
+
+
+def expand_inputs(patterns: List[str]) -> List[str]:
+    """Expand glob patterns the shell did not (quoted, or from exec).
+
+    A pattern with no matches is kept verbatim so the batch reports it as
+    an unreadable file instead of silently dropping it.
+    """
+    files: List[str] = []
+    for pattern in patterns:
+        if _glob.has_magic(pattern):
+            matches = sorted(_glob.glob(pattern))
+            files.extend(matches if matches else [pattern])
+        else:
+            files.append(pattern)
+    return files
 
 
 def load_plugin(path: str) -> None:
@@ -109,34 +156,58 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
-    if not args.input:
+    files = expand_inputs(args.input)
+    if not files:
         parser.error("no input file")
-
-    with open(args.input) as handle:
-        source = handle.read()
 
     spec_items = []
     for spec in args.mao:
         spec_items.extend(parse_pass_spec(spec))
-    if args.output and not any(name == "ASM" for name, _ in spec_items):
-        spec_items.append(("ASM", {"o": args.output}))
 
     if args.profile_spans:
         obs.profile.configure(args.profile_spans)
     tracing = bool(args.trace_out or args.profile_spans)
     was_enabled = obs.set_enabled(True) if tracing else obs.enabled()
     try:
-        result = api.optimize(source, spec_items, jobs=args.jobs,
-                              parallel_backend=args.parallel_backend,
-                              filename=args.input)
-        sim = None
-        if args.sim:
-            names = [f.name for f in result.unit.functions]
-            entry = "main" if "main" in names or not names else names[0]
-            sim = api.simulate(result.unit, args.sim, entry_symbol=entry)
+        if len(files) > 1:
+            status = _run_batch(args, parser, files, spec_items)
+        else:
+            status = _run_single(args, parser, files[0], spec_items)
     finally:
         if tracing:
             obs.set_enabled(was_enabled)
+
+    if args.sim_stats:
+        print_sim_stats(sys.stderr)
+    if args.cache_stats:
+        print_cache_stats(sys.stderr)
+    if args.trace_out:
+        sink = obs.JsonlSink(args.trace_out)
+        try:
+            obs.write_trace(sink, obs.finish_spans(),
+                            argv=list(argv) if argv is not None
+                            else sys.argv[1:],
+                            input=files[0] if len(files) == 1 else files)
+        finally:
+            sink.close()
+    return status
+
+
+def _run_single(args, parser, input_path: str, spec_items) -> int:
+    """The classic one-file flow (the paper's invocation style)."""
+    with open(input_path) as handle:
+        source = handle.read()
+    if args.output and not any(name == "ASM" for name, _ in spec_items):
+        spec_items = spec_items + [("ASM", {"o": args.output})]
+
+    result = api.optimize(source, spec_items, jobs=args.jobs,
+                          parallel_backend=args.parallel_backend,
+                          filename=input_path)
+    sim = None
+    if args.sim:
+        names = [f.name for f in result.unit.functions]
+        entry = "main" if "main" in names or not names else names[0]
+        sim = api.simulate(result.unit, args.sim, entry_symbol=entry)
 
     if args.stats:
         for report in result.reports:
@@ -152,18 +223,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stderr.write("sim[%s]: cycles=%d instructions=%d ipc=%.2f\n"
                          % (args.sim, sim.cycles, sim.steps,
                             sim.stats.ipc()))
-    if args.sim_stats:
-        print_sim_stats(sys.stderr)
-    if args.trace_out:
-        sink = obs.JsonlSink(args.trace_out)
-        try:
-            obs.write_trace(sink, obs.finish_spans(),
-                            argv=list(argv) if argv is not None
-                            else sys.argv[1:],
-                            input=args.input)
-        finally:
-            sink.close()
     return 0
+
+
+def _run_batch(args, parser, files: List[str], spec_items) -> int:
+    """Corpus mode: many inputs through ``api.optimize_many``.
+
+    Emission happens here from the (possibly cache-replayed) artifact
+    text — ``-o DIR`` — not via an implicit ASM pass, so a warm run
+    writes byte-identical outputs without re-running any pass.
+    """
+    if args.sim:
+        parser.error("--sim is single-file only; simulate batch outputs "
+                     "individually")
+
+    batch = api.optimize_many(files, spec_items, jobs=args.jobs,
+                              parallel_backend=args.parallel_backend,
+                              cache=not args.no_cache,
+                              cache_dir=args.cache_dir)
+
+    if args.output:
+        os.makedirs(args.output, exist_ok=True)
+        for item in batch:
+            if item.ok:
+                out_path = os.path.join(args.output,
+                                        os.path.basename(item.name))
+                with open(out_path, "w") as handle:
+                    handle.write(item.asm)
+    if args.batch_summary:
+        with open(args.batch_summary, "w") as handle:
+            json.dump(batch.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.stats:
+        for item in batch:
+            if item.pipeline is None:
+                continue
+            for report in item.pipeline.reports:
+                if report.stats:
+                    stats = " ".join("%s=%d" % kv
+                                     for kv in sorted(report.stats.items()))
+                    sys.stderr.write("%-20s %-12s %-24s %s\n"
+                                     % (item.name, report.pass_name,
+                                        report.scope, stats))
+    if args.time:
+        sys.stderr.write("batch: files=%d ok=%d errors=%d hits=%d "
+                         "misses=%d elapsed=%.3fs\n"
+                         % (len(batch), batch.ok_count, batch.error_count,
+                            batch.cache_hits, batch.cache_misses,
+                            batch.elapsed_s))
+
+    for item in batch.errors:
+        sys.stderr.write("mao: %s: %s\n" % (item.name, item.error))
+    return 1 if batch.error_count else 0
 
 
 def print_sim_stats(stream) -> None:
@@ -193,6 +305,29 @@ def print_sim_stats(stream) -> None:
                     snap["fast_forward.iterations_fast_forwarded"],
                     snap["fast_forward.records_fast_forwarded"],
                     snap["fast_forward.validation_failures"]))
+
+
+def print_cache_stats(stream) -> None:
+    """Dump the artifact-cache counters from the metrics registry.
+
+    Mirrors :func:`print_sim_stats`: one fixed text format (pinned by a
+    regression test) rendered from ``repro.obs.REGISTRY``, so this view
+    and the ``--trace-out`` metrics event report identical numbers.
+    """
+    registry = obs.REGISTRY
+    hits = registry.counter_value("batch.cache.hit")
+    misses = registry.counter_value("batch.cache.miss")
+    looked_up = hits + misses
+    rate = (hits / looked_up) if looked_up else 0.0
+    stream.write("artifact-cache: hits=%d misses=%d stores=%d "
+                 "evictions=%d hit-rate=%.1f%%\n"
+                 % (hits, misses,
+                    registry.counter_value("batch.cache.store"),
+                    registry.counter_value("batch.cache.evict"),
+                    rate * 100.0))
+    stream.write("batch: files=%d errors=%d\n"
+                 % (registry.counter_value("batch.files"),
+                    registry.counter_value("batch.errors")))
 
 
 if __name__ == "__main__":

@@ -125,6 +125,26 @@ def parse_pass_spec(spec: str) -> List[Tuple[str, Dict[str, Any]]]:
     return result
 
 
+def canonical_pass_spec(items: List[Tuple[str, Dict[str, Any]]]) -> str:
+    """Render ``(name, options)`` items as one canonical ``--mao=`` string.
+
+    Pass order is semantic and preserved; option order within one pass is
+    not, so options are emitted sorted by name.  The result round-trips
+    through :func:`parse_pass_spec` (with option values stringified),
+    which makes it a stable cache-key component: two spellings of the
+    same pipeline produce the same canonical string.
+    """
+    parts: List[str] = []
+    for name, options in items:
+        if options:
+            rendered = "+".join("%s[%s]" % (key, options[key])
+                                for key in sorted(options))
+            parts.append("%s=%s" % (name, rendered))
+        else:
+            parts.append(name)
+    return ":".join(parts)
+
+
 @dataclass
 class PassReport:
     """Outcome of one pass over one function (or the unit)."""

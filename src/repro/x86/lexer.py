@@ -91,13 +91,34 @@ TOKEN_RE = re.compile(r"""
 
 Token = Tuple[str, str]
 
+# Token interning: corpus-scale parsing sees the same registers, opcodes,
+# and punctuation on nearly every line, and allocating a fresh tuple per
+# occurrence duplicates them millions of times.  Tokens are immutable, so
+# one shared tuple per distinct (kind, text) is safe; the table is bounded
+# because IDENT/NUMBER texts (labels, displacements) are open-ended —
+# once full, rare tokens simply stop being shared.
+_INTERN_MAX = 65536
+_TOKEN_INTERN: dict = {}
+
+
+def _intern_token(kind: str, text: str) -> Token:
+    key = (kind, text)
+    token = _TOKEN_INTERN.get(key)
+    if token is None:
+        if len(_TOKEN_INTERN) >= _INTERN_MAX:
+            return key
+        _TOKEN_INTERN[key] = token = key
+    return token
+
 
 class LexError(Exception):
     pass
 
 
 def tokenize_operand(text: str) -> List[Token]:
-    """Tokenize an operand string into (kind, text) pairs (whitespace dropped)."""
+    """Tokenize an operand string into (kind, text) pairs (whitespace
+    dropped).  Tokens are interned: two parses of the same text yield the
+    *same* tuple objects."""
     tokens: List[Token] = []
     pos = 0
     while pos < len(text):
@@ -107,7 +128,7 @@ def tokenize_operand(text: str) -> List[Token]:
                            % (text, text[pos:]))
         kind = match.lastgroup
         if kind != "WS":
-            tokens.append((kind, match.group()))
+            tokens.append(_intern_token(kind, match.group()))
         pos = match.end()
     return tokens
 

@@ -12,6 +12,7 @@ just cannot be encoded or simulated).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
@@ -246,13 +247,15 @@ def parse_instruction(text: str, lineno: int = 0) -> Union[ParsedInstruction,
                                                            ParsedOpaque]:
     """Parse one instruction statement (mnemonic + operands)."""
     parts = text.split(None, 1)
-    mnemonic = parts[0].lower()
+    # A corpus repeats the same few hundred mnemonics endlessly; intern
+    # them so every Instruction shares one string per opcode.
+    mnemonic = sys.intern(parts[0].lower())
     prefixes: List[str] = []
     while mnemonic in _PREFIX_MNEMONICS and len(parts) == 2:
         prefixes.append({"repe": "repz", "repne": "repnz"}.get(mnemonic,
                                                                mnemonic))
         parts = parts[1].split(None, 1)
-        mnemonic = parts[0].lower()
+        mnemonic = sys.intern(parts[0].lower())
 
     operand_text = parts[1] if len(parts) == 2 else ""
     try:

@@ -1,0 +1,205 @@
+"""Artifact-cache correctness: keying, atomicity, corruption, eviction.
+
+The cache replays *results* instead of re-running the optimizer, so its
+keying is a safety property: every input that can change the output must
+change the key (source bytes, pass spec, version salt) and nothing else
+(in particular, not the file name).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.batch import (
+    ARTIFACT_SCHEMA,
+    ArtifactCache,
+    default_cache_dir,
+    run_batch,
+)
+from repro.obs.metrics import Registry
+
+SOURCE_A = """
+.text
+.globl f
+.type f, @function
+f:
+    andl $255, %eax
+    mov %eax, %eax
+    ret
+"""
+
+SOURCE_B = """
+.text
+.globl g
+.type g, @function
+g:
+    addq $1, %rax
+    addq $2, %rax
+    ret
+"""
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(str(tmp_path / "cache"), registry=Registry())
+
+
+class TestKeying:
+    def test_same_source_same_spec_hits(self, cache):
+        key = cache.key_for(SOURCE_A, "REDTEST")
+        cache.put(key, "asm-text", {"schema": "pymao.pipeline/1",
+                                    "reports": []})
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.asm == "asm-text"
+
+    def test_different_pass_spec_misses(self, cache):
+        cache.put(cache.key_for(SOURCE_A, "REDTEST"), "asm",
+                  {"schema": "pymao.pipeline/1", "reports": []})
+        assert cache.key_for(SOURCE_A, "REDTEST") \
+            != cache.key_for(SOURCE_A, "REDTEST:LOOP16")
+        assert cache.get(cache.key_for(SOURCE_A, "REDTEST:LOOP16")) is None
+
+    def test_key_ignores_filename_content_addressing(self, tmp_path):
+        """Byte-identical source under two different filenames is one
+        entry: the second file hits the first file's artifact."""
+        cache = ArtifactCache(str(tmp_path / "cache"), registry=Registry())
+        cold = run_batch([("dir1/a.s", SOURCE_A), ("dir2/renamed.s",
+                                                   SOURCE_A)],
+                         "REDZEE:REDTEST", cache=cache)
+        # Both were misses at lookup time (scheduled in one wave)...
+        assert [item.cache for item in cold] == ["miss", "miss"]
+        # ...but a fresh run under yet another name replays the artifact.
+        warm = run_batch([("elsewhere/b.s", SOURCE_A)], "REDZEE:REDTEST",
+                         cache=cache)
+        assert [item.cache for item in warm] == ["hit"]
+        assert warm.items[0].asm == cold.items[0].asm
+
+    def test_salt_bump_invalidates_everything(self, tmp_path):
+        root = str(tmp_path / "cache")
+        old = ArtifactCache(root, salt="models-v1", registry=Registry())
+        for source in (SOURCE_A, SOURCE_B):
+            old.put(old.key_for(source, "REDTEST"), "asm",
+                    {"schema": "pymao.pipeline/1", "reports": []})
+        assert len(old.entries()) == 2
+
+        new = ArtifactCache(root, salt="models-v2", registry=Registry())
+        for source in (SOURCE_A, SOURCE_B):
+            assert new.get(new.key_for(source, "REDTEST")) is None
+        # The old generation's entries still exist (eviction reclaims
+        # them later); they are simply unreachable under the new salt.
+        assert len(new.entries()) == 2
+
+    def test_batch_spec_spelling_is_canonicalized(self, tmp_path):
+        """String spec and (name, options) items map to the same key."""
+        cache = ArtifactCache(str(tmp_path / "cache"), registry=Registry())
+        run_batch([("a.s", SOURCE_A)], "REDZEE:REDTEST", cache=cache)
+        warm = run_batch([("a.s", SOURCE_A)],
+                         [("REDZEE", {}), ("REDTEST", {})], cache=cache)
+        assert warm.items[0].cache == "hit"
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_removed(self, cache):
+        key = cache.key_for(SOURCE_A, "REDTEST")
+        cache.put(key, "asm", {"schema": "pymao.pipeline/1",
+                               "reports": []})
+        path = cache._path(key)
+        with open(path, "w") as handle:
+            handle.write('{"schema": "pymao.artifact/1", "asm": trunca')
+        assert cache.get(key) is None
+        assert not os.path.exists(path)
+
+    def test_wrong_schema_entry_is_a_miss(self, cache):
+        key = cache.key_for(SOURCE_A, "REDTEST")
+        path = cache._path(key)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as handle:
+            json.dump({"schema": "pymao.artifact/999", "asm": "x",
+                       "pipeline": {}}, handle)
+        assert cache.get(key) is None
+
+    def test_put_is_atomic_no_tmp_residue(self, cache):
+        key = cache.key_for(SOURCE_A, "REDTEST")
+        cache.put(key, "asm", {"schema": "pymao.pipeline/1",
+                               "reports": []})
+        names = []
+        for _dirpath, _dirs, files in os.walk(cache.root):
+            names.extend(files)
+        assert names == [key + ".json"]
+        with open(cache._path(key)) as handle:
+            assert json.load(handle)["schema"] == ARTIFACT_SCHEMA
+
+    def test_metrics_counted(self, tmp_path):
+        registry = Registry()
+        cache = ArtifactCache(str(tmp_path / "c"), registry=registry)
+        key = cache.key_for(SOURCE_A, "X")
+        assert cache.get(key) is None
+        cache.put(key, "asm", {"schema": "pymao.pipeline/1",
+                               "reports": []})
+        assert cache.get(key) is not None
+        assert registry.counter_value("batch.cache.miss") == 1
+        assert registry.counter_value("batch.cache.store") == 1
+        assert registry.counter_value("batch.cache.hit") == 1
+
+
+class TestEviction:
+    def _fill(self, cache, count, payload_bytes=4000):
+        keys = []
+        for index in range(count):
+            key = cache.key_for("source-%d" % index, "SPEC")
+            cache.put(key, "x" * payload_bytes,
+                      {"schema": "pymao.pipeline/1", "reports": []})
+            # Distinct mtimes so LRU order is well-defined on coarse
+            # filesystem timestamps.
+            os.utime(cache._path(key), (index, index))
+            keys.append(key)
+        return keys
+
+    def test_lru_eviction_over_bound(self, tmp_path):
+        registry = Registry()
+        cache = ArtifactCache(str(tmp_path / "c"), max_bytes=20000,
+                              registry=registry)
+        keys = self._fill(cache, 6)
+        # Trigger enforcement with one more put.
+        final = cache.key_for("final", "SPEC")
+        cache.put(final, "x" * 4000, {"schema": "pymao.pipeline/1",
+                                      "reports": []})
+        assert cache.total_bytes() <= 20000
+        assert registry.counter_value("batch.cache.evict") >= 1
+        # Oldest entries went first; the newest survive.
+        assert cache.get(keys[0]) is None
+        assert cache.get(final) is not None
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), max_bytes=14000,
+                              registry=Registry())
+        keys = self._fill(cache, 3)
+        assert cache.get(keys[0]) is not None    # refresh the oldest
+        big = cache.key_for("big", "SPEC")
+        cache.put(big, "x" * 4000, {"schema": "pymao.pipeline/1",
+                                    "reports": []})
+        # keys[1] was the stalest after the refresh, so it was evicted
+        # while the refreshed keys[0] survived.
+        registry = Registry()
+        quiet = ArtifactCache(cache.root, max_bytes=14000,
+                              registry=registry)
+        assert quiet.get(keys[0]) is not None
+        assert quiet.get(keys[1]) is None
+
+
+class TestDefaults:
+    def test_env_var_wins(self, monkeypatch):
+        monkeypatch.setenv("PYMAO_CACHE_DIR", "/tmp/pymao-env-cache")
+        assert default_cache_dir() == "/tmp/pymao-env-cache"
+
+    def test_xdg_fallback(self, monkeypatch):
+        monkeypatch.delenv("PYMAO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "/tmp/xdg")
+        assert default_cache_dir() == "/tmp/xdg/pymao"
+
+    def test_default_registry_is_process_registry(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"))
+        assert cache._registry is obs.REGISTRY

@@ -1,0 +1,207 @@
+"""Batch scheduler: determinism, cache replay, failure isolation, spans.
+
+The acceptance bar for the corpus engine: ``jobs=1`` and ``jobs=4``
+produce byte-identical outputs and an identical ``pymao.batch/1``
+summary on both pool backends, warm runs replay byte-identical output,
+and one bad file never aborts the batch.
+"""
+
+import pytest
+
+from repro import api, obs
+from repro.batch import BATCH_SCHEMA, ArtifactCache, run_batch
+from repro.obs.metrics import Registry
+from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+
+SPEC = "REDZEE:REDTEST:ADDADD"
+
+GOOD = """
+.text
+.globl f
+.type f, @function
+f:
+    andl $255, %eax
+    mov %eax, %eax
+    subl $16, %r15d
+    testl %r15d, %r15d
+    ret
+"""
+
+#: A known mnemonic with a malformed operand — a genuine parse error
+#: (an unknown mnemonic would just become an opaque entry).
+BAD = """
+.text
+h:
+    movq (((, %rax
+"""
+
+
+def small_corpus(count=6):
+    return [("tu_%d.s" % index,
+             generate_corpus_text(CorpusConfig(seed=index, scale=0.001,
+                                               functions=2)))
+            for index in range(count)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_jobs_1_vs_4_identical(self, backend):
+        corpus = small_corpus()
+        serial = run_batch(corpus, SPEC, jobs=1, cache=None)
+        parallel = run_batch(corpus, SPEC, jobs=4,
+                             parallel_backend=backend, cache=None)
+        assert [item.asm for item in serial] \
+            == [item.asm for item in parallel]
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_summary_schema_and_order(self):
+        corpus = small_corpus(3)
+        result = run_batch(corpus, SPEC, jobs=4, cache=None)
+        data = result.to_dict()
+        assert data["schema"] == BATCH_SCHEMA
+        assert [row["file"] for row in data["files"]] \
+            == [name for name, _source in corpus]
+        assert data["totals"] == {"files": 3, "ok": 3, "errors": 0,
+                                  "cache_hits": 0, "cache_misses": 0}
+        assert all(row["pipeline"]["schema"] == "pymao.pipeline/1"
+                   for row in data["files"])
+
+    def test_timings_are_opt_in(self):
+        result = run_batch(small_corpus(2), SPEC, cache=None)
+        assert "elapsed_s" not in result.to_dict()
+        timed = result.to_dict(timings=True)
+        assert "elapsed_s" in timed
+        assert all("parse_s" in row for row in timed["files"])
+
+
+class TestCacheReplay:
+    def test_warm_run_is_all_hits_and_byte_identical(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        corpus = small_corpus()
+        cold = run_batch(corpus, SPEC, jobs=2, cache=cache)
+        warm = run_batch(corpus, SPEC, jobs=2, cache=cache)
+        assert [item.cache for item in cold] == ["miss"] * len(corpus)
+        assert [item.cache for item in warm] == ["hit"] * len(corpus)
+        assert [item.asm for item in cold] == [item.asm for item in warm]
+        # The replayed pipeline report is the full pymao.pipeline/1
+        # document, so --stats works identically warm or cold.
+        assert [item.pipeline.to_dict() for item in cold] \
+            == [item.pipeline.to_dict() for item in warm]
+
+    def test_warm_hits_across_process_backend(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        corpus = small_corpus(4)
+        run_batch(corpus, SPEC, jobs=2, parallel_backend="process",
+                  cache=cache)
+        warm = run_batch(corpus, SPEC, jobs=2, parallel_backend="process",
+                         cache=cache)
+        assert warm.cache_hits == 4
+
+    def test_source_change_misses(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        run_batch([("a.s", GOOD)], SPEC, cache=cache)
+        changed = run_batch([("a.s", GOOD + "    nop\n")], SPEC,
+                            cache=cache)
+        assert changed.items[0].cache == "miss"
+
+
+class TestFailureIsolation:
+    def test_bad_file_does_not_abort_batch(self):
+        result = run_batch([("good1.s", GOOD), ("bad.s", BAD),
+                            ("good2.s", GOOD)], SPEC, cache=None)
+        assert [item.status for item in result] == ["ok", "error", "ok"]
+        assert result.error_count == 1
+        assert "ParseError" in result.errors[0].error
+        assert result.items[0].asm == result.items[2].asm
+
+    def test_bad_file_in_process_pool_does_not_poison_it(self):
+        corpus = [("bad.s", BAD)] + small_corpus(3)
+        result = run_batch(corpus, SPEC, jobs=4,
+                           parallel_backend="process", cache=None)
+        assert result.items[0].status == "error"
+        assert all(item.ok for item in result.items[1:])
+
+    def test_unreadable_path_is_reported(self, tmp_path):
+        missing = str(tmp_path / "nope.s")
+        result = run_batch([missing, ("ok.s", GOOD)], SPEC, cache=None)
+        assert result.items[0].status == "error"
+        assert result.items[0].cache == "off"
+        assert result.items[1].ok
+
+    def test_errors_are_not_cached(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        run_batch([("bad.s", BAD)], SPEC, cache=cache)
+        assert cache.entries() == []
+        again = run_batch([("bad.s", BAD)], SPEC, cache=cache)
+        assert again.items[0].status == "error"
+
+
+class TestObservability:
+    def test_batch_span_tree_file_order(self):
+        corpus = small_corpus(3)
+        obs.reset_tracer()
+        with obs.tracing_enabled():
+            run_batch(corpus, SPEC, jobs=4, parallel_backend="thread",
+                      cache=None)
+        (root,) = [span for span in obs.finish_spans()
+                   if span.name == "batch"]
+        file_spans = [child for child in root.children
+                      if child.name.startswith("file:")]
+        assert [span.name for span in file_spans] \
+            == ["file:%s" % name for name, _source in corpus]
+        assert all(span.find("optimize") is not None
+                   for span in file_spans)
+        obs.reset_tracer()
+
+    def test_process_backend_ships_spans_back(self):
+        corpus = small_corpus(2)
+        obs.reset_tracer()
+        with obs.tracing_enabled():
+            run_batch(corpus, SPEC, jobs=2, parallel_backend="process",
+                      cache=None)
+        (root,) = [span for span in obs.finish_spans()
+                   if span.name == "batch"]
+        assert [child.name for child in root.children
+                if child.name.startswith("file:")] \
+            == ["file:%s" % name for name, _source in corpus]
+        obs.reset_tracer()
+
+    def test_registry_counters(self):
+        before = obs.REGISTRY.counter_value("batch.files")
+        run_batch(small_corpus(3), SPEC, cache=None)
+        assert obs.REGISTRY.counter_value("batch.files") == before + 3
+
+
+class TestApiFacade:
+    def test_optimize_many_with_cache_dir(self, tmp_path):
+        corpus = small_corpus(3)
+        cold = api.optimize_many(corpus, SPEC, jobs=2,
+                                 cache_dir=str(tmp_path / "c"))
+        warm = api.optimize_many(corpus, SPEC, jobs=2,
+                                 cache_dir=str(tmp_path / "c"))
+        assert cold.cache_misses == 3
+        assert warm.cache_hits == 3
+
+    def test_optimize_many_cache_false(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PYMAO_CACHE_DIR", str(tmp_path / "env"))
+        result = api.optimize_many(small_corpus(2), SPEC, cache=False)
+        assert all(item.cache == "off" for item in result)
+        assert not (tmp_path / "env").exists()
+
+    def test_optimize_many_env_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PYMAO_CACHE_DIR", str(tmp_path / "env"))
+        api.optimize_many(small_corpus(2), SPEC)
+        assert (tmp_path / "env").is_dir()
+
+    def test_optimize_many_accepts_cache_instance(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        api.optimize_many(small_corpus(2), SPEC, cache=cache)
+        assert len(cache.entries()) == 2
+
+    def test_optimize_many_cache_salt_kwarg(self, tmp_path):
+        corpus = small_corpus(2)
+        root = str(tmp_path / "c")
+        api.optimize_many(corpus, SPEC, cache_dir=root, cache_salt="v1")
+        resalted = api.optimize_many(corpus, SPEC, cache_dir=root,
+                                     cache_salt="v2")
+        assert resalted.cache_misses == 2

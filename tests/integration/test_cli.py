@@ -89,6 +89,128 @@ class TestDriver:
         assert out.exists()
 
 
+BAD_SOURCE = """
+.text
+h:
+    movq (((, %rax
+"""
+
+
+class TestBatchMode:
+    """More than one input switches the driver to the corpus engine."""
+
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        directory = tmp_path / "corpus"
+        directory.mkdir()
+        (directory / "a.s").write_text(SOURCE)
+        (directory / "b.s").write_text(SOURCE.replace("f", "g"))
+        return directory
+
+    def test_multi_file_writes_output_dir(self, corpus_dir, tmp_path):
+        out = tmp_path / "out"
+        assert main(["--mao=REDTEST", "--no-cache", "-o", str(out),
+                     str(corpus_dir / "a.s"),
+                     str(corpus_dir / "b.s")]) == 0
+        assert (out / "a.s").exists() and (out / "b.s").exists()
+        assert "testl" not in (out / "a.s").read_text()
+
+    def test_glob_expansion(self, corpus_dir, tmp_path):
+        out = tmp_path / "out"
+        assert main(["--mao=REDTEST", "--no-cache", "-o", str(out),
+                     str(corpus_dir / "*.s")]) == 0
+        assert sorted(p.name for p in out.iterdir()) == ["a.s", "b.s"]
+
+    def test_parse_failure_keeps_going_and_exits_nonzero(
+            self, corpus_dir, tmp_path, capsys):
+        """One bad file must not abort the batch: the good files are
+        still emitted, the failure is reported at the end, and the exit
+        status is non-zero."""
+        (corpus_dir / "bad.s").write_text(BAD_SOURCE)
+        out = tmp_path / "out"
+        status = main(["--mao=REDTEST", "--no-cache", "-o", str(out),
+                       str(corpus_dir / "a.s"), str(corpus_dir / "bad.s"),
+                       str(corpus_dir / "b.s")])
+        assert status == 1
+        assert (out / "a.s").exists() and (out / "b.s").exists()
+        assert not (out / "bad.s").exists()
+        err = capsys.readouterr().err
+        assert "bad.s" in err and "ParseError" in err
+
+    def test_unreadable_file_keeps_going(self, corpus_dir, tmp_path,
+                                         capsys):
+        status = main(["--mao=REDTEST", "--no-cache",
+                       str(corpus_dir / "a.s"),
+                       str(corpus_dir / "missing.s")])
+        assert status == 1
+        assert "missing.s" in capsys.readouterr().err
+
+    def test_warm_run_hits_and_outputs_identical(self, corpus_dir,
+                                                 tmp_path, capsys):
+        cache = tmp_path / "cache"
+        out1, out2 = tmp_path / "o1", tmp_path / "o2"
+        argv = ["--mao=REDZEE:REDTEST", "--cache-dir", str(cache),
+                "--time", str(corpus_dir / "a.s"), str(corpus_dir / "b.s")]
+        assert main(argv + ["-o", str(out1)]) == 0
+        first = capsys.readouterr().err
+        assert "misses=2" in first
+        assert main(argv + ["-o", str(out2)]) == 0
+        second = capsys.readouterr().err
+        assert "hits=2" in second
+        for name in ("a.s", "b.s"):
+            assert (out1 / name).read_text() == (out2 / name).read_text()
+
+    def test_batch_summary_file(self, corpus_dir, tmp_path):
+        summary = tmp_path / "batch.json"
+        assert main(["--mao=REDTEST", "--no-cache", "--batch-summary",
+                     str(summary), str(corpus_dir / "a.s"),
+                     str(corpus_dir / "b.s")]) == 0
+        data = json.loads(summary.read_text())
+        assert data["schema"] == "pymao.batch/1"
+        assert data["totals"]["files"] == 2
+
+    def test_batch_stats_rows_carry_filename(self, corpus_dir, capsys):
+        assert main(["--mao=REDTEST", "--no-cache", "--stats",
+                     str(corpus_dir / "a.s"),
+                     str(corpus_dir / "b.s")]) == 0
+        err = capsys.readouterr().err
+        rows = [line for line in err.splitlines() if "REDTEST" in line]
+        assert len(rows) == 2
+        assert "a.s" in rows[0] and "b.s" in rows[1]
+
+    def test_sim_rejected_in_batch_mode(self, corpus_dir):
+        with pytest.raises(SystemExit):
+            main(["--mao=REDTEST", "--no-cache", "--sim", "core2",
+                  str(corpus_dir / "a.s"), str(corpus_dir / "b.s")])
+
+
+class TestCacheStats:
+    def test_cache_stats_format_pinned(self, asm_file, capsys):
+        """Regression: the exact bytes --cache-stats writes (the
+        --stats / --sim-stats fixed-format convention)."""
+        obs.REGISTRY.reset()
+        assert main(["--mao=REDTEST", "--cache-stats",
+                     str(asm_file)]) == 0
+        err = capsys.readouterr().err
+        assert err == ("artifact-cache: hits=0 misses=0 stores=0 "
+                       "evictions=0 hit-rate=0.0%\n"
+                       "batch: files=0 errors=0\n")
+
+    def test_cache_stats_counts_batch_traffic(self, tmp_path, capsys):
+        src_a, src_b = tmp_path / "a.s", tmp_path / "b.s"
+        src_a.write_text(SOURCE)
+        src_b.write_text(SOURCE.replace("f", "g"))
+        obs.REGISTRY.reset()
+        argv = ["--mao=REDTEST", "--cache-dir", str(tmp_path / "cache"),
+                "--cache-stats", str(src_a), str(src_b)]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "artifact-cache: hits=2 misses=2 stores=2 evictions=0 " \
+               "hit-rate=50.0%" in err
+        assert "batch: files=4 errors=0" in err
+
+
 class TestObservabilityFlags:
     """The api/obs redesign must not change what the old flags print."""
 

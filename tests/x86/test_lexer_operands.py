@@ -127,3 +127,34 @@ class TestOperandObjects:
         assert Memory(symbol="x", base=rip).is_rip_relative
         assert Memory(disp=4).is_absolute
         assert not Memory(base=get_register("rax")).is_absolute
+
+
+class TestTokenInterning:
+    """Corpus parsing must not allocate duplicate tokens per line."""
+
+    def test_two_parses_share_register_tokens(self):
+        first = tokenize_operand("8(%rax,%rbx,4)")
+        second = tokenize_operand("8(%rax,%rbx,4)")
+        assert first == second
+        regs_first = [t for t in first if t[0] == "REG"]
+        regs_second = [t for t in second if t[0] == "REG"]
+        assert regs_first and all(
+            a is b for a, b in zip(regs_first, regs_second))
+
+    def test_all_tokens_shared_across_parses(self):
+        first = tokenize_operand("-16(%rsp)")
+        second = tokenize_operand("-16(%rsp)")
+        for a, b in zip(first, second):
+            assert a is b
+
+    def test_same_register_in_different_operands_shared(self):
+        (reg_a,) = [t for t in tokenize_operand("%rdi") if t[0] == "REG"]
+        reg_b = [t for t in tokenize_operand("8(%rdi)")
+                 if t[0] == "REG"][0]
+        assert reg_a is reg_b
+
+    def test_mnemonics_interned_across_instructions(self):
+        from repro.x86.parser import parse_instruction
+        one = parse_instruction("movq %rax, %rbx")
+        two = parse_instruction("movq %rcx, %rdx")
+        assert one.insn.mnemonic is two.insn.mnemonic
