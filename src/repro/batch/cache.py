@@ -7,7 +7,7 @@ pure waste.  The cache keys each optimization *result* (the emitted
 assembly plus the versioned ``pymao.pipeline/1`` report) by what actually
 determines it::
 
-    key = sha256( salt || sha256(source) || canonical pass spec )
+    key = sha256( salt || sha256(source) || pass-spec encoding )
 
 * **salt** — a version fingerprint (``pymao`` version + pipeline schema
   by default).  Bumping it invalidates every entry at once, which is the
@@ -16,9 +16,12 @@ determines it::
 * **sha256(source)** — content addressing: the file *name* is
   irrelevant, only the bytes matter, so a file moved or copied across a
   tree still hits.
-* **canonical pass spec** — the same pass list spelled two ways
+* **pass-spec encoding** — the same pass list spelled two ways
   (``REDTEST:LOOP16`` via string or via ``(name, options)`` items) maps
-  to one canonical string; a *different* spec is a different key.
+  to one string; a *different* spec is a different key.  The batch
+  engine uses :func:`repro.passes.manager.encode_pass_spec` (injective
+  JSON) rather than the human-readable ``--mao=`` rendering, which can
+  collide when option values contain ``]`` or ``+``.
 
 Robustness properties, all covered by tests:
 
@@ -27,7 +30,10 @@ Robustness properties, all covered by tests:
 * reads are corruption-tolerant: an unreadable / truncated / wrong-schema
   entry counts as a miss (and is deleted best-effort), never an error;
 * the store is LRU size-bounded: reads refresh an entry's mtime and
-  ``put`` evicts oldest-mtime entries over ``max_bytes``.
+  ``put`` evicts oldest-mtime entries over ``max_bytes``.  ``put``
+  keeps a running size estimate (seeded by one full scan per cache
+  handle) and only walks the store when the estimate crosses the bound,
+  so a cold batch of N stores does O(N) work, not N full-store scans.
 
 Every hit / miss / store / eviction is counted in the process-wide
 metrics registry (``batch.cache.{hit,miss,store,evict}``), which is what
@@ -109,17 +115,28 @@ class ArtifactCache:
         self.max_bytes = int(max_bytes)
         self.salt = salt if salt is not None else default_salt()
         self._registry = registry if registry is not None else metrics.REGISTRY
+        #: Running store-size estimate; None until the first put() seeds
+        #: it with a full scan.  It can only over-count (overwrites add
+        #: their size twice), which at worst triggers an early sweep —
+        #: the sweep itself recomputes the exact total.
+        self._approx_bytes: Optional[int] = None
 
     # -- keying -------------------------------------------------------------
 
-    def key_for(self, source: str, canonical_spec: str) -> str:
-        """The content-addressed key: filename-independent by design."""
+    def key_for(self, source: str, spec_encoding: str) -> str:
+        """The content-addressed key: filename-independent by design.
+
+        *spec_encoding* is treated as an opaque string; callers must use
+        an injective rendering of their pass spec (the batch engine uses
+        :func:`repro.passes.manager.encode_pass_spec`) — two different
+        specs mapping to one string would replay the wrong artifact.
+        """
         digest = hashlib.sha256()
         digest.update(self.salt.encode("utf-8"))
         digest.update(b"\x00")
         digest.update(source_sha256(source).encode("ascii"))
         digest.update(b"\x00")
-        digest.update(canonical_spec.encode("utf-8"))
+        digest.update(spec_encoding.encode("utf-8"))
         return digest.hexdigest()
 
     def _path(self, key: str) -> str:
@@ -173,16 +190,25 @@ class ArtifactCache:
         }
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        text = json.dumps(entry, sort_keys=True)
         fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
+                handle.write(text)
             os.replace(tmp_path, path)
         except BaseException:
             self._unlink(tmp_path)
             raise
         self._registry.inc("batch.cache.store")
-        self._evict_over_bound(keep=path)
+        # Enforce the bound from a running estimate: the full-store
+        # walk in _evict_over_bound is O(entries), so doing it on every
+        # store would make a cold batch of N misses quadratic.
+        if self._approx_bytes is None:
+            self._approx_bytes = self.total_bytes()
+        else:
+            self._approx_bytes += len(text)
+        if self._approx_bytes > self.max_bytes:
+            self._evict_over_bound(keep=path)
 
     # -- maintenance --------------------------------------------------------
 
@@ -223,6 +249,7 @@ class ArtifactCache:
             stated.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
         if total <= self.max_bytes:
+            self._approx_bytes = total
             return 0
         keep_abs = os.path.abspath(keep) if keep is not None else None
         evicted = 0
@@ -235,6 +262,8 @@ class ArtifactCache:
                 total -= size
                 evicted += 1
                 self._registry.inc("batch.cache.evict")
+        # The walk just measured the store exactly; resync the estimate.
+        self._approx_bytes = total
         return evicted
 
     @staticmethod

@@ -8,7 +8,10 @@ three guarantees:
   in the :class:`~repro.batch.cache.ArtifactCache` (when one is given);
   hits replay the stored emitted assembly + ``pymao.pipeline/1`` report
   without parsing a single line.  Misses are optimized and published
-  back, so the *next* invocation is warm.
+  back, so the *next* invocation is warm.  Replay covers asm + report
+  and nothing else, so specs containing a side-effecting pass (``ASM``)
+  bypass the cache entirely — cold and warm runs of the same command
+  must produce the same filesystem effects.
 * **Parallel misses, deterministic output.**  Cache misses are sharded
   across a worker pool — the same ``thread`` / ``process`` backend
   vocabulary as ``passes.manager`` — and merged back **in input order**,
@@ -39,7 +42,9 @@ from repro.passes.manager import (
     PipelineResult,
     _resolve_backend,
     canonical_pass_spec,
+    encode_pass_spec,
     parse_pass_spec,
+    spec_has_side_effects,
 )
 
 #: Version tag of the serialized batch summary format.
@@ -212,7 +217,9 @@ def run_batch(inputs: Iterable[BatchInput],
     ``inputs`` are file paths or ``(name, source)`` pairs; results come
     back in input order regardless of worker completion order.  With a
     *cache*, byte-identical sources under the same spec replay their
-    stored artifact instead of being re-optimized.  ``backend=`` is the
+    stored artifact instead of being re-optimized (unless the spec
+    contains a side-effecting pass, which disables caching for the
+    run).  ``backend=`` is the
     deprecated alias of ``parallel_backend=`` (as in ``passes.manager``).
     """
     parallel_backend = _resolve_backend(parallel_backend, backend)
@@ -222,6 +229,16 @@ def run_batch(inputs: Iterable[BatchInput],
         raise ValueError("unknown batch backend %r" % parallel_backend)
     spec_items = _resolve_spec(spec)
     canonical = canonical_pass_spec(spec_items)
+    if cache is not None and spec_has_side_effects(spec_items):
+        # A replayed artifact restores asm + report only; it cannot
+        # re-run a side-effecting pass (ASM writing its `o` target), so
+        # a warm run of such a spec would silently skip the effect while
+        # a cold run performs it.  Run these specs uncached instead.
+        cache = None
+    # Keys use the injective JSON encoding, not the --mao= rendering:
+    # option values containing ']'/'+' can make two different specs
+    # render the same canonical string.
+    key_spec = encode_pass_spec(spec_items)
     loaded = _load_inputs(inputs)
     registry = obs.REGISTRY
 
@@ -244,7 +261,7 @@ def run_batch(inputs: Iterable[BatchInput],
             if cache is None:
                 pending.append((index, name, source, None, sha))
                 continue
-            key = cache.key_for(source, canonical)
+            key = cache.key_for(source, key_spec)
             hit = cache.get(key)
             if hit is not None:
                 try:

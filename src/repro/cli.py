@@ -21,7 +21,9 @@ patterns work from scripts) switches the driver to the corpus engine —
 workers and replays warm results from the persistent content-addressed
 artifact cache (``--cache-dir`` / ``$PYMAO_CACHE_DIR``, default
 ``~/.cache/pymao``; ``--no-cache`` disables it).  ``-o`` names an output
-*directory* in batch mode.  A file that fails to read or parse does not
+*directory* in batch mode; inputs with colliding basenames mirror their
+directory structure under it instead of silently overwriting each
+other.  A file that fails to read or parse does not
 abort the batch: every other file is still processed, the failures are
 reported at the end, and the exit status is non-zero.
 
@@ -226,6 +228,25 @@ def _run_single(args, parser, input_path: str, spec_items) -> int:
     return 0
 
 
+def _batch_output_paths(names: List[str]) -> dict:
+    """Map each batch input to its output path relative to ``-o DIR``.
+
+    Unique basenames keep the flat one-directory layout.  When two
+    inputs share a basename (``a/foo.s`` and ``b/foo.s``, routine in
+    real build trees) the flat layout would silently overwrite one
+    output with the other, so the mapping falls back to mirroring the
+    inputs' directory structure relative to their deepest common prefix.
+    """
+    basenames = [os.path.basename(name) for name in names]
+    if len(set(basenames)) == len(set(names)):
+        return dict(zip(names, basenames))
+    resolved = {name: os.path.abspath(name) for name in names}
+    common = os.path.commonpath([os.path.dirname(path)
+                                 for path in resolved.values()])
+    return {name: os.path.relpath(path, common)
+            for name, path in resolved.items()}
+
+
 def _run_batch(args, parser, files: List[str], spec_items) -> int:
     """Corpus mode: many inputs through ``api.optimize_many``.
 
@@ -244,10 +265,11 @@ def _run_batch(args, parser, files: List[str], spec_items) -> int:
 
     if args.output:
         os.makedirs(args.output, exist_ok=True)
+        out_rel = _batch_output_paths([item.name for item in batch])
         for item in batch:
             if item.ok:
-                out_path = os.path.join(args.output,
-                                        os.path.basename(item.name))
+                out_path = os.path.join(args.output, out_rel[item.name])
+                os.makedirs(os.path.dirname(out_path), exist_ok=True)
                 with open(out_path, "w") as handle:
                     handle.write(item.asm)
     if args.batch_summary:

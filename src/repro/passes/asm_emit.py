@@ -26,6 +26,8 @@ class AssemblyEmissionPass(MaoUnitPass):
     """Write the unit back out as textual assembly."""
 
     OPTIONS = {"o": "-"}
+    # Emission is the effect: replaying a cached result would skip it.
+    SIDE_EFFECTS = True
 
     def Go(self) -> bool:
         target = str(self.option("o"))

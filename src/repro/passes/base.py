@@ -23,6 +23,9 @@ class MaoPass:
     NAME: str = "?"
     #: Option name -> default value.  ``trace`` and ``dump`` are universal.
     OPTIONS: Dict[str, Any] = {}
+    #: True for passes whose value is an effect outside the IR (e.g. ASM
+    #: writing a file).  Result caches must not replay around such passes.
+    SIDE_EFFECTS: bool = False
 
     def __init__(self, options: Optional[Dict[str, Any]] = None) -> None:
         merged: Dict[str, Any] = {"trace": 0, "dump": False}

@@ -30,6 +30,7 @@ entries, transparently run in-process instead.
 
 from __future__ import annotations
 
+import json
 import re
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -143,6 +144,44 @@ def canonical_pass_spec(items: List[Tuple[str, Dict[str, Any]]]) -> str:
         else:
             parts.append(name)
     return ":".join(parts)
+
+
+def encode_pass_spec(items: List[Tuple[str, Dict[str, Any]]]) -> str:
+    """Injective encoding of a pass spec, for cache keying.
+
+    :func:`canonical_pass_spec` is the human-readable ``--mao=`` form and
+    is *not* injective for arbitrary option values: a value containing
+    ``]`` or ``+`` can render identically to a different spec (e.g.
+    ``x=1]+y[2`` vs ``x=1, y=2``, both ``P=x[1]+y[2]``).  The CLI never
+    produces such values (:func:`parse_pass_spec` rejects them) but API
+    callers passing ``(name, options)`` items can, so anything used as a
+    cache-key component goes through this JSON rendering instead: option
+    order is normalized by sorting, values are stringified the same way
+    pass construction stringifies them, and JSON escaping makes distinct
+    specs distinct strings.
+    """
+    return json.dumps([[name, {key: str(value)
+                               for key, value in options.items()}]
+                       for name, options in items],
+                      sort_keys=True, separators=(",", ":"))
+
+
+def spec_has_side_effects(items: List[Tuple[str, Dict[str, Any]]]) -> bool:
+    """True when any pass in *items* declares ``SIDE_EFFECTS``.
+
+    Replaying a cached artifact restores the emitted assembly and the
+    report but runs no pass, so a pass whose value is an effect outside
+    the IR (``ASM`` writing its ``o`` target) would silently do nothing
+    on a warm run.  Callers that replay results use this to bypass the
+    cache for such specs.  Unregistered names conservatively count as
+    effect-free: they fail pipeline construction anyway.
+    """
+    for name, _options in items:
+        cls: Optional[Type[MaoPass]] = (_UNIT_PASSES.get(name)
+                                        or _FUNC_PASSES.get(name))
+        if cls is not None and getattr(cls, "SIDE_EFFECTS", False):
+            return True
+    return False
 
 
 @dataclass

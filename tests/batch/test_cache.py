@@ -100,6 +100,19 @@ class TestKeying:
                          [("REDZEE", {}), ("REDTEST", {})], cache=cache)
         assert warm.items[0].cache == "hit"
 
+    def test_ambiguous_option_values_do_not_cross_replay(self, cache):
+        """Regression: keys were built from the --mao= rendering, under
+        which [('P', {'x': '1]+y[2'})] and [('P', {'x': '1', 'y': '2'})]
+        both read 'P=x[1]+y[2]' — an API caller could replay the other
+        spec's artifact."""
+        from repro.passes.manager import encode_pass_spec
+        tricky = encode_pass_spec([("P", {"x": "1]+y[2"})])
+        plain = encode_pass_spec([("P", {"x": "1", "y": "2"})])
+        assert tricky != plain
+        cache.put(cache.key_for(SOURCE_A, tricky), "tricky-asm",
+                  {"schema": "pymao.pipeline/1", "reports": []})
+        assert cache.get(cache.key_for(SOURCE_A, plain)) is None
+
 
 class TestRobustness:
     def test_corrupt_entry_is_a_miss_and_removed(self, cache):
@@ -172,6 +185,25 @@ class TestEviction:
         # Oldest entries went first; the newest survive.
         assert cache.get(keys[0]) is None
         assert cache.get(final) is not None
+
+    def test_puts_under_bound_do_not_sweep_store(self, tmp_path,
+                                                 monkeypatch):
+        """Stores below max_bytes must not walk the whole store: a cold
+        batch of N misses used to do N full scans (O(N^2) stats)."""
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        walks = {"count": 0}
+        real_entries = cache.entries
+
+        def counting_entries():
+            walks["count"] += 1
+            return real_entries()
+
+        monkeypatch.setattr(cache, "entries", counting_entries)
+        for index in range(20):
+            cache.put(cache.key_for("source-%d" % index, "SPEC"), "x" * 64,
+                      {"schema": "pymao.pipeline/1", "reports": []})
+        # One seeding scan for the running estimate, no per-put sweeps.
+        assert walks["count"] == 1
 
     def test_hit_refreshes_lru_position(self, tmp_path):
         cache = ArtifactCache(str(tmp_path / "c"), max_bytes=14000,

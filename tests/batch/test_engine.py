@@ -105,6 +105,33 @@ class TestCacheReplay:
         assert changed.items[0].cache == "miss"
 
 
+class TestSideEffectingSpecs:
+    def test_asm_spec_bypasses_cache(self, tmp_path):
+        """Replay restores asm+report only, so a spec whose point is a
+        side effect (ASM writing its target) must never be served from
+        cache: cold and warm runs of the same command must leave the
+        same files behind."""
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        target = tmp_path / "emitted.s"
+        spec = [("REDTEST", {}), ("ASM", {"o": str(target)})]
+
+        cold = run_batch([("a.s", GOOD)], spec, cache=cache)
+        assert cold.items[0].cache == "off"
+        assert cache.entries() == []            # nothing published either
+        assert target.exists()
+
+        target.unlink()
+        warm = run_batch([("a.s", GOOD)], spec, cache=cache)
+        assert warm.items[0].cache == "off"
+        assert target.exists()                  # the pass really re-ran
+
+    def test_effect_free_specs_still_cache(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "c"), registry=Registry())
+        run_batch([("a.s", GOOD)], SPEC, cache=cache)
+        warm = run_batch([("a.s", GOOD)], SPEC, cache=cache)
+        assert warm.items[0].cache == "hit"
+
+
 class TestFailureIsolation:
     def test_bad_file_does_not_abort_batch(self):
         result = run_batch([("good1.s", GOOD), ("bad.s", BAD),

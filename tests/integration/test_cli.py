@@ -115,6 +115,22 @@ class TestBatchMode:
         assert (out / "a.s").exists() and (out / "b.s").exists()
         assert "testl" not in (out / "a.s").read_text()
 
+    def test_colliding_basenames_mirror_input_tree(self, tmp_path):
+        """a/foo.s and b/foo.s must both survive -o DIR: the flat layout
+        used to let the second silently overwrite the first."""
+        for sub, body in (("a", SOURCE), ("b", SOURCE.replace("f", "g"))):
+            directory = tmp_path / "tree" / sub
+            directory.mkdir(parents=True)
+            (directory / "foo.s").write_text(body)
+        out = tmp_path / "out"
+        assert main(["--mao=REDTEST", "--no-cache", "-o", str(out),
+                     str(tmp_path / "tree" / "a" / "foo.s"),
+                     str(tmp_path / "tree" / "b" / "foo.s")]) == 0
+        assert (out / "a" / "foo.s").exists()
+        assert (out / "b" / "foo.s").exists()
+        assert (out / "a" / "foo.s").read_text() \
+            != (out / "b" / "foo.s").read_text()
+
     def test_glob_expansion(self, corpus_dir, tmp_path):
         out = tmp_path / "out"
         assert main(["--mao=REDTEST", "--no-cache", "-o", str(out),

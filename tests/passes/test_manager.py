@@ -7,11 +7,14 @@ from repro.ir import parse_unit
 from repro.passes.base import MaoFunctionPass
 from repro.passes.manager import (
     PassPipeline,
+    canonical_pass_spec,
+    encode_pass_spec,
     get_pass,
     parse_pass_spec,
     register_func_pass,
     registered_passes,
     run_passes,
+    spec_has_side_effects,
 )
 
 
@@ -75,6 +78,43 @@ class TestSpecParsing:
         with pytest.raises(KeyError) as err:
             run_passes(unit, "NOSUCHPASS")
         assert "known:" in str(err.value)
+
+
+class TestSpecEncoding:
+    def test_injective_where_canonical_collides(self):
+        """The --mao= rendering maps both of these to 'P=x[1]+y[2]'; the
+        cache-key encoding must keep them distinct."""
+        a = [("P", {"x": "1]+y[2"})]
+        b = [("P", {"x": "1", "y": "2"})]
+        assert canonical_pass_spec(a) == canonical_pass_spec(b)
+        assert encode_pass_spec(a) != encode_pass_spec(b)
+
+    def test_spelling_and_value_types_normalized(self):
+        assert encode_pass_spec(parse_pass_spec("LOOP16=limit[8]")) \
+            == encode_pass_spec([("LOOP16", {"limit": 8})])
+
+    def test_pass_order_is_semantic(self):
+        assert encode_pass_spec([("A", {}), ("B", {})]) \
+            != encode_pass_spec([("B", {}), ("A", {})])
+
+    def test_option_order_is_not(self):
+        first = encode_pass_spec([("NOPIN", {"seed": "3",
+                                             "density": "0.1"})])
+        second = encode_pass_spec([("NOPIN", {"density": "0.1",
+                                              "seed": "3"})])
+        assert first == second
+
+
+class TestSideEffectQuery:
+    def test_asm_is_side_effecting(self):
+        assert spec_has_side_effects(parse_pass_spec("REDTEST:ASM=o[x]"))
+
+    def test_analysis_specs_are_not(self):
+        assert not spec_has_side_effects(
+            parse_pass_spec("REDZEE:REDTEST:LFIND"))
+
+    def test_unknown_pass_counts_as_effect_free(self):
+        assert not spec_has_side_effects([("NOSUCHPASS", {})])
 
 
 class TestRegistry:
