@@ -1,7 +1,7 @@
 PYTHON ?= python
 
 .PHONY: test bench bench-quick bench-suite bench-batch-smoke perf-report \
-	trace-smoke clean
+	trace-smoke server-smoke bench-server-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -10,6 +10,7 @@ bench:
 	$(PYTHON) benchmarks/bench_hotpath.py
 	$(PYTHON) benchmarks/bench_sim_engine.py
 	$(PYTHON) benchmarks/bench_batch.py
+	$(PYTHON) benchmarks/bench_server.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
@@ -28,6 +29,20 @@ bench-batch-smoke:
 	$(PYTHON) benchmarks/bench_batch.py --quick \
 		-o /tmp/pymao_bench_batch.json
 	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_batch.json
+
+# Service lifecycle smoke: start `mao serve` on an ephemeral port, one
+# optimize + one metrics scrape through repro.server.client, SIGTERM,
+# and require a graceful-drain exit code of 0.
+server-smoke:
+	$(PYTHON) scripts/server_smoke.py
+
+# Tiny-workload service bench: the harness exits non-zero unless the
+# warm round hits 100%, replays byte-identical asm, and drains clean;
+# the report gate re-checks the recorded JSON.
+bench-server-smoke:
+	$(PYTHON) benchmarks/bench_server.py --quick \
+		-o /tmp/pymao_bench_server.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_server.json
 
 perf-report:
 	$(PYTHON) scripts/perf_report.py

@@ -17,7 +17,12 @@ field:
   ``benchmarks/bench_batch.py`` — corpus batch engine: warm
   artifact-cache replay vs cold optimization (gated at >= 5x on full
   runs), 100% warm hit rate, byte-identical outputs, and jobs-1-vs-4
-  determinism on both pool backends.
+  determinism on both pool backends;
+* ``BENCH_server.json`` (``mao-bench-server/1``) from
+  ``benchmarks/bench_server.py`` — the asyncio optimization service
+  under a closed-loop mixed workload: warm shared-cache throughput vs
+  cold (gated at >= 3x on full runs), 100% warm hit rate,
+  byte-identical responses, and a graceful SIGTERM drain.
 
 ``.jsonl`` paths are treated as ``pymao.trace/1`` event logs (the
 ``--trace-out`` / bench-runner format): validated with
@@ -44,7 +49,7 @@ import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
-                  "BENCH_batch.json")
+                  "BENCH_batch.json", "BENCH_server.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
@@ -265,6 +270,68 @@ def check_batch(results: dict, min_speedup: float) -> list:
 
 
 # ---------------------------------------------------------------------------
+# mao-bench-server/1
+# ---------------------------------------------------------------------------
+
+#: Required warm-over-cold throughput ratio on a full (non --quick) run.
+SERVER_FULL_MIN_SPEEDUP = 3.0
+
+
+def render_server(results: dict) -> None:
+    config = results.get("config", {})
+    print("optimization-service benchmark (%s)" % results.get("schema", "?"))
+    _row("requests (opt + sim)", "%s (%s + %s)"
+         % (config.get("requests"), config.get("optimize_requests"),
+            config.get("simulate_requests")))
+    _row("clients / max-inflight", "%s / %s"
+         % (config.get("clients"), config.get("max_inflight")))
+    _row("spec", str(config.get("spec")))
+    for key in ("server_cold", "server_warm"):
+        section = results.get(key)
+        if not section:
+            continue
+        print("%s:" % key)
+        _row("throughput", "%.2f req/s" % section["throughput_rps"])
+        _row("latency p50 / p99", "%.1fms / %.1fms"
+             % (section["p50_ms"], section["p99_ms"]))
+        _row("cache hits / misses", "%d / %d"
+             % (section["cache_hits"], section["cache_misses"]))
+        _row("hit rate", "%.1f%%" % (100 * section["hit_rate"]))
+        _row("errors", str(section["errors"]))
+    if results.get("speedup") is not None:
+        _row("warm-over-cold speedup", "%.1fx" % results["speedup"])
+    _row("byte-identical", str(results.get("byte_identical")))
+    _row("graceful exit", str(results.get("graceful_exit")))
+
+
+def check_server(results: dict, min_speedup: float) -> list:
+    failures = []
+    warm = results.get("server_warm")
+    cold = results.get("server_cold")
+    if not cold or not warm:
+        failures.append("missing server_cold/server_warm section")
+        return failures
+    if warm["hit_rate"] != 1.0:
+        failures.append("warm hit rate %.1f%% < 100%%"
+                        % (100 * warm["hit_rate"]))
+    if warm["errors"] or cold["errors"]:
+        failures.append("load generator reported failed requests")
+    if not results.get("byte_identical"):
+        failures.append("warm responses NOT byte-identical to cold")
+    if not results.get("graceful_exit"):
+        failures.append("server did not drain to exit code 0 on SIGTERM")
+    # The 3x warm-replay claim is about the full 100-request workload;
+    # --quick smoke runs only need the generic gate.
+    required = min_speedup if results.get("config", {}).get("quick") \
+        else max(min_speedup, SERVER_FULL_MIN_SPEEDUP)
+    speedup = results.get("speedup")
+    if speedup is None or speedup < required:
+        failures.append("warm throughput speedup %sx < required %.1fx"
+                        % (speedup, required))
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # pymao.trace/1 event logs (.jsonl)
 # ---------------------------------------------------------------------------
 
@@ -304,6 +371,7 @@ _SCHEMAS = {
     "mao-bench-hotpath/1": (render_hotpath, check_hotpath),
     "mao-bench-sim/1": (render_sim, check_sim),
     "mao-bench-batch/1": (render_batch, check_batch),
+    "mao-bench-server/1": (render_server, check_server),
 }
 
 

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""CI smoke for the optimization service: full lifecycle in seconds.
+
+Starts a real ``mao serve`` subprocess on an ephemeral port, performs
+one optimize round trip and one metrics scrape through
+``repro.server.client``, then SIGTERMs it and requires a graceful-drain
+exit code of 0.  Run via ``make server-smoke``.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.server.client import Client  # noqa: E402
+
+SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    andl $255, %eax
+    mov %eax, %eax
+    subl $16, %r15d
+    testl %r15d, %r15d
+    ret
+"""
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    with tempfile.TemporaryDirectory(prefix="pymao-smoke-") as workdir:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--cache-dir", os.path.join(workdir, "cache")],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            line = proc.stdout.readline().strip()
+            if "listening on" not in line:
+                print("FAIL: server did not start: %r" % line,
+                      file=sys.stderr)
+                return 1
+            port = int(line.rsplit(":", 1)[1])
+            print(line)
+
+            with Client(port=port, retries=3) as client:
+                result = client.optimize(SOURCE,
+                                         "REDZEE:REDTEST:REDMOV",
+                                         request_id="smoke-1")
+                assert result["schema"] == "pymao.server/1", result
+                assert "testl" not in result["asm"], "REDTEST did not run"
+                print("optimize: ok (cache=%s, %d bytes of asm)"
+                      % (result["cache"], len(result["asm"])))
+
+                metrics = client.metrics()
+                assert metrics["type"] == "metrics", metrics
+                assert "server.requests" in metrics["values"], \
+                    "service counters missing from the registry snapshot"
+                print("metrics: ok (%d series)" % len(metrics["values"]))
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=60)
+        if code != 0:
+            print("FAIL: drain exited %d, expected 0" % code,
+                  file=sys.stderr)
+            return 1
+        print("graceful drain: ok (exit 0)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,10 @@
 """``repro.api`` — the supported front door to PyMAO.
 
-Callers (the CLI, the benches, tests, a future server) previously glued
-``parse_unit`` + ``run_passes`` + ``simulate_program`` together by hand,
-each with its own timing and stat plumbing.  The facade gives the two
-operations that cover them all, both traced through :mod:`repro.obs`:
+Callers — the ``mao`` CLI, the :mod:`repro.server` service, the benches,
+tests — previously glued ``parse_unit`` + ``run_passes`` +
+``simulate_program`` together by hand, each with its own timing and stat
+plumbing.  The facade gives the operations that cover them all, traced
+through :mod:`repro.obs`:
 
 * :func:`optimize` — parse (if needed) and run a pass pipeline::
 
@@ -22,6 +23,16 @@ operations that cover them all, both traced through :mod:`repro.obs`:
       batch = api.optimize_many(["a.s", "b.s"], "REDTEST:LOOP16",
                                 jobs=4, cache_dir="/var/cache/pymao")
       batch.items[0].asm, batch.to_dict()   # pymao.batch/1
+
+* :func:`verify` — the paper's §III.A disassemble-and-compare check
+  over a source or an :class:`OptimizeResult`::
+
+      api.verify(src).identical                 # O1 vs O2 on the source
+      api.verify(api.optimize(src, "LFIND"))    # O1 vs the result's asm
+
+The network entry point is :mod:`repro.server` (``mao serve``), which
+exposes ``optimize``/``optimize_many``/``simulate`` as ``/v1/*``
+endpoints behind admission control and the shared artifact cache.
 
 Models may be passed as :class:`~repro.uarch.model.ProcessorModel`
 instances or by profile name (``"core2"``, ``"opteron"``,
@@ -187,6 +198,29 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
     return _batch.run_batch(inputs, spec, jobs=jobs,
                             parallel_backend=parallel_backend,
                             cache=cache_obj)
+
+
+def verify(src_or_result: Union[str, OptimizeResult]):
+    """The paper's §III.A correctness flow on the public surface.
+
+    For source text: assemble it (O1), run the analyses-only MAO pass
+    over it, re-emit and re-assemble (O2), disassemble both and compare
+    textually.  For an :class:`OptimizeResult`: the same check over the
+    *emitted* assembly — whatever the passes produced must survive a
+    re-parse + analyses round trip bit-for-bit once assembled.
+
+    Returns a :class:`repro.verify.VerifyResult`; ``identical`` is the
+    verdict, ``first_diff`` the earliest divergent disassembly pair.
+    """
+    from repro import verify as _verify
+
+    source = src_or_result.to_asm() \
+        if isinstance(src_or_result, OptimizeResult) else src_or_result
+    with obs.span("verify", bytes=len(source)) as sp:
+        result = _verify.disassemble_compare(source)
+        if sp:
+            sp.attach(identical=result.identical)
+    return result
 
 
 def simulate(src_or_unit: Union[None, str, MaoUnit],

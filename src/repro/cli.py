@@ -27,6 +27,11 @@ other.  A file that fails to read or parse does not
 abort the batch: every other file is still processed, the failures are
 reported at the end, and the exit status is non-zero.
 
+Service mode: ``mao serve`` runs the long-lived :mod:`repro.server`
+optimization service (admission control, shared artifact cache, graceful
+SIGTERM drain) and ``mao remote`` optimizes a file against a running
+server over HTTP.  Both verbs delegate to :mod:`repro.server.cli`.
+
 Observability: the driver is a thin shell over :mod:`repro.api`, and all
 reporting flags are views over :mod:`repro.obs` — ``--trace-out FILE``
 writes the ``pymao.trace/1`` JSONL event log (spans + metrics snapshot),
@@ -58,6 +63,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mao", action="append", default=[],
                         metavar="SPEC",
                         help="pass spec, e.g. REDTEST:ASM=o[out.s]")
+    parser.add_argument("--version", action="store_true",
+                        help="print the package version and the pinned "
+                             "report schema versions, then exit")
     parser.add_argument("--list-passes", action="store_true",
                         help="list registered passes and exit")
     parser.add_argument("--plugin", action="append", default=[],
@@ -146,9 +154,44 @@ def load_plugin(path: str) -> None:
     spec.loader.exec_module(module)
 
 
+def print_version(stream) -> None:
+    """The package version plus every pinned report schema version.
+
+    One block, parsed by deploy tooling: a server and its clients agree
+    on payload formats iff these lines agree.
+    """
+    from repro import __version__
+    from repro.batch.cache import ARTIFACT_SCHEMA
+    from repro.batch.engine import BATCH_SCHEMA
+    from repro.obs import TRACE_SCHEMA
+    from repro.passes.manager import PIPELINE_SCHEMA
+
+    stream.write("mao (PyMAO) %s\n" % __version__)
+    for label, schema in (("pipeline", PIPELINE_SCHEMA),
+                          ("batch", BATCH_SCHEMA),
+                          ("trace", TRACE_SCHEMA),
+                          ("artifact", ARTIFACT_SCHEMA)):
+        stream.write("schema %-9s %s\n" % (label, schema))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Service verbs dispatch before argparse sees the argument list, so
+    # `serve` is never mistaken for an input file.
+    if argv and argv[0] == "serve":
+        from repro.server.cli import serve_main
+        return serve_main(argv[1:])
+    if argv and argv[0] == "remote":
+        from repro.server.cli import remote_main
+        return remote_main(argv[1:])
+
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+
+    if args.version:
+        print_version(sys.stdout)
+        return 0
 
     for plugin in args.plugin:
         load_plugin(plugin)

@@ -1,0 +1,46 @@
+"""``repro.server`` — the asyncio optimization service.
+
+The network layer over :mod:`repro.api`: a long-lived HTTP server
+(``mao serve``) exposing ``/v1/optimize``, ``/v1/batch`` and
+``/v1/simulate`` behind bounded admission control, all sharing one
+persistent artifact cache and one worker pool, plus ``/healthz`` and
+``/metrics`` views over :mod:`repro.obs`.  The blocking
+:class:`~repro.server.client.Client` (and the ``mao remote`` verb) is
+the supported way to talk to it.
+
+In-process use::
+
+    from repro.server import ServerConfig, ServerThread, Client
+
+    config = ServerConfig(port=0, cache_dir="/tmp/pymao-cache")
+    with ServerThread(config) as handle:
+        with Client(port=handle.port) as client:
+            result = client.optimize(source, "REDTEST:LOOP16")
+            result["asm"], result["pipeline"], result["cache"]
+"""
+
+from repro.server.app import (
+    MaoServer,
+    SERVER_SCHEMA,
+    ServerConfig,
+    ServerThread,
+)
+from repro.server.client import (
+    Client,
+    DEFAULT_PORT,
+    ServerBusy,
+    ServerError,
+    ServerUnavailable,
+)
+
+__all__ = [
+    "MaoServer",
+    "ServerConfig",
+    "ServerThread",
+    "SERVER_SCHEMA",
+    "Client",
+    "DEFAULT_PORT",
+    "ServerError",
+    "ServerBusy",
+    "ServerUnavailable",
+]

@@ -1,0 +1,564 @@
+"""The asyncio optimization service.
+
+One long-lived :class:`MaoServer` turns the :mod:`repro.api` facade and
+the :mod:`repro.batch` artifact cache into a network service, so many
+clients amortize one warm cache and one worker pool:
+
+* ``POST /v1/optimize`` — one source through a pass spec (the
+  ``pymao.pipeline/1`` report rides in the response);
+* ``POST /v1/batch`` — a corpus in one request (``pymao.batch/1``);
+* ``POST /v1/simulate`` — execute + time on a processor model;
+* ``GET /healthz`` — liveness + admission state;
+* ``GET /metrics`` — the :data:`repro.obs.REGISTRY` snapshot as a
+  ``pymao.trace/1`` metrics event.
+
+**Admission control.**  CPU-bound work never runs on the event loop; it
+is shipped to a bounded worker pool (thread or process — the pass
+manager's backend vocabulary).  A request is *admitted* iff fewer than
+``max_inflight + max_queue`` admitted requests exist; everything else is
+refused up front with ``503`` + ``Retry-After`` (backpressure, not
+buffering).  Admitted requests wait on a semaphore for one of the
+``max_inflight`` execution slots, bounded by ``request_timeout_s``
+end-to-end.  Once admitted, a request is never dropped: it ends in a
+response (200/4xx/504), even during drain.
+
+**Shared cache.**  All optimize/batch work shares one content-addressed
+:class:`~repro.batch.cache.ArtifactCache` store; identical concurrent
+``/v1/optimize`` requests are additionally *coalesced* — followers await
+the leader's executor task (shielded, so one impatient client cannot
+cancel work others depend on) instead of re-optimizing.
+
+**Drain.**  ``SIGTERM``/``SIGINT`` (or :meth:`MaoServer.request_drain`)
+closes the listener, nudges idle keep-alive connections closed, lets
+every inflight request finish, flushes the trace sink, and returns — the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import signal
+import socket
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from repro import obs
+from repro.batch.cache import (
+    DEFAULT_MAX_BYTES,
+    default_cache_dir,
+    default_salt,
+    source_sha256,
+)
+from repro.passes.manager import (
+    canonical_pass_spec,
+    encode_pass_spec,
+    parse_pass_spec,
+    spec_has_side_effects,
+)
+from repro.server import work
+from repro.server.http import (
+    ProtocolError,
+    Request,
+    error_payload,
+    read_request,
+    render_json,
+)
+
+#: Schema tag carried by every JSON response envelope.
+SERVER_SCHEMA = "pymao.server/1"
+
+_KNOWN_CORES = ("core2", "opteron", "pentium4")
+
+
+@dataclass
+class ServerConfig:
+    """Everything a :class:`MaoServer` needs to run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8423                  # 0 = ephemeral (bound port on start)
+    parallel_backend: str = "thread"  # worker pool kind: thread | process
+    workers: int = 0                  # pool size; 0 = max_inflight
+    max_inflight: int = 4             # concurrently executing requests
+    max_queue: int = 16               # admitted-but-waiting bound
+    request_timeout_s: float = 120.0  # admission-to-response bound
+    max_body_bytes: int = 8 * 1024 * 1024
+    retry_after_s: float = 1.0        # advisory backoff floor on 503s
+    cache: bool = True
+    cache_dir: Optional[str] = None   # None = default_cache_dir()
+    cache_salt: Optional[str] = None
+    max_cache_bytes: int = DEFAULT_MAX_BYTES
+    trace_out: Optional[str] = None   # pymao.trace/1 JSONL, flushed on drain
+    drain_grace_s: float = 60.0
+    #: Artificial pre-execution delay per work item.  Test/bench hook for
+    #: holding execution slots open deterministically; never set in
+    #: production configs.
+    test_delay_s: float = 0.0
+
+    def cache_spec(self) -> work.CacheSpec:
+        if not self.cache:
+            return None
+        root = self.cache_dir or default_cache_dir()
+        salt = self.cache_salt or default_salt()
+        return (root, salt, self.max_cache_bytes)
+
+
+def _delayed(fn, delay_s: float):
+    """Wrap a worker so it sleeps *delay_s* before executing (the
+    ``test_delay_s`` hook).  Defined at module scope per backend rules —
+    but a closure cannot cross a process boundary, so the process
+    backend rejects the hook instead (see :meth:`MaoServer.start`)."""
+    import functools
+    import time
+
+    @functools.wraps(fn)
+    def wrapper(payload):
+        time.sleep(delay_s)
+        return fn(payload)
+
+    return wrapper
+
+
+class MaoServer:
+    """The service: admission control + routing over a worker pool."""
+
+    def __init__(self, config: ServerConfig, *,
+                 registry: Optional[obs.Registry] = None) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else obs.REGISTRY
+        self.port: Optional[int] = None      # bound port after start()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._drain_requested: Optional[asyncio.Event] = None
+        self._admitted = 0                   # executing + queued
+        self._executing = 0
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._singleflight: Dict[str, asyncio.Task] = {}
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._idle_writers: Set[asyncio.StreamWriter] = set()
+        self._request_seq = itertools.count(1)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        config = self.config
+        if config.parallel_backend not in ("thread", "process"):
+            raise ValueError("unknown server backend %r"
+                             % config.parallel_backend)
+        if config.parallel_backend == "process" and config.test_delay_s:
+            raise ValueError("test_delay_s requires the thread backend")
+        if config.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        workers = config.workers or config.max_inflight
+        pool_cls = (ThreadPoolExecutor if config.parallel_backend == "thread"
+                    else ProcessPoolExecutor)
+        self._executor = pool_cls(max_workers=workers)
+        self._loop = asyncio.get_running_loop()
+        self._drain_requested = asyncio.Event()
+        self._slots = asyncio.Semaphore(config.max_inflight)
+        self._server = await asyncio.start_server(
+            self._handle_conn, config.host, config.port)
+        sockets = self._server.sockets or []
+        for sock in sockets:
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                self.port = sock.getsockname()[1]
+                break
+
+    async def run(self, *, install_signals: bool = True,
+                  ready=None) -> None:
+        """Start, serve until drain is requested, then drain."""
+        await self.start()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(signum, self.request_drain)
+        try:
+            if ready is not None:
+                ready(self)
+            await self._drain_requested.wait()
+        finally:
+            if install_signals:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    self._loop.remove_signal_handler(signum)
+            await self.drain()
+
+    def request_drain(self) -> None:
+        """Signal-safe (from the loop thread) drain trigger."""
+        self._draining = True
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish inflight, flush the trace sink."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle keep-alive connections sit in read_request() forever;
+        # closing their transports turns that into a clean EOF.
+        for writer in list(self._idle_writers):
+            writer.close()
+        pending = [task for task in self._conn_tasks if not task.done()]
+        if pending:
+            done, not_done = await asyncio.wait(
+                pending, timeout=self.config.drain_grace_s)
+            for task in not_done:
+                task.cancel()
+            if not_done:
+                await asyncio.gather(*not_done, return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        if self.config.trace_out:
+            sink = obs.JsonlSink(self.config.trace_out)
+            try:
+                obs.write_trace(sink, obs.finish_spans(),
+                                server="%s:%s" % (self.config.host,
+                                                  self.port))
+            finally:
+                sink.close()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._conn_loop(reader, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            self._idle_writers.discard(writer)
+            writer.close()
+
+    async def _conn_loop(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        while True:
+            self._idle_writers.add(writer)
+            try:
+                request = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes)
+            except ProtocolError as exc:
+                self.registry.inc("server.protocol_errors")
+                writer.write(render_json(
+                    exc.status, error_payload(exc.status, exc.message),
+                    keep_alive=False))
+                await writer.drain()
+                return
+            finally:
+                self._idle_writers.discard(writer)
+            if request is None:
+                return
+            keep_alive = request.keep_alive and not self._draining
+            response = await self._dispatch(request, keep_alive)
+            writer.write(response)
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    # -- routing ------------------------------------------------------------
+
+    async def _dispatch(self, request: Request, keep_alive: bool) -> bytes:
+        rid = request.headers.get("x-request-id") \
+            or "req-%06d" % next(self._request_seq)
+        self.registry.inc("server.requests")
+        headers = {"X-Request-Id": rid}
+        route = (request.method, request.path)
+        try:
+            if route == ("GET", "/healthz"):
+                return render_json(200, self._health_payload(rid),
+                                   keep_alive=keep_alive, headers=headers)
+            if route == ("GET", "/metrics"):
+                event = obs.metrics_event(self.registry.snapshot())
+                event["request_id"] = rid
+                return render_json(200, event, keep_alive=keep_alive,
+                                   headers=headers)
+            if request.method == "POST" and request.path in (
+                    "/v1/optimize", "/v1/batch", "/v1/simulate"):
+                return await self._dispatch_work(request, rid, keep_alive,
+                                                 headers)
+            self.registry.inc("server.not_found")
+            return render_json(404, error_payload(
+                404, "no route for %s %s" % route, rid),
+                keep_alive=keep_alive, headers=headers)
+        except ProtocolError as exc:
+            return render_json(exc.status,
+                               error_payload(exc.status, exc.message, rid),
+                               keep_alive=keep_alive, headers=headers)
+        except Exception as exc:   # a handler bug, not a client error
+            self.registry.inc("server.errors")
+            return render_json(500, error_payload(
+                500, "internal error: %s: %s" % (type(exc).__name__, exc),
+                rid), keep_alive=keep_alive, headers=headers)
+
+    def _health_payload(self, rid: str) -> Dict[str, Any]:
+        from repro import __version__
+
+        return {"schema": SERVER_SCHEMA,
+                "status": "draining" if self._draining else "ok",
+                "version": __version__,
+                "request_id": rid,
+                "inflight": self._executing,
+                "queued": self._admitted - self._executing,
+                "max_inflight": self.config.max_inflight,
+                "max_queue": self.config.max_queue,
+                "cache": self.config.cache_spec() is not None}
+
+    # -- admission + execution ----------------------------------------------
+
+    async def _dispatch_work(self, request: Request, rid: str,
+                             keep_alive: bool,
+                             headers: Dict[str, str]) -> bytes:
+        config = self.config
+        # Admission decision: accept-and-finish, or refuse now.  A
+        # draining server accepts nothing new; a full server (executing
+        # + queued at the bound) sheds load instead of buffering it.
+        if self._draining \
+                or self._admitted >= config.max_inflight + config.max_queue:
+            self.registry.inc("server.rejected")
+            headers = dict(headers)
+            headers["Retry-After"] = "%g" % config.retry_after_s
+            return render_json(503, error_payload(
+                503, "draining" if self._draining else "at capacity "
+                "(inflight+queued >= %d)"
+                % (config.max_inflight + config.max_queue), rid),
+                keep_alive=keep_alive, headers=headers)
+        self._admitted += 1
+        try:
+            with obs.detached_span("request:%s" % request.path,
+                                   request_id=rid,
+                                   bytes=len(request.body)) as span:
+                try:
+                    payload = await asyncio.wait_for(
+                        self._execute(request, rid, span),
+                        timeout=config.request_timeout_s)
+                except asyncio.TimeoutError:
+                    self.registry.inc("server.timeouts")
+                    if span:
+                        span.attach(outcome="timeout")
+                    return render_json(504, error_payload(
+                        504, "request exceeded %.1fs"
+                        % config.request_timeout_s, rid),
+                        keep_alive=keep_alive, headers=headers)
+                status = payload.pop("_status", 200)
+                if span:
+                    span.attach(status=status)
+                return render_json(status, payload,
+                                   keep_alive=keep_alive, headers=headers)
+        finally:
+            self._admitted -= 1
+            obs.adopt_span(None, span)
+
+    async def _execute(self, request: Request, rid: str,
+                       span) -> Dict[str, Any]:
+        async with self._slots:
+            self._executing += 1
+            try:
+                if request.path == "/v1/optimize":
+                    return await self._handle_optimize(request, rid, span)
+                if request.path == "/v1/batch":
+                    return await self._handle_batch(request, rid, span)
+                return await self._handle_simulate(request, rid, span)
+            finally:
+                self._executing -= 1
+
+    def _run_in_pool(self, fn, payload) -> "asyncio.Future":
+        if self.config.test_delay_s:
+            fn = _delayed(fn, self.config.test_delay_s)
+        return self._loop.run_in_executor(self._executor, fn, payload)
+
+    # -- handlers -----------------------------------------------------------
+
+    @staticmethod
+    def _body_object(request: Request) -> Dict[str, Any]:
+        data = request.json()
+        if not isinstance(data, dict):
+            raise ProtocolError(400, "request body must be a JSON object")
+        return data
+
+    @staticmethod
+    def _parse_spec(data: Dict[str, Any]):
+        spec = data.get("spec")
+        try:
+            if spec is None:
+                items = []
+            elif isinstance(spec, str):
+                items = parse_pass_spec(spec)
+            elif isinstance(spec, list):
+                items = [(str(name), dict(options))
+                         for name, options in spec]
+            else:
+                raise ValueError("spec must be a string or [name, options] "
+                                 "items")
+        except ValueError as exc:
+            raise ProtocolError(400, "bad pass spec: %s" % exc)
+        if spec_has_side_effects(items):
+            # The response carries the emitted asm; letting a request
+            # run ASM=o[...] would write arbitrary server-side paths and
+            # make warm (cache-replayed) runs skip the effect cold runs
+            # performed.
+            raise ProtocolError(400, "side-effecting passes (ASM) are not "
+                                     "allowed over the wire; read the asm "
+                                     "from the response")
+        return items
+
+    async def _handle_optimize(self, request: Request, rid: str,
+                               span) -> Dict[str, Any]:
+        data = self._body_object(request)
+        source = data.get("source")
+        if not isinstance(source, str):
+            raise ProtocolError(400, "missing string field 'source'")
+        spec_items = self._parse_spec(data)
+        payload = {"source": source, "spec_items": spec_items,
+                   "filename": data.get("filename"),
+                   "want_spans": obs.enabled(),
+                   "cache": self.config.cache_spec(),
+                   "key_spec": encode_pass_spec(spec_items),
+                   "canonical_spec": canonical_pass_spec(spec_items)}
+        # Singleflight: identical concurrent requests share one executor
+        # task keyed by (salt, source, spec).  The task is shielded so a
+        # follower's (or the leader's) timeout cancels only its own
+        # wait, never the shared computation.
+        key = "%s\x00%s" % (source_sha256(source), payload["key_spec"])
+        task = self._singleflight.get(key)
+        coalesced = task is not None
+        if task is None:
+            task = self._loop.create_task(self._await_pool(
+                work.optimize_worker, payload))
+            self._singleflight[key] = task
+            task.add_done_callback(
+                lambda _t, _key=key: self._singleflight.pop(_key, None))
+        outcome = await asyncio.shield(task)
+        if outcome["status"] == "error":
+            self.registry.inc("server.client_errors")
+            if span:
+                span.attach(error=outcome["kind"])
+            return {"_status": 400,
+                    "error": outcome["error"], "status": 400,
+                    "request_id": rid}
+        if outcome.get("span") is not None and span:
+            obs.adopt_span(span, obs.Span.from_dict(outcome["span"]))
+        cache_state = "coalesced" if coalesced else outcome["cache"]
+        if span:
+            span.attach(cache=cache_state)
+        self.registry.inc("server.optimize.%s" % cache_state)
+        return {"schema": SERVER_SCHEMA, "request_id": rid,
+                "cache": cache_state, "asm": outcome["asm"],
+                "pipeline": outcome["pipeline"]}
+
+    async def _await_pool(self, fn, payload) -> Dict[str, Any]:
+        return await self._run_in_pool(fn, payload)
+
+    async def _handle_batch(self, request: Request, rid: str,
+                            span) -> Dict[str, Any]:
+        data = self._body_object(request)
+        inputs = data.get("inputs")
+        if (not isinstance(inputs, list)
+                or not all(isinstance(pair, (list, tuple))
+                           and len(pair) == 2
+                           and isinstance(pair[0], str)
+                           and isinstance(pair[1], str)
+                           for pair in inputs)):
+            raise ProtocolError(400, "field 'inputs' must be a list of "
+                                     "[name, source] pairs")
+        spec_items = self._parse_spec(data)
+        payload = {"inputs": [(name, source) for name, source in inputs],
+                   "spec_items": spec_items,
+                   "want_spans": obs.enabled(),
+                   "cache": self.config.cache_spec()}
+        outcome = await self._await_pool(work.batch_worker, payload)
+        if outcome["status"] == "error":
+            self.registry.inc("server.client_errors")
+            return {"_status": 400, "error": outcome["error"],
+                    "status": 400, "request_id": rid}
+        if span:
+            span.attach(files=len(inputs))
+        return {"schema": SERVER_SCHEMA, "request_id": rid,
+                "summary": outcome["summary"], "asm": outcome["asm"]}
+
+    async def _handle_simulate(self, request: Request, rid: str,
+                               span) -> Dict[str, Any]:
+        data = self._body_object(request)
+        core = data.get("core")
+        if not isinstance(core, str) or core not in _KNOWN_CORES:
+            raise ProtocolError(400, "field 'core' must be one of %s"
+                                % ", ".join(_KNOWN_CORES))
+        source = data.get("source")
+        workload = data.get("workload")
+        if (source is None) == (workload is None):
+            raise ProtocolError(400, "pass exactly one of 'source' or "
+                                     "'workload'")
+        payload = {"source": source, "workload": workload, "core": core,
+                   "entry_symbol": data.get("entry_symbol", "main"),
+                   "max_steps": data.get("max_steps", 5_000_000),
+                   "want_spans": obs.enabled()}
+        outcome = await self._await_pool(work.simulate_worker, payload)
+        if outcome["status"] == "error":
+            self.registry.inc("server.client_errors")
+            return {"_status": 400, "error": outcome["error"],
+                    "status": 400, "request_id": rid}
+        if span:
+            span.attach(core=core, cycles=outcome["cycles"])
+        return {"schema": SERVER_SCHEMA, "request_id": rid,
+                "core": core, "cycles": outcome["cycles"],
+                "steps": outcome["steps"], "ipc": outcome["ipc"],
+                "counters": outcome["counters"]}
+
+
+class ServerThread:
+    """Run a :class:`MaoServer` on a background thread — the in-process
+    harness tests and benches use (``with ServerThread(config) as s:``).
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.server: Optional[MaoServer] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:     # surface startup failures
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = MaoServer(self.config)
+
+        def on_ready(bound: MaoServer) -> None:
+            self.server = bound
+            self.port = bound.port
+            self._ready.set()
+
+        await server.run(install_signals=False, ready=on_ready)
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        if self.port is None:
+            raise RuntimeError("server did not become ready")
+        return self
+
+    def stop(self) -> None:
+        if (self._loop is not None and self.server is not None
+                and not self._loop.is_closed()):
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_drain)
+            except RuntimeError:
+                pass               # loop torn down between check and call
+        self._thread.join(timeout=60)
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

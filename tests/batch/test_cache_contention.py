@@ -1,0 +1,89 @@
+"""Cross-process artifact-cache contention.
+
+The server and any number of CLI batch runs may share one ``--cache-dir``
+concurrently.  The consistency contract (DESIGN.md §9/§10) is that
+publication is atomic — ``tmp + os.replace`` — so a reader can never
+observe a torn or wrong-schema entry: it sees the whole artifact or a
+miss.  This test makes two real processes hammer one cache directory
+with overlapping puts and gets and then audits every byte on disk.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.batch import ARTIFACT_SCHEMA, ArtifactCache, run_batch
+from repro.obs.metrics import Registry
+from repro.workloads.corpus import CorpusConfig, generate_corpus_text
+
+_REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))), "src")
+
+SPEC = "REDZEE:REDTEST"
+
+# Each process optimizes the same corpus repeatedly: round 1 races puts
+# against the sibling's puts (both miss, both publish the same key),
+# later rounds race gets against the sibling's still-in-flight puts.
+WORKER = """
+import sys
+sys.path.insert(0, %(src)r)
+from repro.batch import ArtifactCache, run_batch
+from repro.obs.metrics import Registry
+from tests.batch.test_cache_contention import corpus_inputs
+
+cache = ArtifactCache(sys.argv[1], registry=Registry())
+for _round in range(4):
+    result = run_batch(corpus_inputs(), %(spec)r, cache=cache, jobs=2)
+    assert not result.errors, [i.error for i in result.items if i.error]
+sys.exit(0)
+"""
+
+
+def corpus_inputs():
+    return [("tu_%d.s" % i,
+             generate_corpus_text(CorpusConfig(seed=7000 + i, scale=0.002,
+                                               functions=2)))
+            for i in range(6)]
+
+
+def test_two_processes_never_tear_an_entry(tmp_path):
+    cache_dir = str(tmp_path / "shared-cache")
+    script = WORKER % {"src": _REPO_SRC, "spec": SPEC}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_REPO_SRC, os.path.dirname(_REPO_SRC)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+
+    procs = [subprocess.Popen([sys.executable, "-c", script, cache_dir],
+                              env=env, stderr=subprocess.PIPE, text=True)
+             for _ in range(2)]
+    for proc in procs:
+        _out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+
+    # Audit: every entry on disk is complete, valid JSON of the right
+    # schema — no torn writes, no partial files, no leftover temps.
+    entries = []
+    for dirpath, _dirnames, filenames in os.walk(cache_dir):
+        for name in filenames:
+            path = os.path.join(dirpath, name)
+            assert name.endswith(".json"), "leftover temp file %s" % path
+            with open(path) as handle:
+                data = json.load(handle)
+            assert data.get("schema") == ARTIFACT_SCHEMA
+            assert isinstance(data.get("asm"), str)
+            assert data.get("pipeline", {}).get("schema") \
+                == "pymao.pipeline/1"
+            entries.append(data)
+    assert len(entries) == len(corpus_inputs())
+
+    # And the surviving state is semantically right: a fresh process
+    # replays the whole corpus from cache, byte-identical to a
+    # cache-free reference run.
+    cache = ArtifactCache(cache_dir, registry=Registry())
+    warm = run_batch(corpus_inputs(), SPEC, cache=cache)
+    assert [item.cache for item in warm.items] == ["hit"] * len(warm.items)
+    reference = run_batch(corpus_inputs(), SPEC, cache=None)
+    assert [i.asm for i in warm.items] == [i.asm for i in reference.items]

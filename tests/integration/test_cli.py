@@ -1,6 +1,7 @@
 """Tests for the `mao` command-line driver."""
 
 import json
+import os
 import subprocess
 import sys
 
@@ -8,6 +9,9 @@ import pytest
 
 from repro import obs
 from repro.cli import build_arg_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
 
 SOURCE = """
 .text
@@ -289,3 +293,30 @@ class TestObservabilityFlags:
                      str(asm_file)]) == 0
         assert not obs.enabled()
         obs.reset_tracer()
+
+
+class TestVersion:
+    def test_version_prints_package_and_schema_versions(self, capsys):
+        """One flag answers "what will this binary emit": the package
+        version plus every pinned report schema version."""
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("mao (PyMAO) ")
+        assert "schema pipeline  pymao.pipeline/1" in out
+        assert "schema batch     pymao.batch/1" in out
+        assert "schema trace     pymao.trace/1" in out
+        assert "schema artifact  pymao.artifact/1" in out
+
+    def test_version_wins_over_other_arguments(self, capsys):
+        """--version short-circuits: no inputs required, nothing run."""
+        assert main(["--version", "--mao=REDTEST"]) == 0
+        assert "mao (PyMAO)" in capsys.readouterr().out
+
+    def test_version_via_subprocess(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--version"],
+            capture_output=True, text=True,
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(REPO_ROOT, "src")})
+        assert result.returncode == 0
+        assert "pymao.pipeline/1" in result.stdout

@@ -1,0 +1,242 @@
+"""End-to-end tests for the asyncio service (repro.server.app)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.server import (
+    Client,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+)
+
+SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    andl $255, %eax
+    mov %eax, %eax
+    subl $16, %r15d
+    testl %r15d, %r15d
+    ret
+"""
+
+BAD_SOURCE = """
+.text
+h:
+    movq (((, %rax
+"""
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("server-cache"))
+    config = ServerConfig(port=0, cache_dir=cache_dir, max_inflight=4)
+    with ServerThread(config) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with Client(port=server.port, retries=2) as c:
+        yield c
+
+
+class TestEndpoints:
+    def test_healthz(self, client, server):
+        payload = client.healthz()
+        assert payload["status"] == "ok"
+        assert payload["max_inflight"] == 4
+        assert payload["cache"] is True
+
+    def test_optimize_roundtrip(self, client):
+        result = client.optimize(SOURCE, "REDTEST", filename="in.s")
+        assert result["schema"] == "pymao.server/1"
+        assert "testl" not in result["asm"]
+        assert result["pipeline"]["schema"] == "pymao.pipeline/1"
+        assert result["cache"] in ("miss", "hit")
+
+    def test_second_identical_request_replays(self, client):
+        first = client.optimize(SOURCE, "REDTEST:LOOP16")
+        again = client.optimize(SOURCE, "REDTEST:LOOP16")
+        assert again["cache"] == "hit"
+        assert again["asm"] == first["asm"]
+        assert again["pipeline"] == first["pipeline"]
+
+    def test_cache_shared_between_optimize_and_batch(self, client):
+        """One store serves every endpoint: a source optimized via
+        /v1/optimize must replay as a hit inside /v1/batch."""
+        source = SOURCE.replace("f", "shared")
+        client.optimize(source, "REDTEST")
+        batch = client.batch([("shared.s", source)], "REDTEST")
+        rows = batch["summary"]["files"]
+        assert rows[0]["cache"] == "hit"
+
+    def test_batch_summary_schema_and_failure_isolation(self, client):
+        batch = client.batch(
+            [("good.s", SOURCE.replace("f", "g")), ("bad.s", BAD_SOURCE)],
+            "REDTEST")
+        summary = batch["summary"]
+        assert summary["schema"] == "pymao.batch/1"
+        assert summary["totals"]["ok"] == 1
+        assert summary["totals"]["errors"] == 1
+        assert "good.s" in batch["asm"]
+        assert "bad.s" not in batch["asm"]
+
+    def test_simulate_workload(self, client):
+        result = client.simulate(workload="hash_bench", core="core2",
+                                 max_steps=200_000)
+        assert result["cycles"] > 0
+        assert result["steps"] > 0
+        assert result["counters"]
+
+    def test_metrics_is_trace_event(self, client):
+        client.optimize(SOURCE, "REDTEST")
+        payload = client.metrics()
+        assert payload["schema"] == "pymao.trace/1"
+        assert payload["type"] == "metrics"
+        values = payload["values"]
+        assert values["server.requests"] >= 1
+        assert any(name.startswith("server.optimize.")
+                   for name in values)
+
+    def test_request_id_echoed(self, client):
+        result = client.optimize(SOURCE, None, request_id="my-req-42")
+        assert result["request_id"] == "my-req-42"
+
+    def test_keep_alive_connection_reused(self, client):
+        for _ in range(3):
+            assert client.healthz()["status"] == "ok"
+        assert client.retries_on_transport == 0
+
+
+class TestClientErrors:
+    def test_missing_source_is_400(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.request("POST", "/v1/optimize", {"spec": "REDTEST"})
+        assert exc_info.value.status == 400
+
+    def test_parse_failure_is_400(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.optimize(BAD_SOURCE, "REDTEST")
+        assert exc_info.value.status == 400
+        assert "Error" in str(exc_info.value) or "error" in str(exc_info.value)
+
+    def test_bad_spec_is_400(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.optimize(SOURCE, "NOT!A%SPEC[[[")
+        assert exc_info.value.status == 400
+
+    def test_side_effecting_spec_rejected(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.optimize(SOURCE, "REDTEST:ASM=o[/tmp/evil.s]")
+        assert exc_info.value.status == 400
+        assert "side-effecting" in str(exc_info.value)
+
+    def test_unknown_core_is_400(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.simulate(SOURCE, core="itanium")
+        assert exc_info.value.status == 400
+
+    def test_simulate_needs_exactly_one_input(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.simulate(SOURCE, core="core2", workload="hash_bench")
+        assert exc_info.value.status == 400
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.request("GET", "/v1/nonsense")
+        assert exc_info.value.status == 404
+
+    def test_bad_batch_inputs_is_400(self, client):
+        with pytest.raises(ServerError) as exc_info:
+            client.request("POST", "/v1/batch", {"inputs": "not-a-list"})
+        assert exc_info.value.status == 400
+
+
+class TestLimitsAndBackends:
+    def test_body_size_cap_is_413(self, tmp_path):
+        config = ServerConfig(port=0, cache=False, max_body_bytes=512)
+        with ServerThread(config) as handle:
+            with Client(port=handle.port, retries=0) as client:
+                with pytest.raises(ServerError) as exc_info:
+                    client.optimize("x" * 4096, None)
+                assert exc_info.value.status == 413
+
+    def test_request_timeout_is_504(self, tmp_path):
+        config = ServerConfig(port=0, cache=False,
+                              request_timeout_s=0.2, test_delay_s=1.0)
+        with ServerThread(config) as handle:
+            with Client(port=handle.port, retries=0) as client:
+                with pytest.raises(ServerError) as exc_info:
+                    client.optimize(SOURCE, "REDTEST")
+                assert exc_info.value.status == 504
+                # The server must stay healthy after a timeout.
+                assert client.healthz()["status"] == "ok"
+
+    def test_process_backend_roundtrip(self, tmp_path):
+        config = ServerConfig(port=0, parallel_backend="process",
+                              max_inflight=2,
+                              cache_dir=str(tmp_path / "cache"))
+        with ServerThread(config) as handle:
+            with Client(port=handle.port) as client:
+                cold = client.optimize(SOURCE, "REDTEST")
+                warm = client.optimize(SOURCE, "REDTEST")
+                assert cold["cache"] == "miss"
+                assert warm["cache"] == "hit"
+                assert "testl" not in warm["asm"]
+
+    def test_singleflight_coalesces_identical_requests(self, tmp_path):
+        source = SOURCE.replace("f", "coalesce_me")
+        config = ServerConfig(port=0, max_inflight=4, test_delay_s=0.4,
+                              cache_dir=str(tmp_path / "cache"))
+        results = []
+
+        def worker():
+            with Client(port=handle.port, retries=0) as client:
+                results.append(client.optimize(source, "REDTEST"))
+
+        with ServerThread(config) as handle:
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        states = sorted(result["cache"] for result in results)
+        assert states == ["coalesced", "miss"]
+        assert results[0]["asm"] == results[1]["asm"]
+
+
+class TestTracing:
+    def test_request_spans_flushed_on_drain(self, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        config = ServerConfig(port=0, cache_dir=str(tmp_path / "cache"),
+                              trace_out=trace_path)
+        was_enabled = obs.set_enabled(True)
+        obs.reset_tracer()
+        try:
+            with ServerThread(config) as handle:
+                with Client(port=handle.port) as client:
+                    client.optimize(SOURCE, "REDTEST",
+                                    request_id="traced-1")
+        finally:
+            obs.set_enabled(was_enabled)
+            obs.reset_tracer()
+        assert os.path.exists(trace_path)
+        with open(trace_path) as handle_:
+            events = [json.loads(line) for line in handle_]
+        spans = [e for e in events if e.get("type") == "span"
+                 and e["name"] == "request:/v1/optimize"]
+        assert spans, "no request span in the drained trace"
+        span = next(s for s in spans
+                    if s["attrs"].get("request_id") == "traced-1")
+        assert span["attrs"]["status"] == 200
+        assert span["attrs"]["cache"] in ("miss", "hit")
+        # The worker's optimize subtree is adopted under the request.
+        assert any(child["name"].startswith("optimize:")
+                   for child in span["children"])

@@ -1,0 +1,125 @@
+"""Unit tests for the HTTP/1.1 framing layer (repro.server.http)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    MAX_HEADER_BYTES,
+    ProtocolError,
+    parse_response,
+    read_request,
+    render_json,
+    render_response,
+)
+
+
+def parse(raw: bytes, max_body_bytes: int = 1024 * 1024):
+    """Feed raw bytes through a real StreamReader and parse one request."""
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes=max_body_bytes)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_get_roundtrip(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\n"
+                        b"Host: localhost\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.headers["host"] == "localhost"
+        assert request.body == b""
+        assert request.keep_alive
+
+    def test_post_with_body(self):
+        body = json.dumps({"source": ".text"}).encode()
+        request = parse(b"POST /v1/optimize HTTP/1.1\r\n"
+                        b"Content-Type: application/json\r\n"
+                        + b"Content-Length: %d\r\n\r\n" % len(body)
+                        + body)
+        assert request.method == "POST"
+        assert request.json() == {"source": ".text"}
+
+    def test_query_string_stripped(self):
+        request = parse(b"GET /metrics?verbose=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/metrics"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_http10_defaults_to_close(self):
+        request = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_connection_close_honoured(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(b"NOT-HTTP\r\n\r\n")
+        assert exc_info.value.status == 400
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert exc_info.value.status == 400
+
+    def test_post_without_length_is_411(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(b"POST /v1/optimize HTTP/1.1\r\n\r\n")
+        assert exc_info.value.status == 411
+
+    def test_body_over_cap_is_413_before_reading(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n",
+                  max_body_bytes=100)
+        assert exc_info.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort")
+        assert exc_info.value.status == 400
+
+    def test_chunked_is_501(self):
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+        assert exc_info.value.status == 501
+
+    def test_oversized_headers_rejected(self):
+        pad = b"X-Pad: " + b"a" * 1000 + b"\r\n"
+        huge = (b"GET / HTTP/1.1\r\n"
+                + pad * ((MAX_HEADER_BYTES // len(pad)) + 2) + b"\r\n")
+        with pytest.raises(ProtocolError) as exc_info:
+            parse(huge)
+        assert exc_info.value.status == 431
+
+    def test_bad_json_body_raises_400(self):
+        request = parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+        with pytest.raises(ProtocolError) as exc_info:
+            request.json()
+        assert exc_info.value.status == 400
+
+
+class TestRenderResponse:
+    def test_roundtrip(self):
+        raw = render_response(200, b'{"x": 1}')
+        status, headers, body = parse_response(raw)
+        assert status == 200
+        assert headers["content-length"] == "8"
+        assert headers["connection"] == "keep-alive"
+        assert body == b'{"x": 1}'
+
+    def test_close_and_extra_headers(self):
+        raw = render_json(503, {"error": "busy"}, keep_alive=False,
+                          headers={"Retry-After": "1"})
+        status, headers, body = parse_response(raw)
+        assert status == 503
+        assert headers["connection"] == "close"
+        assert headers["retry-after"] == "1"
+        assert json.loads(body.decode()) == {"error": "busy"}
