@@ -1,7 +1,8 @@
 PYTHON ?= python
 
-.PHONY: test bench bench-quick bench-suite bench-batch-smoke perf-report \
-	trace-smoke server-smoke bench-server-smoke clean
+.PHONY: test bench bench-quick bench-suite bench-batch-smoke \
+	bench-predict-smoke perf-report trace-smoke server-smoke \
+	bench-server-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -11,6 +12,7 @@ bench:
 	$(PYTHON) benchmarks/bench_sim_engine.py
 	$(PYTHON) benchmarks/bench_batch.py
 	$(PYTHON) benchmarks/bench_server.py
+	$(PYTHON) benchmarks/bench_predict.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
@@ -29,6 +31,15 @@ bench-batch-smoke:
 	$(PYTHON) benchmarks/bench_batch.py --quick \
 		-o /tmp/pymao_bench_batch.json
 	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_batch.json
+
+# Throughput-predictor smoke: cross-validate the static model against
+# the trace simulator at --quick scales; the bench and the report gate
+# both require every kernel x core in its pinned band, ranking
+# agreement >= 0.75, and a >=100x prediction-over-simulation speedup.
+bench-predict-smoke:
+	$(PYTHON) benchmarks/bench_predict.py --quick \
+		-o /tmp/pymao_bench_predict.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_predict.json
 
 # Service lifecycle smoke: start `mao serve` on an ephemeral port, one
 # optimize + one metrics scrape through repro.server.client, SIGTERM,

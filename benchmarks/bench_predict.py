@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Static-predictor cross-validation harness: the analytical throughput
+model vs the trace simulator on every anecdote kernel x {core2, opteron}.
+
+Three claims, one tracked file:
+
+* **Accuracy** — for each kernel configuration the predicted
+  cycles-per-iteration is compared against the simulator's *steady
+  state* (two runs at different outer counts; delta-cycles over
+  delta-iterations, which cancels startup and warmup).  Each
+  configuration carries a pinned ``[lo, hi]`` band for the
+  predicted/simulated ratio; drifting outside the band fails the gate.
+  The bands encode the model's documented divergences: the
+  branch-prediction-dominated nest (``nested_short_loops``) sits far
+  below 1.0 by design — a static model cannot see §III.C.g aliasing —
+  and short-trip loops amortize exit mispredicts the model does not
+  charge for.
+* **Ranking** — for each optimization-candidate pair (the kernels'
+  built-in before/after variants mirroring the LOOP16, LSD-fit, and
+  SCHED transforms) the model must agree with the simulator on which
+  candidate wins, with agreement >= the pinned threshold.  Candidates
+  compare by :meth:`Prediction.ranking_score` — headline cycles first,
+  the LSD-engaged rate as the tiebreak.
+* **Speed** — total prediction wall time must be >= 100x cheaper than
+  the simulation wall time it replaces, quick runs included: the two
+  orders of magnitude are the reason the predictor exists.
+
+Results land in ``BENCH_predict.json`` (schema ``mao-bench-predict/1``),
+rendered and gated by ``scripts/perf_report.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_predict.py          # full run
+    PYTHONPATH=src python benchmarks/bench_predict.py --quick  # CI smoke
+    python scripts/perf_report.py BENCH_predict.json           # pretty-print
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import api  # noqa: E402
+from repro.uarch.static_model import PREDICT_BENCH_SCHEMA  # noqa: E402
+from repro.workloads import kernels  # noqa: E402
+
+CORES = ("core2", "opteron")
+
+#: Pinned ranking-agreement floor.  One known miss is priced in: on
+#: opteron (32-byte decode lines, lsd_max_lines=1) the fig4 body is
+#: never LSD-streamable, so the model ties the shifted/unshifted
+#: variants that the simulator separates by one fetch line.
+MIN_AGREEMENT = 0.75
+
+#: Kernel configurations.  ``factory(outer)`` builds the source at an
+#: outer scale; ``iters(outer)`` is how many times the measured loop
+#: body executes at that scale; ``(lo, hi)`` are the two scales the
+#: steady state is measured between; ``band`` is the pinned
+#: predicted/simulated ratio window (both cores); ``diverges`` names a
+#: documented model blind spot priced into the band.
+CONFIGS = [
+    {
+        "name": "eon_loop",
+        "factory": lambda outer: kernels.eon_loop(pre_bytes=9, outer=outer),
+        "loop": ".Lloop",
+        "iters": lambda outer: 8 * outer,
+        "scales": (300, 900),
+        "quick_scales": (150, 450),
+        "band": (0.25, 0.80),
+        "diverges": "short-trip exit mispredicts",
+    },
+    {
+        "name": "eon_loop+align",
+        "factory": lambda outer: kernels.eon_loop(pre_bytes=9, outer=outer,
+                                                  aligned=True),
+        "loop": ".Lloop",
+        "iters": lambda outer: 8 * outer,
+        "scales": (300, 900),
+        "quick_scales": (150, 450),
+        "band": (0.15, 0.70),
+        "diverges": "short-trip exit mispredicts",
+    },
+    {
+        "name": "fig4_loop",
+        "factory": lambda outer: kernels.fig4_loop(iterations=outer),
+        "loop": ".Ll0",
+        "iters": lambda outer: outer,
+        "scales": (1200, 3600),
+        "quick_scales": (600, 1800),
+        "band": (0.55, 1.10),
+        "diverges": None,
+    },
+    {
+        "name": "fig4_loop+shift",
+        "factory": lambda outer: kernels.fig4_loop(shift_nops=6,
+                                                   iterations=outer),
+        "loop": ".Ll0",
+        "iters": lambda outer: outer,
+        "scales": (1200, 3600),
+        "quick_scales": (600, 1800),
+        "band": (0.75, 1.45),
+        "diverges": "LSD engagement is trip-count-dependent",
+    },
+    {
+        "name": "hash_bench",
+        "factory": lambda outer: kernels.hash_bench(trip=outer),
+        "loop": ".Lloop",
+        "iters": lambda outer: outer,
+        "scales": (1200, 3600),
+        "quick_scales": (600, 1800),
+        "band": (0.60, 1.20),
+        "diverges": None,
+    },
+    {
+        "name": "hash_bench+sched",
+        "factory": lambda outer: kernels.hash_bench(scheduled=True,
+                                                    trip=outer),
+        "loop": ".Lloop",
+        "iters": lambda outer: outer,
+        "scales": (1200, 3600),
+        "quick_scales": (600, 1800),
+        "band": (0.75, 1.25),
+        "diverges": None,
+    },
+    {
+        "name": "mcf_fig1",
+        "factory": lambda outer: kernels.mcf_fig1(outer=outer),
+        "loop": ".L3",
+        "iters": lambda outer: 50 * outer,
+        "scales": (80, 240),
+        "quick_scales": (40, 120),
+        "band": (0.40, 1.10),
+        "diverges": None,
+    },
+    {
+        "name": "nested_short_loops",
+        "factory": lambda outer: kernels.nested_short_loops(outer=outer),
+        "loop": ".Lcol",
+        "iters": lambda outer: 2 * outer,
+        "scales": (600, 1800),
+        "quick_scales": (300, 900),
+        "band": (0.02, 0.30),
+        "diverges": "branch-prediction aliasing (SS:III.C.g)",
+    },
+]
+
+#: Candidate pairs for ranking: (base config name, candidate config
+#: name, the pass the candidate mirrors).  Both sides reuse the
+#: steady-state measurements of the matrix above — no extra simulation.
+CANDIDATE_PAIRS = [
+    ("eon_loop", "eon_loop+align", "LOOP16"),
+    ("fig4_loop", "fig4_loop+shift", "LSD fit"),
+    ("hash_bench", "hash_bench+sched", "SCHED"),
+]
+
+#: A simulated cycles/iteration difference below this fraction is noise
+#: for ranking purposes; such a pair is recorded but not scored.
+MIN_SIM_DELTA = 0.03
+
+
+def steady_state_cycles(config, core, quick):
+    """Simulated steady cycles/iteration + total simulate seconds."""
+    lo, hi = config["quick_scales"] if quick else config["scales"]
+    cycles = {}
+    sim_s = 0.0
+    for outer in (lo, hi):
+        source = config["factory"](outer)
+        start = time.perf_counter()
+        sim = api.simulate(source, core)
+        sim_s += time.perf_counter() - start
+        cycles[outer] = sim.cycles
+    iters = config["iters"]
+    steady = (cycles[hi] - cycles[lo]) / float(iters(hi) - iters(lo))
+    return steady, sim_s
+
+
+def run_matrix(quick):
+    """Cross-validate every configuration x core; returns the
+    ``kernels`` rows, the prediction table (for ranking), and timing."""
+    rows = []
+    predictions = {}
+    simulate_s = 0.0
+    predict_s = 0.0
+    simulate_runs = 0
+    predict_calls = 0
+    for config in CONFIGS:
+        for core in CORES:
+            _lo, hi = (config["quick_scales"] if quick
+                       else config["scales"])
+            source = config["factory"](hi)
+            start = time.perf_counter()
+            prediction = api.predict(source, core, loop=config["loop"])
+            predict_s += time.perf_counter() - start
+            predict_calls += 1
+
+            steady, sim_s = steady_state_cycles(config, core, quick)
+            simulate_s += sim_s
+            simulate_runs += 2
+
+            ratio = prediction.cycles / steady if steady else 0.0
+            lo_band, hi_band = config["band"]
+            predictions[(config["name"], core)] = prediction
+            rows.append({
+                "kernel": config["name"],
+                "core": core,
+                "loop": prediction.loop_label,
+                "bottleneck": prediction.bottleneck,
+                "predicted_cycles": round(prediction.cycles, 4),
+                "simulated_cycles": round(steady, 4),
+                "ratio": round(ratio, 4),
+                "band": [lo_band, hi_band],
+                "within_band": bool(lo_band <= ratio <= hi_band),
+                "diverges": config["diverges"],
+            })
+            print("%-22s %-8s pred %6.2f  sim %6.2f  ratio %.2f %s"
+                  % (config["name"], core, prediction.cycles, steady,
+                     ratio,
+                     "ok" if rows[-1]["within_band"] else "OUT OF BAND"))
+    timing = {
+        "simulate_s": round(simulate_s, 4),
+        "simulate_runs": simulate_runs,
+        "predict_s": round(predict_s, 4),
+        "predict_calls": predict_calls,
+        "speedup": round(simulate_s / predict_s, 1) if predict_s else None,
+    }
+    return rows, predictions, timing
+
+
+def rank_candidates(rows, predictions):
+    """Score each candidate pair: does the model pick the simulator's
+    winner?  Ties in the model's ranking score count as a miss (the
+    model failed to separate candidates the simulator separates)."""
+    sim_cycles = {(r["kernel"], r["core"]): r["simulated_cycles"]
+                  for r in rows}
+    pairs = []
+    agreements = []
+    for base, candidate, transform in CANDIDATE_PAIRS:
+        for core in CORES:
+            sim_base = sim_cycles[(base, core)]
+            sim_cand = sim_cycles[(candidate, core)]
+            delta = abs(sim_base - sim_cand) / max(sim_base, sim_cand)
+            scored = delta >= MIN_SIM_DELTA
+            sim_winner = "base" if sim_base <= sim_cand else "candidate"
+            score_base = predictions[(base, core)].ranking_score()
+            score_cand = predictions[(candidate, core)].ranking_score()
+            if score_base < score_cand:
+                model_winner = "base"
+            elif score_cand < score_base:
+                model_winner = "candidate"
+            else:
+                model_winner = "tie"
+            agree = scored and model_winner == sim_winner
+            if scored:
+                agreements.append(agree)
+            pairs.append({
+                "kernel": base,
+                "candidate": candidate,
+                "transform": transform,
+                "core": core,
+                "simulated_cycles": [sim_base, sim_cand],
+                "predicted_scores": [list(score_base), list(score_cand)],
+                "simulated_winner": sim_winner,
+                "predicted_winner": model_winner,
+                "scored": scored,
+                "agree": agree,
+            })
+            print("rank %-12s %-8s (%s): sim %s, model %s -> %s"
+                  % (base, core, transform, sim_winner, model_winner,
+                     "agree" if agree else
+                     ("skipped" if not scored else "DISAGREE")))
+    agreement = (sum(agreements) / float(len(agreements))
+                 if agreements else None)
+    return {
+        "pairs": pairs,
+        "scored_pairs": len(agreements),
+        "agreement": round(agreement, 4) if agreement is not None else None,
+        "min_agreement": MIN_AGREEMENT,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cross-validate the static throughput predictor "
+                    "against the trace simulator")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller simulation scales for CI smoke")
+    parser.add_argument("-o", "--output",
+                        default=os.path.join(_REPO_ROOT,
+                                             "BENCH_predict.json"),
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    rows, predictions, timing = run_matrix(args.quick)
+    ranking = rank_candidates(rows, predictions)
+
+    results = {
+        "schema": PREDICT_BENCH_SCHEMA,
+        "config": {
+            "quick": bool(args.quick),
+            "cores": list(CORES),
+            "configs": [c["name"] for c in CONFIGS],
+            "min_sim_delta": MIN_SIM_DELTA,
+        },
+        "kernels": rows,
+        "ranking": ranking,
+        "timing": timing,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    print("simulate %.3fs over %d runs; predict %.3fs over %d calls; "
+          "speedup %.0fx"
+          % (timing["simulate_s"], timing["simulate_runs"],
+             timing["predict_s"], timing["predict_calls"],
+             timing["speedup"] or 0))
+    if ranking["agreement"] is not None:
+        print("ranking agreement %.2f over %d scored pairs"
+              % (ranking["agreement"], ranking["scored_pairs"]))
+
+    in_band = all(row["within_band"] for row in rows)
+    agreed = (ranking["agreement"] is not None
+              and ranking["agreement"] >= MIN_AGREEMENT)
+    fast = (timing["speedup"] or 0) >= 100.0
+    if not (in_band and agreed and fast):
+        print("FAIL: bands=%s agreement=%s speedup>=100x=%s"
+              % (in_band, agreed, fast), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

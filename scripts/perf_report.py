@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Render (and optionally gate on) the perf benchmark results.
 
-Understands both tracked benchmark files, dispatching on their ``schema``
+Understands the tracked benchmark files, dispatching on their ``schema``
 field:
 
 * ``BENCH_hotpath.json`` (``mao-bench-hotpath/1``) from
@@ -22,7 +22,19 @@ field:
   ``benchmarks/bench_server.py`` — the asyncio optimization service
   under a closed-loop mixed workload: warm shared-cache throughput vs
   cold (gated at >= 3x on full runs), 100% warm hit rate,
-  byte-identical responses, and a graceful SIGTERM drain.
+  byte-identical responses, and a graceful SIGTERM drain;
+* ``BENCH_predict.json`` (``mao-bench-predict/1``) from
+  ``benchmarks/bench_predict.py`` — the static throughput predictor
+  cross-validated against trace simulation on every kernel x {core2,
+  opteron}: per-config predicted-over-simulated ratios inside pinned
+  bands, candidate-ranking agreement >= the pinned threshold, and
+  prediction >= 100x faster than simulation.
+
+Handlers self-register: decorating a class with
+``@register("mao-bench-X/1")`` adds its ``render(results)`` /
+``check(results, min_speedup)`` staticmethods to the dispatch table, so
+a new benchmark schema plugs in with one class instead of another
+if/elif arm.
 
 ``.jsonl`` paths are treated as ``pymao.trace/1`` event logs (the
 ``--trace-out`` / bench-runner format): validated with
@@ -49,13 +61,29 @@ import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
-                  "BENCH_batch.json", "BENCH_server.json")
+                  "BENCH_batch.json", "BENCH_server.json",
+                  "BENCH_predict.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import validate_trace  # noqa: E402  (sibling script)
+
+#: Required warm-over-cold speedup on a full (non --quick) corpus run.
+BATCH_FULL_MIN_SPEEDUP = 5.0
+
+#: Required warm-over-cold throughput ratio on a full (non --quick) run.
+SERVER_FULL_MIN_SPEEDUP = 3.0
+
+#: Required prediction-over-simulation speedup — quick AND full runs:
+#: the whole value proposition of the static model is the two orders of
+#: magnitude, so the smoke gate is not relaxed.
+PREDICT_MIN_SPEEDUP = 100.0
+
+#: Required candidate-ranking agreement between the static model and
+#: the trace simulator over the bench's optimization-candidate pairs.
+PREDICT_MIN_AGREEMENT = 0.75
 
 
 def _row(label: str, value: str) -> None:
@@ -75,260 +103,354 @@ def _load_pipeline(data: dict):
 
 
 # ---------------------------------------------------------------------------
-# mao-bench-hotpath/1
+# The schema registry.
 # ---------------------------------------------------------------------------
 
-def render_hotpath(results: dict) -> None:
-    config = results.get("config", {})
-    print("hot-path benchmark (%s)" % results.get("schema", "?"))
-    _row("corpus scale", str(config.get("scale")))
-    _row("relax repeats", str(config.get("repeats")))
-    for key in ("relax_corpus", "relax_cascade"):
-        section = results.get(key)
-        if not section:
-            continue
-        print("%s:" % key)
-        _row("baseline (reference, cold)", "%.4fs" % section["baseline_s"])
-        _row("fast (incremental, warm)", "%.4fs" % section["fast_s"])
-        _row("speedup", "%.2fx" % section["speedup"])
-        _row("relax iterations", str(section["relax_iterations"]))
-        _row("cache hit rate", "%.1f%%" % (100 * section["cache_hit_rate"]))
-        _row("byte-identical", str(section["byte_identical"]))
-    parallel = results.get("parallel_pipeline")
-    if parallel:
-        print("parallel_pipeline:")
-        _row("spec", parallel["spec"])
-        _row("jobs / backend", "%d / %s"
-             % (parallel["jobs"], parallel["backend"]))
-        _row("serial", "%.4fs" % parallel["serial_s"])
-        _row("parallel", "%.4fs" % parallel["parallel_s"])
-        _row("speedup vs serial", "%.2fx" % parallel["speedup"])
-        _row("deterministic", str(parallel["deterministic"]))
-        pipeline = _load_pipeline(parallel.get("pipeline"))
-        if pipeline is not None:
-            for name in pipeline.pass_names():
-                totals = pipeline.stats_for(name)
-                summary = "  ".join("%s=%d" % (k, v)
-                                    for k, v in sorted(totals.items()))
-                _row("pass %s" % name, summary or "(no stats)")
+#: schema string -> handler class (filled by :func:`register`).
+_SCHEMAS: dict = {}
 
 
-def check_hotpath(results: dict, min_speedup: float) -> list:
-    failures = []
-    for key in ("relax_corpus", "relax_cascade"):
-        section = results.get(key)
-        if not section:
-            failures.append("missing section %r" % key)
-            continue
-        if not section["byte_identical"]:
-            failures.append("%s: fast path output is NOT byte-identical"
-                            % key)
-    corpus = results.get("relax_corpus") or {}
-    if corpus and corpus["speedup"] < min_speedup:
-        failures.append("relax_corpus speedup %.2fx < required %.2fx"
-                        % (corpus["speedup"], min_speedup))
-    parallel = results.get("parallel_pipeline")
-    if parallel:
-        if not parallel["deterministic"]:
-            failures.append("parallel pipeline output diverged from serial")
-        if "pipeline" in parallel \
-                and _load_pipeline(parallel["pipeline"]) is None:
-            failures.append("parallel_pipeline.pipeline is not a valid "
-                            "pymao.pipeline/1 document")
-    return failures
+def register(schema: str):
+    """Class decorator: route benchmark files with this ``schema`` field
+    to the decorated class's ``render(results)`` and
+    ``check(results, min_speedup)`` staticmethods."""
+    def wrap(cls):
+        cls.schema = schema
+        _SCHEMAS[schema] = cls
+        return cls
+    return wrap
 
 
-# ---------------------------------------------------------------------------
-# mao-bench-sim/1
-# ---------------------------------------------------------------------------
+@register("mao-bench-hotpath/1")
+class HotpathReport:
+    """Encoding cache + incremental relaxation + parallel pipeline."""
 
-def render_sim(results: dict) -> None:
-    config = results.get("config", {})
-    print("simulation-engine benchmark (%s)" % results.get("schema", "?"))
-    _row("steady-loop trip count", str(config.get("outer")))
-    for key in ("sim_steady_loop", "sim_hash_kernel"):
-        section = results.get(key)
-        if not section:
-            continue
-        print("%s:" % key)
-        _row("workload / model", "%s / %s"
-             % (section["workload"], section["model"]))
-        _row("instructions", str(section["instructions"]))
-        _row("baseline (interp + walk)", "%.4fs" % section["baseline_s"])
-        _row("fast (blocks + stream + ff)", "%.4fs" % section["fast_s"])
-        _row("speedup", "%.2fx" % section["speedup"])
-        _row("block-cache hit rate",
-             "%.1f%%" % (100 * section["block_cache_hit_rate"]))
-        _row("ff iterations / records", "%d / %d"
-             % (section["ff_iterations"], section["ff_records"]))
-        _row("counter-identical", str(section["counter_identical"]))
-    diff = results.get("differential")
-    if diff:
-        print("differential:")
-        _row("kernel/model cases", str(diff["cases_checked"]))
-        _row("counter-identical", str(diff["counter_identical"]))
-        if diff.get("mismatches"):
-            _row("mismatches", ", ".join(diff["mismatches"]))
-    suite = results.get("suite")
-    if suite:
-        print("suite (%d shards):" % len(suite))
-        for name in sorted(suite):
-            shard = suite[name]
-            _row(name, "%-7s %7.2fs"
-                 % (shard["status"], shard["elapsed_s"]))
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("hot-path benchmark (%s)" % results.get("schema", "?"))
+        _row("corpus scale", str(config.get("scale")))
+        _row("relax repeats", str(config.get("repeats")))
+        for key in ("relax_corpus", "relax_cascade"):
+            section = results.get(key)
+            if not section:
+                continue
+            print("%s:" % key)
+            _row("baseline (reference, cold)",
+                 "%.4fs" % section["baseline_s"])
+            _row("fast (incremental, warm)", "%.4fs" % section["fast_s"])
+            _row("speedup", "%.2fx" % section["speedup"])
+            _row("relax iterations", str(section["relax_iterations"]))
+            _row("cache hit rate",
+                 "%.1f%%" % (100 * section["cache_hit_rate"]))
+            _row("byte-identical", str(section["byte_identical"]))
+        parallel = results.get("parallel_pipeline")
+        if parallel:
+            print("parallel_pipeline:")
+            _row("spec", parallel["spec"])
+            _row("jobs / backend", "%d / %s"
+                 % (parallel["jobs"], parallel["backend"]))
+            _row("serial", "%.4fs" % parallel["serial_s"])
+            _row("parallel", "%.4fs" % parallel["parallel_s"])
+            _row("speedup vs serial", "%.2fx" % parallel["speedup"])
+            _row("deterministic", str(parallel["deterministic"]))
+            pipeline = _load_pipeline(parallel.get("pipeline"))
+            if pipeline is not None:
+                for name in pipeline.pass_names():
+                    totals = pipeline.stats_for(name)
+                    summary = "  ".join("%s=%d" % (k, v)
+                                        for k, v in sorted(totals.items()))
+                    _row("pass %s" % name, summary or "(no stats)")
 
-
-def check_sim(results: dict, min_speedup: float) -> list:
-    failures = []
-    steady = results.get("sim_steady_loop")
-    if not steady:
-        # A filtered runner merge legitimately omits the engine shard;
-        # only a direct bench_sim_engine.py output must carry it.
-        if "suite" not in results:
-            failures.append("missing section 'sim_steady_loop'")
-    else:
-        if not steady["counter_identical"]:
-            failures.append("sim_steady_loop: fast engine counters are "
-                            "NOT identical to the reference walk")
-        if steady["speedup"] < min_speedup:
-            failures.append("sim_steady_loop speedup %.2fx < required "
-                            "%.2fx" % (steady["speedup"], min_speedup))
-    hashed = results.get("sim_hash_kernel")
-    if hashed and not hashed["counter_identical"]:
-        failures.append("sim_hash_kernel: fast engine counters are NOT "
-                        "identical to the reference walk")
-    diff = results.get("differential")
-    if diff and not diff["counter_identical"]:
-        failures.append("differential: mismatches on %s"
-                        % ", ".join(diff.get("mismatches", ["?"])))
-    for name, shard in sorted((results.get("suite") or {}).items()):
-        if shard["status"] != "ok":
-            failures.append("suite shard %s: %s" % (name, shard["status"]))
-    return failures
-
-
-# ---------------------------------------------------------------------------
-# mao-bench-batch/1
-# ---------------------------------------------------------------------------
-
-#: Required warm-over-cold speedup on a full (non --quick) corpus run.
-BATCH_FULL_MIN_SPEEDUP = 5.0
-
-
-def render_batch(results: dict) -> None:
-    config = results.get("config", {})
-    print("batch-engine benchmark (%s)" % results.get("schema", "?"))
-    _row("corpus files", str(config.get("files")))
-    _row("jobs / backend", "%s / %s"
-         % (config.get("jobs"), config.get("parallel_backend")))
-    _row("spec", str(config.get("spec")))
-    for key in ("batch_cold", "batch_warm"):
-        section = results.get(key)
-        if not section:
-            continue
-        print("%s:" % key)
-        _row("elapsed", "%.4fs" % section["elapsed_s"])
-        _row("ok / errors", "%d / %d"
-             % (section["ok"], section["errors"]))
-        _row("cache hits / misses", "%d / %d"
-             % (section["cache_hits"], section["cache_misses"]))
-        _row("hit rate", "%.1f%%" % (100 * section["hit_rate"]))
-    if results.get("speedup") is not None:
-        _row("warm-over-cold speedup", "%.1fx" % results["speedup"])
-    _row("byte-identical", str(results.get("byte_identical")))
-    determinism = results.get("determinism")
-    if determinism:
-        _row("determinism (%s)" % ", ".join(determinism.get("cases", ())),
-             str(determinism.get("identical")))
-
-
-def check_batch(results: dict, min_speedup: float) -> list:
-    failures = []
-    warm = results.get("batch_warm")
-    if not results.get("batch_cold") or not warm:
-        failures.append("missing batch_cold/batch_warm section")
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        for key in ("relax_corpus", "relax_cascade"):
+            section = results.get(key)
+            if not section:
+                failures.append("missing section %r" % key)
+                continue
+            if not section["byte_identical"]:
+                failures.append("%s: fast path output is NOT "
+                                "byte-identical" % key)
+        corpus = results.get("relax_corpus") or {}
+        if corpus and corpus["speedup"] < min_speedup:
+            failures.append("relax_corpus speedup %.2fx < required %.2fx"
+                            % (corpus["speedup"], min_speedup))
+        parallel = results.get("parallel_pipeline")
+        if parallel:
+            if not parallel["deterministic"]:
+                failures.append("parallel pipeline output diverged from "
+                                "serial")
+            if "pipeline" in parallel \
+                    and _load_pipeline(parallel["pipeline"]) is None:
+                failures.append("parallel_pipeline.pipeline is not a valid "
+                                "pymao.pipeline/1 document")
         return failures
-    if warm["hit_rate"] != 1.0:
-        failures.append("warm hit rate %.1f%% < 100%%"
-                        % (100 * warm["hit_rate"]))
-    if warm["errors"] or results["batch_cold"]["errors"]:
-        failures.append("batch run reported per-file errors")
-    if not results.get("byte_identical"):
-        failures.append("warm batch output is NOT byte-identical to cold")
-    determinism = results.get("determinism") or {}
-    if not determinism.get("identical"):
-        failures.append("jobs=1 vs jobs=4 outputs/summaries diverged")
-    # The 5x warm-replay claim is about a real corpus; --quick smoke
-    # corpora only need the generic gate.
-    required = min_speedup if results.get("config", {}).get("quick") \
-        else max(min_speedup, BATCH_FULL_MIN_SPEEDUP)
-    speedup = results.get("speedup")
-    if speedup is None or speedup < required:
-        failures.append("warm speedup %sx < required %.1fx"
-                        % (speedup, required))
-    return failures
 
 
-# ---------------------------------------------------------------------------
-# mao-bench-server/1
-# ---------------------------------------------------------------------------
+@register("mao-bench-sim/1")
+class SimReport:
+    """Block cache + streaming + loop fast-forward (+ runner suite)."""
 
-#: Required warm-over-cold throughput ratio on a full (non --quick) run.
-SERVER_FULL_MIN_SPEEDUP = 3.0
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("simulation-engine benchmark (%s)"
+              % results.get("schema", "?"))
+        _row("steady-loop trip count", str(config.get("outer")))
+        for key in ("sim_steady_loop", "sim_hash_kernel"):
+            section = results.get(key)
+            if not section:
+                continue
+            print("%s:" % key)
+            _row("workload / model", "%s / %s"
+                 % (section["workload"], section["model"]))
+            _row("instructions", str(section["instructions"]))
+            _row("baseline (interp + walk)", "%.4fs" % section["baseline_s"])
+            _row("fast (blocks + stream + ff)", "%.4fs" % section["fast_s"])
+            _row("speedup", "%.2fx" % section["speedup"])
+            _row("block-cache hit rate",
+                 "%.1f%%" % (100 * section["block_cache_hit_rate"]))
+            _row("ff iterations / records", "%d / %d"
+                 % (section["ff_iterations"], section["ff_records"]))
+            _row("counter-identical", str(section["counter_identical"]))
+        diff = results.get("differential")
+        if diff:
+            print("differential:")
+            _row("kernel/model cases", str(diff["cases_checked"]))
+            _row("counter-identical", str(diff["counter_identical"]))
+            if diff.get("mismatches"):
+                _row("mismatches", ", ".join(diff["mismatches"]))
+        suite = results.get("suite")
+        if suite:
+            print("suite (%d shards):" % len(suite))
+            for name in sorted(suite):
+                shard = suite[name]
+                _row(name, "%-7s %7.2fs"
+                     % (shard["status"], shard["elapsed_s"]))
 
-
-def render_server(results: dict) -> None:
-    config = results.get("config", {})
-    print("optimization-service benchmark (%s)" % results.get("schema", "?"))
-    _row("requests (opt + sim)", "%s (%s + %s)"
-         % (config.get("requests"), config.get("optimize_requests"),
-            config.get("simulate_requests")))
-    _row("clients / max-inflight", "%s / %s"
-         % (config.get("clients"), config.get("max_inflight")))
-    _row("spec", str(config.get("spec")))
-    for key in ("server_cold", "server_warm"):
-        section = results.get(key)
-        if not section:
-            continue
-        print("%s:" % key)
-        _row("throughput", "%.2f req/s" % section["throughput_rps"])
-        _row("latency p50 / p99", "%.1fms / %.1fms"
-             % (section["p50_ms"], section["p99_ms"]))
-        _row("cache hits / misses", "%d / %d"
-             % (section["cache_hits"], section["cache_misses"]))
-        _row("hit rate", "%.1f%%" % (100 * section["hit_rate"]))
-        _row("errors", str(section["errors"]))
-    if results.get("speedup") is not None:
-        _row("warm-over-cold speedup", "%.1fx" % results["speedup"])
-    _row("byte-identical", str(results.get("byte_identical")))
-    _row("graceful exit", str(results.get("graceful_exit")))
-
-
-def check_server(results: dict, min_speedup: float) -> list:
-    failures = []
-    warm = results.get("server_warm")
-    cold = results.get("server_cold")
-    if not cold or not warm:
-        failures.append("missing server_cold/server_warm section")
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        steady = results.get("sim_steady_loop")
+        if not steady:
+            # A filtered runner merge legitimately omits the engine shard;
+            # only a direct bench_sim_engine.py output must carry it.
+            if "suite" not in results:
+                failures.append("missing section 'sim_steady_loop'")
+        else:
+            if not steady["counter_identical"]:
+                failures.append("sim_steady_loop: fast engine counters are "
+                                "NOT identical to the reference walk")
+            if steady["speedup"] < min_speedup:
+                failures.append("sim_steady_loop speedup %.2fx < required "
+                                "%.2fx" % (steady["speedup"], min_speedup))
+        hashed = results.get("sim_hash_kernel")
+        if hashed and not hashed["counter_identical"]:
+            failures.append("sim_hash_kernel: fast engine counters are NOT "
+                            "identical to the reference walk")
+        diff = results.get("differential")
+        if diff and not diff["counter_identical"]:
+            failures.append("differential: mismatches on %s"
+                            % ", ".join(diff.get("mismatches", ["?"])))
+        for name, shard in sorted((results.get("suite") or {}).items()):
+            if shard["status"] != "ok":
+                failures.append("suite shard %s: %s"
+                                % (name, shard["status"]))
         return failures
-    if warm["hit_rate"] != 1.0:
-        failures.append("warm hit rate %.1f%% < 100%%"
-                        % (100 * warm["hit_rate"]))
-    if warm["errors"] or cold["errors"]:
-        failures.append("load generator reported failed requests")
-    if not results.get("byte_identical"):
-        failures.append("warm responses NOT byte-identical to cold")
-    if not results.get("graceful_exit"):
-        failures.append("server did not drain to exit code 0 on SIGTERM")
-    # The 3x warm-replay claim is about the full 100-request workload;
-    # --quick smoke runs only need the generic gate.
-    required = min_speedup if results.get("config", {}).get("quick") \
-        else max(min_speedup, SERVER_FULL_MIN_SPEEDUP)
-    speedup = results.get("speedup")
-    if speedup is None or speedup < required:
-        failures.append("warm throughput speedup %sx < required %.1fx"
-                        % (speedup, required))
-    return failures
+
+
+@register("mao-bench-batch/1")
+class BatchReport:
+    """Corpus batch engine: warm artifact-cache replay vs cold."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("batch-engine benchmark (%s)" % results.get("schema", "?"))
+        _row("corpus files", str(config.get("files")))
+        _row("jobs / backend", "%s / %s"
+             % (config.get("jobs"), config.get("parallel_backend")))
+        _row("spec", str(config.get("spec")))
+        for key in ("batch_cold", "batch_warm"):
+            section = results.get(key)
+            if not section:
+                continue
+            print("%s:" % key)
+            _row("elapsed", "%.4fs" % section["elapsed_s"])
+            _row("ok / errors", "%d / %d"
+                 % (section["ok"], section["errors"]))
+            _row("cache hits / misses", "%d / %d"
+                 % (section["cache_hits"], section["cache_misses"]))
+            _row("hit rate", "%.1f%%" % (100 * section["hit_rate"]))
+        if results.get("speedup") is not None:
+            _row("warm-over-cold speedup", "%.1fx" % results["speedup"])
+        _row("byte-identical", str(results.get("byte_identical")))
+        determinism = results.get("determinism")
+        if determinism:
+            _row("determinism (%s)"
+                 % ", ".join(determinism.get("cases", ())),
+                 str(determinism.get("identical")))
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        warm = results.get("batch_warm")
+        if not results.get("batch_cold") or not warm:
+            failures.append("missing batch_cold/batch_warm section")
+            return failures
+        if warm["hit_rate"] != 1.0:
+            failures.append("warm hit rate %.1f%% < 100%%"
+                            % (100 * warm["hit_rate"]))
+        if warm["errors"] or results["batch_cold"]["errors"]:
+            failures.append("batch run reported per-file errors")
+        if not results.get("byte_identical"):
+            failures.append("warm batch output is NOT byte-identical to "
+                            "cold")
+        determinism = results.get("determinism") or {}
+        if not determinism.get("identical"):
+            failures.append("jobs=1 vs jobs=4 outputs/summaries diverged")
+        # The 5x warm-replay claim is about a real corpus; --quick smoke
+        # corpora only need the generic gate.
+        required = min_speedup if results.get("config", {}).get("quick") \
+            else max(min_speedup, BATCH_FULL_MIN_SPEEDUP)
+        speedup = results.get("speedup")
+        if speedup is None or speedup < required:
+            failures.append("warm speedup %sx < required %.1fx"
+                            % (speedup, required))
+        return failures
+
+
+@register("mao-bench-server/1")
+class ServerReport:
+    """The asyncio optimization service under a mixed workload."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("optimization-service benchmark (%s)"
+              % results.get("schema", "?"))
+        _row("requests (opt + sim)", "%s (%s + %s)"
+             % (config.get("requests"), config.get("optimize_requests"),
+                config.get("simulate_requests")))
+        _row("clients / max-inflight", "%s / %s"
+             % (config.get("clients"), config.get("max_inflight")))
+        _row("spec", str(config.get("spec")))
+        for key in ("server_cold", "server_warm"):
+            section = results.get(key)
+            if not section:
+                continue
+            print("%s:" % key)
+            _row("throughput", "%.2f req/s" % section["throughput_rps"])
+            _row("latency p50 / p99", "%.1fms / %.1fms"
+                 % (section["p50_ms"], section["p99_ms"]))
+            _row("cache hits / misses", "%d / %d"
+                 % (section["cache_hits"], section["cache_misses"]))
+            _row("hit rate", "%.1f%%" % (100 * section["hit_rate"]))
+            _row("errors", str(section["errors"]))
+        if results.get("speedup") is not None:
+            _row("warm-over-cold speedup", "%.1fx" % results["speedup"])
+        _row("byte-identical", str(results.get("byte_identical")))
+        _row("graceful exit", str(results.get("graceful_exit")))
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        warm = results.get("server_warm")
+        cold = results.get("server_cold")
+        if not cold or not warm:
+            failures.append("missing server_cold/server_warm section")
+            return failures
+        if warm["hit_rate"] != 1.0:
+            failures.append("warm hit rate %.1f%% < 100%%"
+                            % (100 * warm["hit_rate"]))
+        if warm["errors"] or cold["errors"]:
+            failures.append("load generator reported failed requests")
+        if not results.get("byte_identical"):
+            failures.append("warm responses NOT byte-identical to cold")
+        if not results.get("graceful_exit"):
+            failures.append("server did not drain to exit code 0 on "
+                            "SIGTERM")
+        # The 3x warm-replay claim is about the full 100-request
+        # workload; --quick smoke runs only need the generic gate.
+        required = min_speedup if results.get("config", {}).get("quick") \
+            else max(min_speedup, SERVER_FULL_MIN_SPEEDUP)
+        speedup = results.get("speedup")
+        if speedup is None or speedup < required:
+            failures.append("warm throughput speedup %sx < required %.1fx"
+                            % (speedup, required))
+        return failures
+
+
+@register("mao-bench-predict/1")
+class PredictReport:
+    """Static throughput predictor vs trace simulation."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("throughput-predictor benchmark (%s)"
+              % results.get("schema", "?"))
+        _row("cores", ", ".join(config.get("cores", ())))
+        _row("configs x cores", str(len(results.get("kernels", ()))))
+        print("cross-validation (predicted vs simulated cycles/iter):")
+        for entry in results.get("kernels", ()):
+            band = entry.get("band", (0, 0))
+            note = " [%s]" % entry["diverges"] if entry.get("diverges") \
+                else ""
+            _row("%s/%s" % (entry["kernel"], entry["core"]),
+                 "pred %6.2f sim %6.2f ratio %.2f in [%.2f, %.2f] %s%s"
+                 % (entry["predicted_cycles"], entry["simulated_cycles"],
+                    entry["ratio"], band[0], band[1],
+                    "ok" if entry["within_band"] else "OUT", note))
+        ranking = results.get("ranking", {})
+        print("candidate ranking:")
+        for pair in ranking.get("pairs", ()):
+            _row("%s/%s" % (pair["kernel"], pair["core"]),
+                 "sim says %-9s model says %-9s %s"
+                 % (pair["simulated_winner"], pair["predicted_winner"],
+                    "agree" if pair["agree"] else "DISAGREE"))
+        if ranking.get("agreement") is not None:
+            _row("ranking agreement", "%.2f (>= %.2f required)"
+                 % (ranking["agreement"],
+                    ranking.get("min_agreement", PREDICT_MIN_AGREEMENT)))
+        timing = results.get("timing", {})
+        if timing:
+            _row("simulation total", "%.3fs (%d runs)"
+                 % (timing["simulate_s"], timing["simulate_runs"]))
+            _row("prediction total", "%.3fs (%d calls)"
+                 % (timing["predict_s"], timing["predict_calls"]))
+            _row("prediction speedup", "%.0fx" % timing["speedup"])
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        kernels = results.get("kernels") or []
+        if not kernels:
+            failures.append("missing per-kernel cross-validation entries")
+        for entry in kernels:
+            if not entry.get("within_band"):
+                failures.append(
+                    "%s/%s: ratio %.2f outside pinned band [%.2f, %.2f]"
+                    % (entry["kernel"], entry["core"], entry["ratio"],
+                       entry["band"][0], entry["band"][1]))
+        ranking = results.get("ranking") or {}
+        agreement = ranking.get("agreement")
+        min_agreement = ranking.get("min_agreement",
+                                    PREDICT_MIN_AGREEMENT)
+        if agreement is None:
+            failures.append("missing ranking agreement")
+        elif agreement < min_agreement:
+            failures.append("ranking agreement %.2f < required %.2f"
+                            % (agreement, min_agreement))
+        # The >=100x claim IS the feature; quick runs are gated too.
+        required = max(min_speedup, PREDICT_MIN_SPEEDUP)
+        speedup = (results.get("timing") or {}).get("speedup")
+        if speedup is None or speedup < required:
+            failures.append("prediction speedup %sx < required %.0fx"
+                            % (speedup, required))
+        return failures
 
 
 # ---------------------------------------------------------------------------
@@ -367,14 +489,6 @@ def check_trace(events: list) -> list:
 # Dispatch.
 # ---------------------------------------------------------------------------
 
-_SCHEMAS = {
-    "mao-bench-hotpath/1": (render_hotpath, check_hotpath),
-    "mao-bench-sim/1": (render_sim, check_sim),
-    "mao-bench-batch/1": (render_batch, check_batch),
-    "mao-bench-server/1": (render_server, check_server),
-}
-
-
 def process(path: str, do_check: bool, min_speedup: float) -> list:
     if path.endswith(".jsonl"):
         parse_errors: list = []
@@ -387,19 +501,20 @@ def process(path: str, do_check: bool, min_speedup: float) -> list:
     with open(path) as handle:
         results = json.load(handle)
     schema = results.get("schema")
-    if schema not in _SCHEMAS:
-        return ["%s: unknown schema %r" % (path, schema)]
-    render, check = _SCHEMAS[schema]
-    render(results)
+    handler = _SCHEMAS.get(schema)
+    if handler is None:
+        return ["%s: unknown schema %r (known: %s)"
+                % (path, schema, ", ".join(sorted(_SCHEMAS)))]
+    handler.render(results)
     if not do_check:
         return []
     return ["%s: %s" % (os.path.basename(path), f)
-            for f in check(results, min_speedup)]
+            for f in handler.check(results, min_speedup)]
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="render/check BENCH_hotpath.json and BENCH_sim.json")
+        description="render/check the tracked BENCH_*.json results")
     parser.add_argument("paths", nargs="*",
                         help="benchmark JSON files (default: every "
                              "tracked BENCH_*.json that exists)")

@@ -16,6 +16,12 @@ through :mod:`repro.obs`:
       sim = api.simulate(result.unit, "core2")
       sim.cycles, sim.stats, sim.result
 
+* :func:`predict` — the analytical fast path: statically predict
+  steady-state cycles-per-iteration (no execution)::
+
+      p = api.predict(src, "core2")
+      p.cycles, p.bottleneck, p.to_dict()   # pymao.predict/1
+
 * :func:`optimize_many` — a whole corpus in one call, sharded across
   workers, with a persistent content-addressed artifact cache so warm
   rebuilds replay instead of re-optimizing::
@@ -165,7 +171,8 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
                   cache: Union[bool, Any] = True,
                   cache_dir: Optional[str] = None,
                   cache_salt: Optional[str] = None,
-                  max_cache_bytes: Optional[int] = None):
+                  max_cache_bytes: Optional[int] = None,
+                  predict_core: Optional[str] = None):
     """Optimize a corpus of files (paths or ``(name, source)`` pairs).
 
     The batch front door: shards cache misses across ``jobs`` workers on
@@ -179,6 +186,11 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
     ``~/.cache/pymao``); ``cache=False`` disables it; an
     :class:`repro.batch.ArtifactCache` instance is used as-is.
     *cache_salt* / *max_cache_bytes* tune a cache built here.
+
+    ``predict_core=`` a profile name additionally annotates every ok
+    item with the static throughput prediction of its emitted assembly
+    (see :func:`predict`), enabling
+    ``batch.ranked_by_prediction()`` corpus triage without simulation.
     """
     from repro import batch as _batch
 
@@ -197,7 +209,7 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
         cache_obj = None
     return _batch.run_batch(inputs, spec, jobs=jobs,
                             parallel_backend=parallel_backend,
-                            cache=cache_obj)
+                            cache=cache_obj, predict=predict_core)
 
 
 def verify(src_or_result: Union[str, OptimizeResult]):
@@ -221,6 +233,63 @@ def verify(src_or_result: Union[str, OptimizeResult]):
         if sp:
             sp.attach(identical=result.identical)
     return result
+
+
+def predict(src_or_unit: Union[None, str, MaoUnit],
+            core: Union[str, ProcessorModel], *,
+            function: Optional[str] = None,
+            loop: Optional[str] = None,
+            workload: Union[None, str, Any] = None,
+            assume_lsd: bool = False):
+    """Statically predict steady-state cycles-per-iteration on *core*.
+
+    The analytical fast path: no instruction is executed.  The
+    :mod:`repro.uarch.static_model` three-bound model (port binding,
+    latency critical path, front end over real encoded bytes) is applied
+    to the hottest loop of *function* (default: the unit's first
+    function; default loop: the largest-bodied innermost one, override
+    with ``loop=`` a label).  Returns a
+    :class:`repro.uarch.static_model.Prediction`; ``to_dict()`` is the
+    versioned ``pymao.predict/1`` document and ``explain()`` the
+    per-port pressure + critical-path rendering.
+
+    Orders of magnitude faster than :func:`simulate` but blind to branch
+    prediction, caches, and trip counts — see DESIGN for when to trust
+    which tool.
+    """
+    import time
+
+    from repro.uarch import static_model
+
+    if src_or_unit is None:
+        if workload is None:
+            raise ValueError("need source text, a unit, or workload=")
+        if callable(workload):
+            src_or_unit = workload()
+        else:
+            from repro.workloads import kernels
+            factory = getattr(kernels, str(workload), None)
+            if factory is None or not callable(factory):
+                raise ValueError("unknown workload kernel %r" % (workload,))
+            src_or_unit = factory()
+    elif workload is not None:
+        raise ValueError("pass either src_or_unit or workload=, not both")
+
+    model = _resolve_model(core)
+    with obs.span("predict", model=model.name) as sp:
+        start = time.perf_counter()
+        prediction = static_model.predict(src_or_unit, model,
+                                          function=function, loop=loop,
+                                          assume_lsd=assume_lsd)
+        elapsed = time.perf_counter() - start
+        obs.REGISTRY.inc("predict.requests")
+        obs.REGISTRY.observe("predict.seconds", elapsed)
+        if sp:
+            sp.attach(function=prediction.function,
+                      loop=prediction.loop_label,
+                      cycles=prediction.cycles,
+                      bottleneck=prediction.bottleneck)
+    return prediction
 
 
 def simulate(src_or_unit: Union[None, str, MaoUnit],

@@ -69,10 +69,20 @@ class BatchItem:
     error: Optional[str] = None
     parse_s: float = 0.0
     passes_s: float = 0.0
+    #: ``pymao.predict/1`` document for the emitted asm (``predict=``
+    #: runs only), or None.  ``predict_error`` holds the reason a
+    #: prediction was skipped (e.g. a loop-free unit) without failing
+    #: the item itself.
+    prediction: Optional[Dict[str, Any]] = None
+    predict_error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def predicted_cycles(self) -> Optional[float]:
+        return self.prediction["cycles"] if self.prediction else None
 
     def to_dict(self, timings: bool = False) -> Dict[str, Any]:
         """One ``files[]`` row of ``pymao.batch/1``.  Deterministic by
@@ -85,6 +95,10 @@ class BatchItem:
             data["pipeline"] = self.pipeline.to_dict()
         if self.error is not None:
             data["error"] = self.error
+        if self.prediction is not None:
+            data["prediction"] = self.prediction
+        if self.predict_error is not None:
+            data["predict_error"] = self.predict_error
         if timings:
             data["parse_s"] = round(self.parse_s, 6)
             data["passes_s"] = round(self.passes_s, 6)
@@ -124,6 +138,20 @@ class BatchResult:
     @property
     def cache_misses(self) -> int:
         return sum(1 for item in self.items if item.cache == "miss")
+
+    def ranked_by_prediction(self) -> List[BatchItem]:
+        """Ok items with predictions, fastest predicted first.
+
+        The corpus-triage view a ``predict=`` run buys: which inputs the
+        static model expects to run hottest, without simulating any of
+        them.  Ties break by the LSD-engaged rate, then by name for
+        determinism.
+        """
+        ranked = [item for item in self.items
+                  if item.ok and item.prediction is not None]
+        return sorted(ranked,
+                      key=lambda item: (tuple(item.prediction["ranking"]),
+                                        item.name))
 
     def to_dict(self, timings: bool = False) -> Dict[str, Any]:
         """The versioned ``pymao.batch/1`` summary.
@@ -211,7 +239,8 @@ def run_batch(inputs: Iterable[BatchInput],
               jobs: int = 1,
               parallel_backend: Optional[str] = None,
               backend: Optional[str] = None,
-              cache: Optional[ArtifactCache] = None) -> BatchResult:
+              cache: Optional[ArtifactCache] = None,
+              predict: Optional[str] = None) -> BatchResult:
     """Optimize a corpus of files through one pass spec.
 
     ``inputs`` are file paths or ``(name, source)`` pairs; results come
@@ -221,6 +250,14 @@ def run_batch(inputs: Iterable[BatchInput],
     contains a side-effecting pass, which disables caching for the
     run).  ``backend=`` is the
     deprecated alias of ``parallel_backend=`` (as in ``passes.manager``).
+
+    ``predict=`` a processor profile name (``"core2"``) additionally
+    runs the static throughput model over each ok item's *emitted*
+    assembly, annotating it with the ``pymao.predict/1`` document so
+    :meth:`BatchResult.ranked_by_prediction` can triage the corpus by
+    expected cycles without simulating anything.  A file the model
+    cannot analyze keeps its ``ok`` status and records
+    ``predict_error`` instead.
     """
     parallel_backend = _resolve_backend(parallel_backend, backend)
     if jobs < 1:
@@ -310,6 +347,26 @@ def run_batch(inputs: Iterable[BatchInput],
                 if cache is not None and key is not None:
                     cache.put(key, asm, pipeline_data,
                               source_sha=sha, spec=canonical)
+
+        if predict is not None:
+            # Predictions run on the coordinator: each takes single-digit
+            # milliseconds (the whole point of the static model), so a
+            # pool round trip would cost more than the work.
+            from repro import api
+
+            for item in items:
+                if item is None or not item.ok or item.asm is None:
+                    continue
+                try:
+                    item.prediction = api.predict(item.asm,
+                                                  predict).to_dict()
+                except Exception as exc:
+                    item.predict_error = "%s: %s" % (type(exc).__name__,
+                                                     exc)
+            registry.inc("predict.batch_items",
+                         sum(1 for item in items
+                             if item is not None
+                             and item.prediction is not None))
 
         # Deterministic span merge: input order, not completion order.
         for span in spans:

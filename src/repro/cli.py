@@ -84,6 +84,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "registry)")
     parser.add_argument("--time", action="store_true",
                         help="report wall-clock time per pass pipeline")
+    parser.add_argument("--predict", choices=("core2", "opteron",
+                                              "pentium4"),
+                        default=None, metavar="CORE",
+                        help="batch mode: annotate each output with the "
+                             "static throughput prediction for CORE and "
+                             "print the corpus ranked by predicted "
+                             "cycles (see also the 'mao predict' verb)")
     parser.add_argument("--sim", choices=("core2", "opteron", "pentium4"),
                         default=None, metavar="MODEL",
                         help="simulate the optimized unit on a processor "
@@ -165,13 +172,96 @@ def print_version(stream) -> None:
     from repro.batch.engine import BATCH_SCHEMA
     from repro.obs import TRACE_SCHEMA
     from repro.passes.manager import PIPELINE_SCHEMA
+    from repro.uarch.static_model import (
+        PREDICT_BENCH_SCHEMA,
+        PREDICT_SCHEMA,
+    )
 
     stream.write("mao (PyMAO) %s\n" % __version__)
     for label, schema in (("pipeline", PIPELINE_SCHEMA),
                           ("batch", BATCH_SCHEMA),
                           ("trace", TRACE_SCHEMA),
-                          ("artifact", ARTIFACT_SCHEMA)):
-        stream.write("schema %-9s %s\n" % (label, schema))
+                          ("artifact", ARTIFACT_SCHEMA),
+                          ("predict", PREDICT_SCHEMA),
+                          ("bench-predict", PREDICT_BENCH_SCHEMA)):
+        stream.write("schema %-13s %s\n" % (label, schema))
+
+
+def predict_main(argv: List[str]) -> int:
+    """``mao predict`` — the analytical cycles-per-iteration oracle.
+
+    Statically predicts steady-state throughput for the hottest loop of
+    an input (no simulation): ``mao predict --core=core2 file.s``.
+    ``--mao=SPEC`` applies a pass pipeline first, so candidates can be
+    scored exactly as the optimizer would emit them.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="mao predict",
+        description="statically predict steady-state cycles-per-iteration "
+                    "(port binding + latency critical path + front end)")
+    parser.add_argument("--core", default="core2",
+                        choices=("core2", "opteron", "pentium4"),
+                        help="processor profile to predict for")
+    parser.add_argument("--mao", action="append", default=[], metavar="SPEC",
+                        help="pass pipeline to apply before predicting")
+    parser.add_argument("--function", default=None, metavar="NAME",
+                        help="function to analyze (default: first)")
+    parser.add_argument("--loop", default=None, metavar="LABEL",
+                        help="loop back-branch target label to analyze "
+                             "(default: largest innermost loop)")
+    parser.add_argument("--assume-lsd", action="store_true",
+                        help="use the LSD streaming rate as the front-end "
+                             "bound when the body fits the LSD")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the per-port pressure table and the "
+                             "latency critical path")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the pymao.predict/1 document instead of "
+                             "the one-line summary")
+    parser.add_argument("input", help="input assembly file")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.input) as handle:
+            source = handle.read()
+    except OSError as exc:
+        sys.stderr.write("mao predict: %s\n" % exc)
+        return 1
+
+    spec_items = []
+    for spec in args.mao:
+        spec_items.extend(parse_pass_spec(spec))
+
+    from repro.uarch.static_model import PredictError
+    try:
+        target = source
+        if spec_items:
+            target = api.optimize(source, spec_items,
+                                  filename=args.input).unit
+        prediction = api.predict(target, args.core,
+                                 function=args.function, loop=args.loop,
+                                 assume_lsd=args.assume_lsd)
+    except (PredictError, ValueError) as exc:
+        sys.stderr.write("mao predict: %s\n" % exc)
+        return 1
+
+    if args.json:
+        _json.dump(prediction.to_dict(), sys.stdout, indent=2,
+                   sort_keys=True)
+        sys.stdout.write("\n")
+    elif args.explain:
+        print(prediction.explain())
+    else:
+        print("%s %s loop=%s: %.2f cycles/iteration (%s-bound; "
+              "ports=%.2f latency=%.2f frontend=%.2f)"
+              % (args.input, prediction.function,
+                 prediction.loop_label or "<none>", prediction.cycles,
+                 prediction.bottleneck, prediction.port_bound,
+                 prediction.latency_bound, prediction.frontend_bound))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -185,6 +275,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "remote":
         from repro.server.cli import remote_main
         return remote_main(argv[1:])
+    if argv and argv[0] == "predict":
+        return predict_main(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -268,6 +360,17 @@ def _run_single(args, parser, input_path: str, spec_items) -> int:
         sys.stderr.write("sim[%s]: cycles=%d instructions=%d ipc=%.2f\n"
                          % (args.sim, sim.cycles, sim.steps,
                             sim.stats.ipc()))
+    if args.predict:
+        from repro.uarch.static_model import PredictError
+        try:
+            p = api.predict(result.unit, args.predict)
+            sys.stderr.write("predict[%s]: %.2f cycles/iter (%s-bound, "
+                             "loop %s)\n"
+                             % (args.predict, p.cycles, p.bottleneck,
+                                p.loop_label or "<none>"))
+        except PredictError as exc:
+            sys.stderr.write("predict[%s]: unanalyzable: %s\n"
+                             % (args.predict, exc))
     return 0
 
 
@@ -304,7 +407,8 @@ def _run_batch(args, parser, files: List[str], spec_items) -> int:
     batch = api.optimize_many(files, spec_items, jobs=args.jobs,
                               parallel_backend=args.parallel_backend,
                               cache=not args.no_cache,
-                              cache_dir=args.cache_dir)
+                              cache_dir=args.cache_dir,
+                              predict_core=args.predict)
 
     if args.output:
         os.makedirs(args.output, exist_ok=True)
@@ -337,6 +441,19 @@ def _run_batch(args, parser, files: List[str], spec_items) -> int:
                          % (len(batch), batch.ok_count, batch.error_count,
                             batch.cache_hits, batch.cache_misses,
                             batch.elapsed_s))
+
+    if args.predict:
+        for item in batch.ranked_by_prediction():
+            p = item.prediction
+            sys.stderr.write("predict[%s]: %-24s %8.2f cycles/iter "
+                             "(%s-bound, loop %s)\n"
+                             % (args.predict, item.name, p["cycles"],
+                                p["bottleneck"], p["loop"] or "<none>"))
+        for item in batch:
+            if item.ok and item.predict_error is not None:
+                sys.stderr.write("predict[%s]: %-24s unanalyzable: %s\n"
+                                 % (args.predict, item.name,
+                                    item.predict_error))
 
     for item in batch.errors:
         sys.stderr.write("mao: %s: %s\n" % (item.name, item.error))

@@ -8,6 +8,8 @@ clients amortize one warm cache and one worker pool:
   ``pymao.pipeline/1`` report rides in the response);
 * ``POST /v1/batch`` — a corpus in one request (``pymao.batch/1``);
 * ``POST /v1/simulate`` — execute + time on a processor model;
+* ``POST /v1/predict`` — the static throughput model
+  (``pymao.predict/1``); cheap enough to skip the artifact cache;
 * ``GET /healthz`` — liveness + admission state;
 * ``GET /metrics`` — the :data:`repro.obs.REGISTRY` snapshot as a
   ``pymao.trace/1`` metrics event.
@@ -278,7 +280,8 @@ class MaoServer:
                 return render_json(200, event, keep_alive=keep_alive,
                                    headers=headers)
             if request.method == "POST" and request.path in (
-                    "/v1/optimize", "/v1/batch", "/v1/simulate"):
+                    "/v1/optimize", "/v1/batch", "/v1/simulate",
+                    "/v1/predict"):
                 return await self._dispatch_work(request, rid, keep_alive,
                                                  headers)
             self.registry.inc("server.not_found")
@@ -362,6 +365,8 @@ class MaoServer:
                     return await self._handle_optimize(request, rid, span)
                 if request.path == "/v1/batch":
                     return await self._handle_batch(request, rid, span)
+                if request.path == "/v1/predict":
+                    return await self._handle_predict(request, rid, span)
                 return await self._handle_simulate(request, rid, span)
             finally:
                 self._executing -= 1
@@ -479,6 +484,43 @@ class MaoServer:
             span.attach(files=len(inputs))
         return {"schema": SERVER_SCHEMA, "request_id": rid,
                 "summary": outcome["summary"], "asm": outcome["asm"]}
+
+    async def _handle_predict(self, request: Request, rid: str,
+                              span) -> Dict[str, Any]:
+        """``/v1/predict``: the static model, no artifact cache.
+
+        A prediction re-runs faster than a cache round trip, so unlike
+        optimize/batch this path never touches the shared store; the
+        ``predict.*`` counters in :data:`repro.obs.REGISTRY` (surfaced
+        at ``/metrics``) are its observability story.
+        """
+        data = self._body_object(request)
+        core = data.get("core")
+        if not isinstance(core, str) or core not in _KNOWN_CORES:
+            raise ProtocolError(400, "field 'core' must be one of %s"
+                                % ", ".join(_KNOWN_CORES))
+        source = data.get("source")
+        workload = data.get("workload")
+        if (source is None) == (workload is None):
+            raise ProtocolError(400, "pass exactly one of 'source' or "
+                                     "'workload'")
+        payload = {"source": source, "workload": workload, "core": core,
+                   "function": data.get("function"),
+                   "loop": data.get("loop"),
+                   "assume_lsd": bool(data.get("assume_lsd", False)),
+                   "want_spans": obs.enabled()}
+        outcome = await self._await_pool(work.predict_worker, payload)
+        if outcome["status"] == "error":
+            self.registry.inc("server.client_errors")
+            return {"_status": 400, "error": outcome["error"],
+                    "status": 400, "request_id": rid}
+        prediction = outcome["prediction"]
+        self.registry.inc("server.predict.requests")
+        if span:
+            span.attach(core=core, cycles=prediction["cycles"],
+                        bottleneck=prediction["bottleneck"])
+        return {"schema": SERVER_SCHEMA, "request_id": rid,
+                "core": core, "prediction": prediction}
 
     async def _handle_simulate(self, request: Request, rid: str,
                                span) -> Dict[str, Any]:

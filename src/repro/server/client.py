@@ -201,6 +201,26 @@ class Client:
         return self.request("POST", "/v1/simulate", payload,
                             request_id=request_id)
 
+    def predict(self, source: Optional[str] = None, core: str = "core2", *,
+                workload: Optional[str] = None,
+                function: Optional[str] = None,
+                loop: Optional[str] = None,
+                assume_lsd: bool = False,
+                request_id: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"core": core}
+        if source is not None:
+            payload["source"] = source
+        if workload is not None:
+            payload["workload"] = workload
+        if function is not None:
+            payload["function"] = function
+        if loop is not None:
+            payload["loop"] = loop
+        if assume_lsd:
+            payload["assume_lsd"] = True
+        return self.request("POST", "/v1/predict", payload,
+                            request_id=request_id)
+
     def healthz(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")
 

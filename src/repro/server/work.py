@@ -115,6 +115,29 @@ def batch_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "error": "%s: %s" % (type(exc).__name__, exc)}
 
 
+def predict_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One ``/v1/predict`` body over :func:`repro.api.predict`.
+
+    Cheap enough that it skips the artifact cache entirely — the static
+    model re-runs faster than a cache round trip would pay for itself.
+    """
+    import repro.passes  # noqa: F401
+    from repro import api, obs
+
+    obs.set_enabled(payload.get("want_spans", False))
+    try:
+        prediction = api.predict(
+            payload.get("source"), payload["core"],
+            workload=payload.get("workload"),
+            function=payload.get("function"),
+            loop=payload.get("loop"),
+            assume_lsd=bool(payload.get("assume_lsd", False)))
+        return {"status": "ok", "prediction": prediction.to_dict()}
+    except Exception as exc:
+        return {"status": "error", "kind": type(exc).__name__,
+                "error": "%s: %s" % (type(exc).__name__, exc)}
+
+
 def simulate_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """One ``/v1/simulate`` body over :func:`repro.api.simulate`."""
     import repro.passes  # noqa: F401

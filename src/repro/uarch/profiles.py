@@ -22,6 +22,16 @@ platforms.  The parameters are chosen so the documented cliffs appear:
 ``blinded_profile`` returns a processor with *hidden, randomized*
 parameters for the Section-IV detection experiments: the detection code
 must recover them through microbenchmarks alone.
+
+Seed contract: ``blinded_profile(seed)`` is a pure function of its
+``seed`` argument.  The same seed always yields a model whose *every*
+field compares equal (``ProcessorModel`` is a dataclass, so ``==`` is
+field-wise), across processes and Python versions — the draws go through
+a private ``random.Random(seed)`` instance, never the global RNG, so
+calling it neither perturbs nor is perturbed by other randomness.
+Experiments should therefore record only the seed; the hidden
+parameters are reproducible from it.  ``name=`` is cosmetic and the
+only way two same-seed models may differ.
 """
 
 from __future__ import annotations

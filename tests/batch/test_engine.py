@@ -232,3 +232,55 @@ class TestApiFacade:
         resalted = api.optimize_many(corpus, SPEC, cache_dir=root,
                                      cache_salt="v2")
         assert resalted.cache_misses == 2
+
+
+class TestPredictAnnotation:
+    """``predict=`` corpus triage: every ok item gets the static
+    throughput prediction of its *emitted* assembly."""
+
+    def test_items_annotated_and_ranked(self):
+        from repro.workloads import kernels
+        corpus = [("hash.s", kernels.hash_bench()),
+                  ("eon.s", kernels.eon_loop(pre_bytes=9)),
+                  ("eon_al.s", kernels.eon_loop(pre_bytes=9,
+                                                aligned=True)),
+                  ("bad.s", BAD)]
+        result = run_batch(corpus, None, predict="core2", cache=None)
+        by_name = {item.name: item for item in result.items}
+        assert by_name["bad.s"].prediction is None
+
+        ranked = result.ranked_by_prediction()
+        names = [item.name for item in ranked]
+        assert "bad.s" not in names
+        assert names.index("eon_al.s") < names.index("eon.s")
+        assert names.index("eon.s") < names.index("hash.s")
+        for item in ranked:
+            assert item.prediction["schema"] == "pymao.predict/1"
+            assert item.predicted_cycles == item.prediction["cycles"]
+
+    def test_predictions_survive_summary_roundtrip(self):
+        from repro.workloads import kernels
+        result = run_batch([("k.s", kernels.hash_bench())], None,
+                           predict="opteron", cache=None)
+        row = result.to_dict()["files"][0]
+        assert row["prediction"]["model"] == "opteron"
+
+    def test_without_predict_items_are_unannotated(self):
+        result = run_batch([("a.s", GOOD)], SPEC, cache=None)
+        assert result.items[0].prediction is None
+        assert result.ranked_by_prediction() == []
+
+    def test_batch_items_counter(self):
+        from repro.workloads import kernels
+        before = obs.REGISTRY.snapshot().get("predict.batch_items", 0)
+        run_batch([("k.s", kernels.hash_bench())], None,
+                  predict="core2", cache=None)
+        after = obs.REGISTRY.snapshot().get("predict.batch_items", 0)
+        assert after == before + 1
+
+    def test_optimize_many_predict_core_kwarg(self):
+        batch = api.optimize_many(small_corpus(2), SPEC,
+                                  predict_core="core2", cache=False)
+        assert all(item.prediction is not None or
+                   item.predict_error is not None
+                   for item in batch.items if item.ok)

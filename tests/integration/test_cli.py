@@ -204,6 +204,82 @@ class TestBatchMode:
                   str(corpus_dir / "a.s"), str(corpus_dir / "b.s")])
 
 
+LOOP_SOURCE = """
+.text
+.globl main
+main:
+    movl $100, %ecx
+.Lloop:
+    addl $1, %r8d
+    imull $3, %r9d, %r9d
+    subl $1, %ecx
+    jne .Lloop
+    ret
+"""
+
+
+class TestPredictMode:
+    """The `mao predict` verb and the driver's --predict flag."""
+
+    @pytest.fixture
+    def loop_file(self, tmp_path):
+        path = tmp_path / "loop.s"
+        path.write_text(LOOP_SOURCE)
+        return path
+
+    def test_predict_verb_summary_line(self, loop_file, capsys):
+        assert main(["predict", "--core", "core2", str(loop_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/iteration" in out
+        assert "loop=.Lloop" in out
+
+    def test_predict_verb_json_document(self, loop_file, capsys):
+        assert main(["predict", "--json", str(loop_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "pymao.predict/1"
+        assert doc["loop"] == ".Lloop"
+        assert doc["cycles"] == max(doc["bounds"].values())
+
+    def test_predict_verb_explain(self, loop_file, capsys):
+        assert main(["predict", "--explain", "--core", "opteron",
+                     str(loop_file)]) == 0
+        out = capsys.readouterr().out
+        assert "port pressure" in out
+        assert "bottleneck" in out
+
+    def test_predict_verb_applies_pass_spec_first(self, loop_file):
+        assert main(["predict", "--mao=REDTEST", str(loop_file)]) == 0
+
+    def test_predict_verb_missing_file(self, tmp_path, capsys):
+        assert main(["predict", str(tmp_path / "nope.s")]) == 1
+        assert "mao predict:" in capsys.readouterr().err
+
+    def test_predict_verb_bad_loop_label(self, loop_file, capsys):
+        assert main(["predict", "--loop", ".Lzz", str(loop_file)]) == 1
+        assert "mao predict:" in capsys.readouterr().err
+
+    def test_driver_predict_flag_single_input(self, loop_file, capsys):
+        assert main(["--mao=REDTEST", "--predict", "core2",
+                     str(loop_file)]) == 0
+        err = capsys.readouterr().err
+        assert "predict[core2]:" in err
+        assert "cycles/iter" in err
+
+    def test_driver_predict_flag_ranks_batch(self, tmp_path, capsys):
+        fast, slow = tmp_path / "fast.s", tmp_path / "slow.s"
+        fast.write_text(LOOP_SOURCE)
+        slow.write_text(LOOP_SOURCE.replace(
+            "imull $3, %r9d, %r9d",
+            "imull $3, %r9d, %r9d\n    imull $3, %r9d, %r9d"))
+        assert main(["--mao=REDTEST", "--no-cache", "--predict", "core2",
+                     str(fast), str(slow)]) == 0
+        lines = [line for line in capsys.readouterr().err.splitlines()
+                 if line.startswith("predict[core2]:")]
+        assert len(lines) == 2
+        # Ranked output: the shorter dependency chain wins.
+        assert "fast.s" in lines[0] and "slow.s" in lines[1]
+
+
 class TestCacheStats:
     def test_cache_stats_format_pinned(self, asm_file, capsys):
         """Regression: the exact bytes --cache-stats writes (the
@@ -302,10 +378,12 @@ class TestVersion:
         assert main(["--version"]) == 0
         out = capsys.readouterr().out
         assert out.startswith("mao (PyMAO) ")
-        assert "schema pipeline  pymao.pipeline/1" in out
-        assert "schema batch     pymao.batch/1" in out
-        assert "schema trace     pymao.trace/1" in out
-        assert "schema artifact  pymao.artifact/1" in out
+        assert "schema pipeline      pymao.pipeline/1" in out
+        assert "schema batch         pymao.batch/1" in out
+        assert "schema trace         pymao.trace/1" in out
+        assert "schema artifact      pymao.artifact/1" in out
+        assert "schema predict       pymao.predict/1" in out
+        assert "schema bench-predict mao-bench-predict/1" in out
 
     def test_version_wins_over_other_arguments(self, capsys):
         """--version short-circuits: no inputs required, nothing run."""

@@ -119,3 +119,18 @@ def test_custom_pass_snippet():
     unit = parse_unit(".text\nf:\n    ret\n")
     result = run_passes(unit, "README_DEMO=aggressive[1]")
     assert result.total("README_DEMO", "seen") == 1
+
+
+def test_predict_snippet():
+    from repro import api
+    from repro.workloads import kernels
+
+    p = api.predict(kernels.hash_bench(), "core2")
+    assert p.cycles > 0
+    assert p.bottleneck in ("ports", "latency", "frontend")
+    assert "port pressure" in p.explain()
+
+    batch = api.optimize_many([("k.s", kernels.hash_bench())], "REDTEST",
+                              predict_core="core2", cache=False)
+    ranked = batch.ranked_by_prediction()
+    assert ranked and ranked[0].prediction["schema"] == "pymao.predict/1"

@@ -95,6 +95,25 @@ class TestEndpoints:
         assert result["steps"] > 0
         assert result["counters"]
 
+    def test_predict_workload(self, client):
+        result = client.predict(workload="hash_bench", core="core2")
+        assert result["schema"] == "pymao.server/1"
+        assert result["core"] == "core2"
+        prediction = result["prediction"]
+        assert prediction["schema"] == "pymao.predict/1"
+        assert prediction["cycles"] > 0
+        assert prediction["bottleneck"] in ("ports", "latency", "frontend")
+        assert set(prediction["bounds"]) == {"ports", "latency",
+                                             "frontend"}
+
+    def test_predict_source_counted_in_metrics(self, client):
+        source = SOURCE.replace("ret", "jmp f\n    ret")
+        result = client.predict(source, "opteron")
+        assert result["prediction"]["model"] == "opteron"
+        values = client.metrics()["values"]
+        assert values["server.predict.requests"] >= 1
+        assert values["predict.requests"] >= 1
+
     def test_metrics_is_trace_event(self, client):
         client.optimize(SOURCE, "REDTEST")
         payload = client.metrics()
@@ -142,6 +161,24 @@ class TestClientErrors:
         with pytest.raises(ServerError) as exc_info:
             client.simulate(SOURCE, core="itanium")
         assert exc_info.value.status == 400
+
+    def test_predict_unknown_core_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.predict(SOURCE, "z80")
+        assert excinfo.value.status == 400
+
+    def test_predict_needs_exactly_one_input(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.predict(SOURCE, "core2", workload="hash_bench")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServerError) as excinfo:
+            client.predict(core="core2")
+        assert excinfo.value.status == 400
+
+    def test_predict_unanalyzable_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.predict(BAD_SOURCE, "core2")
+        assert excinfo.value.status == 400
 
     def test_simulate_needs_exactly_one_input(self, client):
         with pytest.raises(ServerError) as exc_info:
