@@ -2,7 +2,7 @@ PYTHON ?= python
 
 .PHONY: test bench bench-quick bench-suite bench-batch-smoke \
 	bench-predict-smoke perf-report trace-smoke server-smoke \
-	bench-server-smoke clean
+	bench-server-smoke fleet-smoke bench-fleet-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -12,6 +12,7 @@ bench:
 	$(PYTHON) benchmarks/bench_sim_engine.py
 	$(PYTHON) benchmarks/bench_batch.py
 	$(PYTHON) benchmarks/bench_server.py
+	$(PYTHON) benchmarks/bench_server.py --fleet 1,2,4
 	$(PYTHON) benchmarks/bench_predict.py
 	$(PYTHON) scripts/perf_report.py --check
 
@@ -54,6 +55,22 @@ bench-server-smoke:
 	$(PYTHON) benchmarks/bench_server.py --quick \
 		-o /tmp/pymao_bench_server.json
 	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_server.json
+
+# Fleet lifecycle smoke: front door + 2 workers, mixed requests,
+# cache-affinity + cross-worker hits, a rolling restart fired
+# mid-stream against zero-retry clients (zero dropped admitted
+# requests), and a graceful SIGTERM drain of the whole fleet.
+fleet-smoke:
+	$(PYTHON) scripts/fleet_smoke.py
+
+# Tiny fleet scaling sweep (1 and 2 workers): the harness exits
+# non-zero on any dropped request or non-graceful drain; the report
+# gate re-checks the recorded JSON (the 1.8x gate applies to the full
+# 1,2,4 sweep that produces the tracked BENCH_fleet.json).
+bench-fleet-smoke:
+	$(PYTHON) benchmarks/bench_server.py --quick --fleet 1,2 \
+		-o /tmp/pymao_bench_fleet.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_fleet.json
 
 perf-report:
 	$(PYTHON) scripts/perf_report.py

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""CI smoke for the sharded optimization fleet.
+
+The full lifecycle in under a minute, against a real ``mao fleet``
+subprocess (front door + 2 workers on ephemeral ports):
+
+1. mixed requests through ``mao remote``-level clients (optimize,
+   simulate, healthz, metrics) — every optimize response must carry the
+   worker's answer, and an identical re-request must be a cache *hit*
+   served by the same affinity routing;
+2. a **rolling restart** (``POST /admin/restart``) fired mid-stream
+   while clients with a **zero retry budget** keep sending — the
+   zero-dropped-admitted-requests contract means not one of them may
+   see a failure;
+3. after the restart, the replacement worker processes must serve the
+   pre-restart artifacts as cache hits (cross-instance coherence over
+   the shared store);
+4. SIGTERM must drain the whole fleet to exit code 0.
+
+Run via ``make fleet-smoke``.
+"""
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.server.client import Client  # noqa: E402
+
+SOURCE = """
+.text
+.globl f
+.type f, @function
+f:
+    andl $255, %%eax
+    mov %%eax, %%eax
+    subl $16, %%r15d
+    testl %%r15d, %%r15d
+    ret
+# variant %d
+"""
+
+
+def start_fleet(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "fleet", "--port", "0",
+         "--workers", "2", "--worker-inflight", "1",
+         "--cache-dir", cache_dir, "--test-delay-s", "0.05"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline().strip()
+    if "listening on" not in line:
+        raise RuntimeError("fleet did not start: %r" % line)
+    address = line.split("listening on ", 1)[1].split()[0]
+    print(line)
+    return proc, int(address.rsplit(":", 1)[1])
+
+
+def optimize_with_worker(port, body):
+    """One optimize via http.client so the X-Worker routing header is
+    visible alongside the payload."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("POST", "/v1/optimize", body=json.dumps(body).encode(),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode())
+        assert response.status == 200, payload
+        return response.getheader("X-Worker"), payload
+    finally:
+        conn.close()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="pymao-fleet-smoke-") as workdir:
+        proc, port = start_fleet(os.path.join(workdir, "cache"))
+        try:
+            # -- 1. mixed requests, affinity, and a warm hit ------------
+            body = {"source": SOURCE % 0, "spec": "REDZEE:REDTEST:REDMOV"}
+            worker_a, first = optimize_with_worker(port, body)
+            worker_b, second = optimize_with_worker(port, body)
+            assert first["cache"] == "miss", first["cache"]
+            assert second["cache"] == "hit", second["cache"]
+            assert worker_a == worker_b, (worker_a, worker_b)
+            assert "testl" not in second["asm"], "REDTEST did not run"
+            print("optimize: ok (miss -> hit, affinity %s)" % worker_a)
+
+            with Client(port=port, retries=3) as client:
+                sim = client.simulate(workload="hash_bench", core="core2",
+                                      max_steps=20_000)
+                assert sim["cycles"] > 0, sim
+                health = client.healthz()
+                assert health["schema"] == "pymao.fleet/1", health
+                assert health["status"] == "ok", health
+                assert [w["member"] for w in health["workers"]] \
+                    == ["w0", "w1"], health
+                metrics = client.metrics()
+                assert "fleet.forwarded" in metrics["values"], metrics
+                assert "server.requests" in metrics["values"], metrics
+            print("simulate + healthz + merged metrics: ok")
+
+            # -- 2. rolling restart under load, zero retry budget -------
+            failures = []
+            served = []
+
+            def stream(index):
+                client = Client(port=port, retries=0, timeout=60)
+                try:
+                    for step in range(8):
+                        result = client.optimize(
+                            SOURCE % (100 + index * 10 + step),
+                            "REDZEE:REDTEST")
+                        served.append(result["cache"])
+                except Exception as exc:
+                    failures.append("client %d: %r" % (index, exc))
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=stream, args=(i,))
+                       for i in range(3)]
+            for thread in threads:
+                thread.start()
+            restart_conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                      timeout=120)
+            restart_conn.request("POST", "/admin/restart", body=b"{}",
+                                 headers={"Content-Type":
+                                          "application/json"})
+            restart_response = restart_conn.getresponse()
+            report = json.loads(restart_response.read().decode())
+            restart_conn.close()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert restart_response.status == 200, report
+            assert [w["member"] for w in report["restarted"]] \
+                == ["w0", "w1"], report
+            if failures:
+                print("FAIL: %d dropped admitted requests during the "
+                      "rolling restart:" % len(failures), file=sys.stderr)
+                for failure in failures:
+                    print("  " + failure, file=sys.stderr)
+                return 1
+            assert len(served) == 24, served
+            print("rolling restart mid-stream: ok (24/24 served, "
+                  "0 dropped, restart took %.2fs)" % report["elapsed_s"])
+
+            # -- 3. cross-instance coherence across generations ---------
+            _worker, again = optimize_with_worker(port, body)
+            assert again["cache"] == "hit", again["cache"]
+            assert again["asm"] == second["asm"], "asm diverged across " \
+                                                  "worker generations"
+            print("cross-instance cache coherence: ok (hit on the "
+                  "replacement worker)")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            code = proc.wait(timeout=120)
+        if code != 0:
+            print("FAIL: fleet drain exited %d, expected 0" % code,
+                  file=sys.stderr)
+            return 1
+        print("graceful fleet drain: ok (exit 0)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

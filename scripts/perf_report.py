@@ -23,6 +23,11 @@ field:
   under a closed-loop mixed workload: warm shared-cache throughput vs
   cold (gated at >= 3x on full runs), 100% warm hit rate,
   byte-identical responses, and a graceful SIGTERM drain;
+* ``BENCH_fleet.json`` (``mao-bench-fleet/1``) from
+  ``benchmarks/bench_server.py --fleet 1,2,4`` — the sharded fleet's
+  capacity-scaling sweep: throughput at N workers vs 1 under a pinned
+  per-request service floor (gated at >= 1.8x for 4 workers on full
+  runs), zero errors, graceful drains at every width;
 * ``BENCH_predict.json`` (``mao-bench-predict/1``) from
   ``benchmarks/bench_predict.py`` — the static throughput predictor
   cross-validated against trace simulation on every kernel x {core2,
@@ -62,7 +67,7 @@ import sys
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
                   "BENCH_batch.json", "BENCH_server.json",
-                  "BENCH_predict.json")
+                  "BENCH_fleet.json", "BENCH_predict.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
@@ -75,6 +80,9 @@ BATCH_FULL_MIN_SPEEDUP = 5.0
 
 #: Required warm-over-cold throughput ratio on a full (non --quick) run.
 SERVER_FULL_MIN_SPEEDUP = 3.0
+
+#: Required 4-workers-over-1 throughput scaling on a full fleet sweep.
+FLEET_FULL_MIN_SCALING = 1.8
 
 #: Required prediction-over-simulation speedup — quick AND full runs:
 #: the whole value proposition of the static model is the two orders of
@@ -380,6 +388,61 @@ class ServerReport:
         if speedup is None or speedup < required:
             failures.append("warm throughput speedup %sx < required %.1fx"
                             % (speedup, required))
+        return failures
+
+
+@register("mao-bench-fleet/1")
+class FleetReport:
+    """The sharded fleet's capacity-scaling sweep."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("optimization-fleet benchmark (%s)"
+              % results.get("schema", "?"))
+        _row("requests / clients", "%s / %s"
+             % (config.get("requests"), config.get("clients")))
+        _row("per-worker inflight", str(config.get("per_worker_inflight")))
+        _row("service floor", "%ss" % config.get("service_floor_s"))
+        _row("host cpus", str(config.get("host_cpus")))
+        for row in results.get("rounds", ()):
+            _row("workers=%d" % row["workers"],
+                 "%7.2f req/s  p50=%.0fms p99=%.0fms  errors=%d  "
+                 "graceful=%s"
+                 % (row["throughput_rps"], row["p50_ms"], row["p99_ms"],
+                    row["errors"], row["graceful_exit"]))
+        for label, value in sorted((results.get("scaling") or {}).items()):
+            _row("scaling %s" % label, "%.2fx" % value)
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        rounds = results.get("rounds") or []
+        if not rounds:
+            failures.append("missing fleet rounds")
+            return failures
+        for row in rounds:
+            if row["errors"]:
+                failures.append("workers=%d round reported %d failed "
+                                "requests" % (row["workers"],
+                                              row["errors"]))
+            if not row["graceful_exit"]:
+                failures.append("workers=%d fleet did not drain to exit "
+                                "code 0 on SIGTERM" % row["workers"])
+        # The capacity-scaling claim is pinned at 4 workers vs 1; a
+        # sweep that measured that pair must clear the fleet gate
+        # (--quick sweeps may legitimately stop at 2 workers).
+        scaling = results.get("scaling_4v1")
+        if not results.get("config", {}).get("quick"):
+            if scaling is None:
+                failures.append("full fleet sweep is missing the 4v1 "
+                                "scaling measurement")
+            elif scaling < FLEET_FULL_MIN_SCALING:
+                failures.append("fleet scaling 4v1 %.2fx < required %.2fx"
+                                % (scaling, FLEET_FULL_MIN_SCALING))
+        elif scaling is not None and scaling < FLEET_FULL_MIN_SCALING:
+            failures.append("fleet scaling 4v1 %.2fx < required %.2fx"
+                            % (scaling, FLEET_FULL_MIN_SCALING))
         return failures
 
 

@@ -272,6 +272,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "serve":
         from repro.server.cli import serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        from repro.server.cli import fleet_main
+        return fleet_main(argv[1:])
     if argv and argv[0] == "remote":
         from repro.server.cli import remote_main
         return remote_main(argv[1:])

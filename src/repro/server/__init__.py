@@ -8,6 +8,12 @@ persistent artifact cache and one worker pool, plus ``/healthz`` and
 :class:`~repro.server.client.Client` (and the ``mao remote`` verb) is
 the supported way to talk to it.
 
+``mao fleet`` (:mod:`repro.server.fleet`) scales the same service
+horizontally: a front-door process routes to N ``mao serve`` worker
+subprocesses over a consistent-hash ring (:mod:`repro.server.ring`)
+keyed by the artifact cache key, with aggregated health/metrics and
+rolling restarts.
+
 In-process use::
 
     from repro.server import ServerConfig, ServerThread, Client
@@ -32,6 +38,13 @@ from repro.server.client import (
     ServerError,
     ServerUnavailable,
 )
+from repro.server.fleet import (
+    FLEET_SCHEMA,
+    FleetConfig,
+    FleetServer,
+    FleetThread,
+)
+from repro.server.ring import HashRing
 
 __all__ = [
     "MaoServer",
@@ -43,4 +56,9 @@ __all__ = [
     "ServerError",
     "ServerBusy",
     "ServerUnavailable",
+    "FleetConfig",
+    "FleetServer",
+    "FleetThread",
+    "FLEET_SCHEMA",
+    "HashRing",
 ]

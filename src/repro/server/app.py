@@ -306,10 +306,20 @@ class MaoServer:
                 "version": __version__,
                 "request_id": rid,
                 "inflight": self._executing,
+                "queue_depth": self._admitted - self._executing,
                 "queued": self._admitted - self._executing,
                 "max_inflight": self.config.max_inflight,
                 "max_queue": self.config.max_queue,
                 "cache": self.config.cache_spec() is not None}
+
+    def _publish_admission_gauges(self) -> None:
+        """Keep the live admission state visible as registry gauges, so
+        ``/metrics`` (and the fleet front door aggregating it) reports
+        the same ``inflight`` / ``queue_depth`` numbers ``/healthz``
+        does — the backpressure bench asserts against these."""
+        self.registry.gauge("server.inflight", self._executing)
+        self.registry.gauge("server.queue_depth",
+                            self._admitted - self._executing)
 
     # -- admission + execution ----------------------------------------------
 
@@ -331,6 +341,7 @@ class MaoServer:
                 % (config.max_inflight + config.max_queue), rid),
                 keep_alive=keep_alive, headers=headers)
         self._admitted += 1
+        self._publish_admission_gauges()
         try:
             with obs.detached_span("request:%s" % request.path,
                                    request_id=rid,
@@ -354,12 +365,14 @@ class MaoServer:
                                    keep_alive=keep_alive, headers=headers)
         finally:
             self._admitted -= 1
+            self._publish_admission_gauges()
             obs.adopt_span(None, span)
 
     async def _execute(self, request: Request, rid: str,
                        span) -> Dict[str, Any]:
         async with self._slots:
             self._executing += 1
+            self._publish_admission_gauges()
             try:
                 if request.path == "/v1/optimize":
                     return await self._handle_optimize(request, rid, span)
@@ -370,6 +383,7 @@ class MaoServer:
                 return await self._handle_simulate(request, rid, span)
             finally:
                 self._executing -= 1
+                self._publish_admission_gauges()
 
     def _run_in_pool(self, fn, payload) -> "asyncio.Future":
         if self.config.test_delay_s:

@@ -60,6 +60,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "$PYMAO_CACHE_DIR, else ~/.cache/pymao)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the shared artifact cache")
+    parser.add_argument("--cache-salt", default=None,
+                        help=argparse.SUPPRESS)   # test/fleet isolation
+    parser.add_argument("--test-delay-s", type=float, default=0.0,
+                        help=argparse.SUPPRESS)   # deterministic slot-holding
     parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
                         help="write request spans as pymao.trace/1 JSONL "
                              "on drain")
@@ -77,6 +81,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                           max_body_bytes=args.max_body_bytes,
                           cache=not args.no_cache,
                           cache_dir=args.cache_dir,
+                          cache_salt=args.cache_salt,
+                          test_delay_s=args.test_delay_s,
                           trace_out=args.trace_out)
     if config.trace_out:
         obs.set_enabled(True)
@@ -89,6 +95,79 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         asyncio.run(MaoServer(config).run(ready=ready))
     except ValueError as exc:
         print("mao serve: %s" % exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mao fleet",
+        description="run the sharded PyMAO optimization fleet: one "
+                    "front door routing to N worker processes with "
+                    "cache-affinity consistent hashing")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help="front-door listen port (0 = ephemeral; the "
+                             "bound port is printed on startup)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="worker process count (default: 2)")
+    parser.add_argument("--worker-backend", choices=("thread", "process"),
+                        default="thread",
+                        help="each worker's pool kind (default: thread)")
+    parser.add_argument("--worker-inflight", type=int, default=1,
+                        metavar="N",
+                        help="execution slots per worker (default: 1)")
+    parser.add_argument("--worker-queue", type=int, default=64, metavar="N",
+                        help="per-worker admitted-waiting bound "
+                             "(default: 64)")
+    parser.add_argument("--max-queue", type=int, default=64, metavar="N",
+                        help="front-door queue on top of the fleet's "
+                             "execution slots (default: 64)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="per-request admission-to-response bound "
+                             "(default: 120)")
+    parser.add_argument("--max-body-bytes", type=int,
+                        default=8 * 1024 * 1024, metavar="BYTES",
+                        help="request body size cap (default: 8 MiB)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared artifact-cache directory all workers "
+                             "open (default: $PYMAO_CACHE_DIR, else "
+                             "~/.cache/pymao)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the shared artifact cache")
+    parser.add_argument("--cache-salt", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--test-delay-s", type=float, default=0.0,
+                        help=argparse.SUPPRESS)
+    return parser
+
+
+def fleet_main(argv: Optional[List[str]] = None) -> int:
+    from repro.server.fleet import FleetConfig, FleetServer
+
+    args = build_fleet_parser().parse_args(argv)
+    config = FleetConfig(host=args.host, port=args.port,
+                         workers=args.workers,
+                         worker_backend=args.worker_backend,
+                         worker_inflight=args.worker_inflight,
+                         worker_queue=args.worker_queue,
+                         max_queue=args.max_queue,
+                         request_timeout_s=args.timeout,
+                         max_body_bytes=args.max_body_bytes,
+                         cache=not args.no_cache,
+                         cache_dir=args.cache_dir,
+                         cache_salt=args.cache_salt,
+                         worker_test_delay_s=args.test_delay_s)
+
+    def ready(fleet: FleetServer) -> None:
+        print("pymao-fleet listening on %s:%d (%d workers)"
+              % (config.host, fleet.port, config.workers), flush=True)
+
+    try:
+        asyncio.run(FleetServer(config).run(ready=ready))
+    except (ValueError, RuntimeError) as exc:
+        print("mao fleet: %s" % exc, file=sys.stderr)
         return 2
     return 0
 

@@ -13,6 +13,18 @@ discipline the server's backpressure contract calls for:
 * every other non-2xx status raises :class:`ServerError` immediately —
   a 400 will not become a 200 by retrying.
 
+One :class:`Client` keeps **one keep-alive connection** and reuses it
+across sequential requests — reconnecting per call would multiply
+connection churn by the request count, and a fleet front door funnelling
+N workers' traffic multiplies it again (``client.connects`` counts real
+connections; the scripted-fake test pins it at one per client).  A
+reused connection can go *stale*: a server is allowed to close an idle
+keep-alive socket at any time (a draining fleet worker always does), and
+the client only discovers that when the next send fails.  That failure
+says nothing about server health, so it is **replayed once on a fresh
+connection without consuming the retry budget or sleeping** — only a
+failure on a never-used connection counts against ``retries``.
+
 Backoff is exponential with full jitter (``uniform(0, base * 2^attempt)``,
 capped) so a thundering herd of rejected clients does not re-arrive in
 lockstep.  One :class:`Client` owns one connection and is **not**
@@ -72,9 +84,17 @@ class Client:
         self._rng = rng if rng is not None else random.Random()
         self._conn: Optional[http.client.HTTPConnection] = None
         #: Retry telemetry, mostly for tests and the bench: how many
-        #: sends were re-issued after a 503 / transport failure.
+        #: sends were re-issued after a 503 / transport failure, how
+        #: many connections were ever opened, and how many stale
+        #: keep-alive sockets were transparently replayed.
         self.retries_on_busy = 0
         self.retries_on_transport = 0
+        self.connects = 0
+        self.stale_replays = 0
+        #: Responses served over the current connection — a send failure
+        #: on a connection that already served one is a stale keep-alive
+        #: socket, not a server failure.
+        self._conn_served = 0
 
     # -- transport ----------------------------------------------------------
 
@@ -82,12 +102,15 @@ class Client:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout)
+            self._conn_served = 0
+            self.connects += 1
         return self._conn
 
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+            self._conn_served = 0
 
     def __enter__(self) -> "Client":
         return self
@@ -115,26 +138,42 @@ class Client:
             headers["X-Request-Id"] = request_id
 
         last_error: Optional[str] = None
-        for attempt in range(self.retries + 1):
+        attempt = 0
+        replayed_stale = False
+        while attempt <= self.retries:
+            was_reused = self._conn is not None and self._conn_served > 0
             try:
                 conn = self._connection()
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
+                self._conn_served += 1
+                replayed_stale = False
                 if response.will_close:
                     # Honour Connection: close now, or the next attempt
                     # burns a retry discovering the socket is dead.
                     self.close()
             except (ConnectionError, http.client.HTTPException,
                     socket.timeout, OSError) as exc:
-                # A dead connection tells us nothing about the next
-                # attempt on a fresh one — reconnect after backoff.
                 self.close()
                 last_error = "%s: %s" % (type(exc).__name__, exc)
+                if was_reused and not replayed_stale \
+                        and not isinstance(exc, socket.timeout):
+                    # A keep-alive socket the server closed while idle:
+                    # the failure says nothing about server health, so
+                    # replay immediately on a fresh connection without
+                    # spending the retry budget (once — a second failure
+                    # is a real one and falls through to the budget).
+                    replayed_stale = True
+                    self.stale_replays += 1
+                    continue
+                # A dead fresh connection tells us nothing about the
+                # next attempt on another one — reconnect after backoff.
                 if attempt >= self.retries:
                     break
                 self.retries_on_transport += 1
                 self._sleep(attempt)
+                attempt += 1
                 continue
             if response.status == 503:
                 if attempt >= self.retries:
@@ -146,6 +185,7 @@ class Client:
                 # Retry-After is a floor, not a schedule: jitter on top
                 # so shed clients do not return in lockstep.
                 self._sleep(attempt, floor_s=retry_after)
+                attempt += 1
                 continue
             data = _decode(raw)
             if not 200 <= response.status < 300:

@@ -1,0 +1,778 @@
+"""The sharded optimization fleet: front door + N process workers.
+
+One ``mao serve`` process executes every pipeline behind a single GIL,
+so its throughput is capped at one core no matter how many the host
+has.  ``mao fleet`` removes that ceiling with a two-tier shape:
+
+* a **front door** — this module: one asyncio process that owns
+  admission control and backpressure for the whole fleet, terminates
+  client connections, and *routes* each request instead of executing
+  anything CPU-bound itself;
+* **N workers** — plain ``mao serve`` subprocesses on loopback
+  ephemeral ports (the existing :mod:`repro.server.http` framing is the
+  local transport), each with its own GIL, its own worker pool, and its
+  own in-memory state, all sharing **one on-disk artifact cache**.
+
+**Cache-affinity routing.**  Requests are placed with a consistent-hash
+ring (:mod:`repro.server.ring`) keyed by the request's *artifact cache
+key* (salt + source sha + injective spec encoding — exactly the key the
+worker will look up).  Identical requests therefore land on the worker
+whose in-memory state and singleflight table are warm.  Affinity is an
+optimization, never a correctness requirement: the content-addressed
+store is shared, so *any* worker can serve *any* key — a put by worker
+A is a hit for worker B (cross-instance coherence; pinned by tests).
+
+**Zero dropped admitted requests.**  The front door admits a request
+iff the fleet has capacity (``workers x worker_inflight`` executing
+slots plus ``max_queue``); everything else is refused up front with
+``503 + Retry-After``.  Once admitted, a request always ends in a real
+response: forwarding retries across the ring's preference order when a
+worker is draining or unreachable, and waits out transient all-busy
+windows, bounded end-to-end by ``request_timeout_s`` (``504``).
+
+**Rolling restarts.**  ``POST /admin/restart`` drains one worker at a
+time: the member leaves the ring (its keys reroute to ring successors
+with bounded movement), the worker process finishes its inflight
+requests under SIGTERM's graceful-drain contract, a replacement is
+spawned on the same *slot id* and rejoins the ring — re-inheriting the
+same ring segment, whose artifacts are already warm on the shared
+store.  Admitted requests never drop across the whole cycle.
+
+``GET /healthz`` aggregates every worker's health (live ``inflight`` /
+``queue_depth`` per worker plus fleet totals and ring membership);
+``GET /metrics`` merges every worker's registry snapshot with the front
+door's own counters into one ``pymao.trace/1`` metrics event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.batch.cache import (
+    DEFAULT_MAX_BYTES,
+    default_cache_dir,
+    default_salt,
+    source_sha256,
+)
+from repro.server.http import (
+    ProtocolError,
+    Request,
+    Response,
+    error_payload,
+    read_request,
+    read_response,
+    render_json,
+    render_request,
+    render_response,
+)
+from repro.server.ring import DEFAULT_REPLICAS, HashRing
+
+#: Schema tag carried by fleet-level response envelopes (/healthz).
+FLEET_SCHEMA = "pymao.fleet/1"
+
+#: Headers never forwarded between hops (owned per-connection).
+_HOP_HEADERS = ("connection", "content-length", "host", "keep-alive")
+
+
+@dataclass
+class FleetConfig:
+    """Everything a :class:`FleetServer` needs to run."""
+
+    host: str = "127.0.0.1"
+    port: int = 8423                  # 0 = ephemeral (bound port on start)
+    workers: int = 2                  # worker process count
+    worker_backend: str = "thread"    # each worker's pool kind
+    worker_inflight: int = 1          # execution slots per worker
+    worker_queue: int = 64            # per-worker admitted-waiting bound
+    max_queue: int = 64               # front-door queue on top of slots
+    request_timeout_s: float = 120.0  # admission-to-response bound
+    max_body_bytes: int = 8 * 1024 * 1024
+    retry_after_s: float = 1.0        # advisory backoff floor on 503s
+    cache: bool = True
+    cache_dir: Optional[str] = None   # None = default_cache_dir()
+    cache_salt: Optional[str] = None  # None = default_salt()
+    max_cache_bytes: int = DEFAULT_MAX_BYTES
+    ring_replicas: int = DEFAULT_REPLICAS
+    drain_grace_s: float = 60.0
+    worker_start_timeout_s: float = 30.0
+    #: Artificial pre-execution delay per work item inside each worker
+    #: (the server's ``test_delay_s`` hook) — the fleet bench uses it as
+    #: a pinned per-request service floor; never set in production.
+    worker_test_delay_s: float = 0.0
+
+    def capacity(self) -> int:
+        return self.workers * self.worker_inflight + self.max_queue
+
+
+class ForwardError(Exception):
+    """One forward attempt failed at the transport/framing level."""
+
+
+class WorkerSlot:
+    """One fleet slot: a stable ring member id bound to a sequence of
+    worker process generations."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.member = "w%d" % index
+        self.proc: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.generation = 0
+        self.state = "down"            # down | live | draining
+
+    def describe(self) -> Dict[str, Any]:
+        return {"slot": self.index, "member": self.member,
+                "state": self.state, "port": self.port,
+                "generation": self.generation}
+
+
+def _worker_env() -> Dict[str, str]:
+    """The child's environment: whatever ``repro`` tree this process is
+    running from must be importable in the worker."""
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    return env
+
+
+class FleetServer:
+    """The front door: admission + consistent-hash routing over N
+    ``mao serve`` worker subprocesses."""
+
+    def __init__(self, config: FleetConfig, *,
+                 registry: Optional[obs.Registry] = None) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else obs.REGISTRY
+        self.port: Optional[int] = None
+        self.ring = HashRing(replicas=config.ring_replicas)
+        self._slots: List[WorkerSlot] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._draining = False
+        self._drain_requested: Optional[asyncio.Event] = None
+        self._restart_lock: Optional[asyncio.Lock] = None
+        self._admitted = 0
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._idle_writers: Set[asyncio.StreamWriter] = set()
+        self._request_seq = itertools.count(1)
+        #: member -> idle upstream connections [(reader, writer, gen)].
+        self._pools: Dict[str, List[Tuple[asyncio.StreamReader,
+                                          asyncio.StreamWriter, int]]] = {}
+        salt = config.cache_salt or default_salt()
+        self._key_salt = salt.encode("utf-8")
+
+    # -- worker lifecycle ---------------------------------------------------
+
+    def _worker_argv(self) -> List[str]:
+        config = self.config
+        argv = [sys.executable, "-m", "repro.cli", "serve",
+                "--host", "127.0.0.1", "--port", "0",
+                "--parallel-backend", config.worker_backend,
+                "--max-inflight", str(config.worker_inflight),
+                "--max-queue", str(config.worker_queue),
+                "--timeout", "%g" % config.request_timeout_s,
+                "--max-body-bytes", str(config.max_body_bytes)]
+        if config.cache:
+            argv += ["--cache-dir",
+                     config.cache_dir or default_cache_dir()]
+            if config.cache_salt:
+                argv += ["--cache-salt", config.cache_salt]
+        else:
+            argv += ["--no-cache"]
+        if config.worker_test_delay_s:
+            argv += ["--test-delay-s", "%g" % config.worker_test_delay_s]
+        return argv
+
+    def _spawn_worker_sync(self, slot: WorkerSlot) -> None:
+        """Start one worker subprocess and wait for its bound port.
+        Blocking — always called through the loop's executor."""
+        proc = subprocess.Popen(self._worker_argv(),
+                                stdout=subprocess.PIPE, text=True,
+                                env=_worker_env())
+        deadline = time.monotonic() + self.config.worker_start_timeout_s
+        line = ""
+        while time.monotonic() < deadline:
+            line = proc.stdout.readline().strip()
+            break
+        if "listening on" not in line:
+            proc.kill()
+            proc.wait()
+            raise RuntimeError("worker %s failed to start: %r"
+                               % (slot.member, line))
+        slot.proc = proc
+        slot.port = int(line.rsplit(":", 1)[1])
+        slot.generation += 1
+        slot.state = "live"
+
+    def _stop_worker_sync(self, slot: WorkerSlot) -> int:
+        """SIGTERM one worker and wait for its graceful drain."""
+        proc = slot.proc
+        if proc is None:
+            return 0
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=self.config.drain_grace_s)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            code = proc.wait()
+        slot.proc = None
+        slot.port = None
+        slot.state = "down"
+        return code
+
+    def _close_pool(self, member: str) -> None:
+        for _reader, writer, _gen in self._pools.pop(member, []):
+            writer.close()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        config = self.config
+        if config.workers < 1:
+            raise ValueError("fleet needs at least one worker")
+        if config.worker_inflight < 1:
+            raise ValueError("worker_inflight must be >= 1")
+        if config.worker_backend not in ("thread", "process"):
+            raise ValueError("unknown worker backend %r"
+                             % config.worker_backend)
+        self._loop = asyncio.get_running_loop()
+        self._drain_requested = asyncio.Event()
+        self._restart_lock = asyncio.Lock()
+        self._slots = [WorkerSlot(i) for i in range(config.workers)]
+        try:
+            await asyncio.gather(*[
+                self._loop.run_in_executor(None, self._spawn_worker_sync,
+                                           slot)
+                for slot in self._slots])
+        except Exception:
+            for slot in self._slots:
+                if slot.proc is not None:
+                    await self._loop.run_in_executor(
+                        None, self._stop_worker_sync, slot)
+            raise
+        for slot in self._slots:
+            self.ring.add(slot.member)
+        self.registry.gauge("fleet.workers_live", len(self.ring))
+        self._server = await asyncio.start_server(
+            self._handle_conn, config.host, config.port)
+        for sock in self._server.sockets or []:
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                self.port = sock.getsockname()[1]
+                break
+
+    async def run(self, *, install_signals: bool = True,
+                  ready=None) -> None:
+        """Start, serve until drain is requested, then drain."""
+        await self.start()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                self._loop.add_signal_handler(signum, self.request_drain)
+        try:
+            if ready is not None:
+                ready(self)
+            await self._drain_requested.wait()
+        finally:
+            if install_signals:
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    self._loop.remove_signal_handler(signum)
+            await self.drain()
+
+    def request_drain(self) -> None:
+        self._draining = True
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+
+    async def drain(self) -> None:
+        """Stop accepting, finish inflight forwards, stop the workers."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._idle_writers):
+            writer.close()
+        pending = [task for task in self._conn_tasks if not task.done()]
+        if pending:
+            _done, not_done = await asyncio.wait(
+                pending, timeout=self.config.drain_grace_s)
+            for task in not_done:
+                task.cancel()
+            if not_done:
+                await asyncio.gather(*not_done, return_exceptions=True)
+        for slot in self._slots:
+            self.ring.remove(slot.member)
+            self._close_pool(slot.member)
+        await asyncio.gather(*[
+            self._loop.run_in_executor(None, self._stop_worker_sync, slot)
+            for slot in self._slots])
+
+    # -- connection handling (mirrors MaoServer) ----------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._conn_loop(reader, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            self._idle_writers.discard(writer)
+            writer.close()
+
+    async def _conn_loop(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        while True:
+            self._idle_writers.add(writer)
+            try:
+                request = await read_request(
+                    reader, max_body_bytes=self.config.max_body_bytes)
+            except ProtocolError as exc:
+                self.registry.inc("fleet.protocol_errors")
+                writer.write(render_json(
+                    exc.status, error_payload(exc.status, exc.message),
+                    keep_alive=False))
+                await writer.drain()
+                return
+            finally:
+                self._idle_writers.discard(writer)
+            if request is None:
+                return
+            keep_alive = request.keep_alive and not self._draining
+            response = await self._dispatch(request, keep_alive)
+            writer.write(response)
+            await writer.drain()
+            if not keep_alive:
+                return
+
+    # -- routing ------------------------------------------------------------
+
+    async def _dispatch(self, request: Request, keep_alive: bool) -> bytes:
+        rid = request.headers.get("x-request-id") \
+            or "fleet-%06d" % next(self._request_seq)
+        self.registry.inc("fleet.requests")
+        headers = {"X-Request-Id": rid}
+        route = (request.method, request.path)
+        try:
+            if route == ("GET", "/healthz"):
+                payload = await self._fleet_health(rid)
+                return render_json(200, payload, keep_alive=keep_alive,
+                                   headers=headers)
+            if route == ("GET", "/metrics"):
+                payload = await self._fleet_metrics(rid)
+                return render_json(200, payload, keep_alive=keep_alive,
+                                   headers=headers)
+            if route == ("POST", "/admin/restart"):
+                return await self._handle_restart(request, rid,
+                                                  keep_alive, headers)
+            if request.method == "POST" \
+                    and request.path.startswith("/v1/"):
+                return await self._dispatch_work(request, rid, keep_alive,
+                                                 headers)
+            self.registry.inc("fleet.not_found")
+            return render_json(404, error_payload(
+                404, "no route for %s %s" % route, rid),
+                keep_alive=keep_alive, headers=headers)
+        except ProtocolError as exc:
+            return render_json(exc.status,
+                               error_payload(exc.status, exc.message, rid),
+                               keep_alive=keep_alive, headers=headers)
+        except Exception as exc:   # a front-door bug, not a client error
+            self.registry.inc("fleet.errors")
+            return render_json(500, error_payload(
+                500, "internal error: %s: %s" % (type(exc).__name__, exc),
+                rid), keep_alive=keep_alive, headers=headers)
+
+    # -- admission + forwarding ---------------------------------------------
+
+    def routing_key(self, request: Request) -> str:
+        """The consistent-hash key for *request*.
+
+        ``/v1/optimize`` hashes the **artifact cache key** (salt +
+        source sha + injective spec encoding — byte-identical to the
+        key the worker's cache lookup will compute), so routing
+        affinity and cache affinity coincide.  Anything unparsable
+        falls back to a raw body hash; the routed worker answers the
+        400 with the real diagnostics.
+        """
+        if request.path == "/v1/optimize":
+            try:
+                from repro.passes.manager import encode_pass_spec
+                from repro.server.app import MaoServer
+
+                data = json.loads(request.body.decode("utf-8"))
+                source = data.get("source")
+                if isinstance(source, str):
+                    items = MaoServer._parse_spec(data)
+                    digest = hashlib.sha256()
+                    digest.update(self._key_salt)
+                    digest.update(b"\x00")
+                    digest.update(source_sha256(source).encode("ascii"))
+                    digest.update(b"\x00")
+                    digest.update(encode_pass_spec(items).encode("utf-8"))
+                    return "artifact\x00" + digest.hexdigest()
+            except (ProtocolError, ValueError, UnicodeDecodeError,
+                    TypeError, AttributeError):
+                pass
+        body_sha = hashlib.sha256(request.body).hexdigest()
+        return "body\x00%s\x00%s" % (request.path, body_sha)
+
+    def _live_slot(self, member: str) -> Optional[WorkerSlot]:
+        for slot in self._slots:
+            if slot.member == member and slot.state == "live":
+                return slot
+        return None
+
+    async def _dispatch_work(self, request: Request, rid: str,
+                             keep_alive: bool,
+                             headers: Dict[str, str]) -> bytes:
+        config = self.config
+        if self._draining or self._admitted >= config.capacity():
+            self.registry.inc("fleet.rejected")
+            headers = dict(headers)
+            headers["Retry-After"] = "%g" % config.retry_after_s
+            return render_json(503, error_payload(
+                503, "draining" if self._draining else
+                "fleet at capacity (admitted >= %d)" % config.capacity(),
+                rid), keep_alive=keep_alive, headers=headers)
+        self._admitted += 1
+        self.registry.gauge("fleet.admitted", self._admitted)
+        try:
+            try:
+                member, response = await asyncio.wait_for(
+                    self._route_and_forward(request, rid),
+                    timeout=config.request_timeout_s)
+            except asyncio.TimeoutError:
+                self.registry.inc("fleet.timeouts")
+                return render_json(504, error_payload(
+                    504, "request exceeded %.1fs"
+                    % config.request_timeout_s, rid),
+                    keep_alive=keep_alive, headers=headers)
+            out_headers = dict(headers)
+            out_headers["X-Worker"] = member
+            if "retry-after" in response.headers:
+                out_headers["Retry-After"] = response.headers["retry-after"]
+            return render_response(
+                response.status, response.body,
+                content_type=response.headers.get("content-type",
+                                                  "application/json"),
+                keep_alive=keep_alive, headers=out_headers)
+        finally:
+            self._admitted -= 1
+            self.registry.gauge("fleet.admitted", self._admitted)
+
+    async def _route_and_forward(self, request: Request,
+                                 rid: str) -> Tuple[str, Response]:
+        """Forward an *admitted* request until a worker produces a real
+        response.  Retries across the ring's preference order on
+        draining/unreachable workers, and waits out all-busy windows;
+        the caller's ``wait_for`` bounds the whole loop."""
+        key = self.routing_key(request)
+        fwd_headers = {name: value for name, value in
+                       request.headers.items()
+                       if name not in _HOP_HEADERS}
+        fwd_headers["x-request-id"] = rid
+        data = render_request(request.method, request.path, request.body,
+                              headers=fwd_headers, keep_alive=True)
+        first = True
+        while True:
+            if not first:
+                await asyncio.sleep(0.05)
+            first = False
+            busy: Optional[Tuple[str, Response]] = None
+            for member in self.ring.preference(key):
+                slot = self._live_slot(member)
+                if slot is None:
+                    continue
+                try:
+                    response = await self._forward_once(slot, data)
+                except ForwardError:
+                    self.registry.inc("fleet.forward_errors")
+                    continue
+                if response.status == 503:
+                    # Draining worker: reroute now.  Busy worker: note
+                    # it and keep looking — a ring neighbour with free
+                    # slots serves the request (the shared store makes
+                    # any worker correct, affinity is an optimization).
+                    if b'"draining"' in response.body:
+                        self.registry.inc("fleet.rerouted")
+                        continue
+                    busy = (member, response)
+                    continue
+                if member != self.ring.route_or_none(key):
+                    self.registry.inc("fleet.spills")
+                self.registry.inc("fleet.forwarded")
+                return member, response
+            if busy is not None:
+                # Whole fleet at capacity right now: the request is
+                # admitted, so wait for a slot instead of bouncing the
+                # 503 to the client.
+                self.registry.inc("fleet.busy_waits")
+                continue
+            # No live worker at all (mid-restart window): wait for the
+            # replacement to join.
+            self.registry.inc("fleet.no_worker_waits")
+
+    async def _acquire_conn(self, slot: WorkerSlot):
+        pool = self._pools.setdefault(slot.member, [])
+        while pool:
+            reader, writer, generation = pool.pop()
+            if generation == slot.generation and not writer.is_closing():
+                return reader, writer, True
+            writer.close()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", slot.port)
+        except OSError as exc:
+            raise ForwardError("connect to %s: %s" % (slot.member, exc))
+        self.registry.inc("fleet.upstream_connects")
+        return reader, writer, False
+
+    async def _forward_once(self, slot: WorkerSlot,
+                            data: bytes) -> Response:
+        """One request over the worker's keep-alive pool.  A failure on
+        a pooled connection is replayed once on a fresh one (the worker
+        may have closed the idle socket); a fresh-connection failure is
+        the caller's problem (reroute)."""
+        for fresh_retry in (False, True):
+            reader, writer, reused = await self._acquire_conn(slot)
+            generation = slot.generation
+            try:
+                writer.write(data)
+                await writer.drain()
+                response = await read_response(
+                    reader, max_body_bytes=self.config.max_body_bytes)
+            except (ProtocolError, ConnectionError, OSError,
+                    asyncio.IncompleteReadError) as exc:
+                writer.close()
+                if reused and not fresh_retry:
+                    continue
+                raise ForwardError("forward to %s: %s" % (slot.member, exc))
+            if response.keep_alive and slot.state == "live" \
+                    and generation == slot.generation:
+                self._pools.setdefault(slot.member, []).append(
+                    (reader, writer, generation))
+            else:
+                writer.close()
+            return response
+        raise ForwardError("unreachable")   # pragma: no cover
+
+    # -- worker queries (healthz/metrics fan-out) ---------------------------
+
+    async def _query_worker(self, slot: WorkerSlot,
+                            path: str) -> Optional[Dict[str, Any]]:
+        data = render_request("GET", path, keep_alive=True)
+        try:
+            response = await asyncio.wait_for(
+                self._forward_once(slot, data), timeout=10.0)
+            if response.status != 200:
+                return None
+            payload = json.loads(response.body.decode("utf-8"))
+            return payload if isinstance(payload, dict) else None
+        except (ForwardError, asyncio.TimeoutError, ValueError,
+                UnicodeDecodeError):
+            return None
+
+    async def _fleet_health(self, rid: str) -> Dict[str, Any]:
+        from repro import __version__
+
+        live = [slot for slot in self._slots if slot.state == "live"]
+        healths = await asyncio.gather(*[
+            self._query_worker(slot, "/healthz") for slot in live])
+        by_member = {slot.member: health
+                     for slot, health in zip(live, healths)}
+        workers = []
+        inflight = queue_depth = 0
+        degraded = False
+        for slot in self._slots:
+            entry = slot.describe()
+            health = by_member.get(slot.member)
+            entry["health"] = health
+            if slot.state != "live" or health is None:
+                degraded = True
+            else:
+                inflight += int(health.get("inflight", 0))
+                queue_depth += int(health.get("queue_depth", 0))
+            workers.append(entry)
+        status = "draining" if self._draining else (
+            "degraded" if degraded else "ok")
+        return {"schema": FLEET_SCHEMA,
+                "status": status,
+                "version": __version__,
+                "request_id": rid,
+                "workers": workers,
+                "inflight": inflight,
+                "queue_depth": queue_depth,
+                "admitted": self._admitted,
+                "capacity": self.config.capacity(),
+                "ring": self.ring.describe(),
+                "cache": self.config.cache}
+
+    async def _fleet_metrics(self, rid: str) -> Dict[str, Any]:
+        live = [slot for slot in self._slots if slot.state == "live"]
+        snapshots = await asyncio.gather(*[
+            self._query_worker(slot, "/metrics") for slot in live])
+        values = [snap.get("values", {}) for snap in snapshots
+                  if snap is not None]
+        values.append(self.registry.snapshot(collectors=False))
+        event = obs.metrics_event(merge_metric_values(values))
+        event["request_id"] = rid
+        event["workers"] = len(live)
+        return event
+
+    # -- rolling restart ----------------------------------------------------
+
+    async def _handle_restart(self, request: Request, rid: str,
+                              keep_alive: bool,
+                              headers: Dict[str, str]) -> bytes:
+        data: Dict[str, Any] = {}
+        if request.body:
+            parsed = request.json()
+            if not isinstance(parsed, dict):
+                raise ProtocolError(400, "restart body must be a JSON "
+                                         "object")
+            data = parsed
+        target = data.get("worker")
+        if target is None:
+            targets = list(self._slots)          # rolling: all, one by one
+        else:
+            if not isinstance(target, int) \
+                    or not 0 <= target < len(self._slots):
+                raise ProtocolError(400, "field 'worker' must be a slot "
+                                         "index in [0, %d)"
+                                    % len(self._slots))
+            targets = [self._slots[target]]
+        if self._draining:
+            raise ProtocolError(503, "draining")
+        start = time.monotonic()
+        restarted = []
+        async with self._restart_lock:
+            for slot in targets:
+                await self._restart_slot(slot)
+                restarted.append(slot.describe())
+        return render_json(200, {
+            "schema": FLEET_SCHEMA, "request_id": rid,
+            "restarted": restarted,
+            "elapsed_s": round(time.monotonic() - start, 6),
+            "ring": self.ring.describe()},
+            keep_alive=keep_alive, headers=headers)
+
+    async def _restart_slot(self, slot: WorkerSlot) -> None:
+        """Drain one worker while the ring reroutes its keys, then
+        bring up its replacement and re-add it."""
+        self.registry.inc("fleet.restarts")
+        self.ring.remove(slot.member)
+        self.registry.gauge("fleet.workers_live", len(self.ring))
+        slot.state = "draining"
+        self._close_pool(slot.member)
+        await self._loop.run_in_executor(None, self._stop_worker_sync,
+                                         slot)
+        await self._loop.run_in_executor(None, self._spawn_worker_sync,
+                                         slot)
+        self.ring.add(slot.member)
+        self.registry.gauge("fleet.workers_live", len(self.ring))
+
+
+def merge_metric_values(
+        snapshots: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Merge per-worker registry snapshots into one fleet view.
+
+    Counters and gauges are summed (``server.inflight`` across workers
+    *is* the fleet's inflight).  Histogram summary components keep
+    their meaning instead of being summed blindly: ``*.min`` is the
+    min, ``*.max`` the max, and ``*.mean`` is recomputed from the
+    merged ``*.sum`` / ``*.count`` pair when both exist.
+    """
+    merged: Dict[str, float] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                continue
+            if name not in merged:
+                merged[name] = value
+            elif name.endswith(".min"):
+                merged[name] = min(merged[name], value)
+            elif name.endswith(".max"):
+                merged[name] = max(merged[name], value)
+            else:
+                merged[name] += value
+    for name in [n for n in merged if n.endswith(".mean")]:
+        stem = name[:-len(".mean")]
+        count = merged.get(stem + ".count")
+        total = merged.get(stem + ".sum")
+        if count and total is not None:
+            merged[name] = total / count
+    return dict(sorted(merged.items()))
+
+
+class FleetThread:
+    """Run a :class:`FleetServer` on a background thread — the test and
+    bench harness (``with FleetThread(config) as fleet:``)."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self.fleet: Optional[FleetServer] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        fleet = FleetServer(self.config)
+
+        def on_ready(bound: FleetServer) -> None:
+            self.fleet = bound
+            self.port = bound.port
+            self._ready.set()
+
+        await fleet.run(install_signals=False, ready=on_ready)
+
+    def __enter__(self) -> "FleetThread":
+        self._thread.start()
+        self._ready.wait(timeout=120)
+        if self._startup_error is not None:
+            raise RuntimeError("fleet failed to start") \
+                from self._startup_error
+        if self.port is None:
+            raise RuntimeError("fleet did not become ready")
+        return self
+
+    def stop(self) -> None:
+        if (self._loop is not None and self.fleet is not None
+                and not self._loop.is_closed()):
+            try:
+                self._loop.call_soon_threadsafe(self.fleet.request_drain)
+            except RuntimeError:
+                pass
+        self._thread.join(timeout=120)
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -22,10 +22,21 @@ functions.  They follow the ``repro.batch`` worker contract:
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional, Tuple
 
 #: Cache construction parameters as they ride inside a worker payload.
 CacheSpec = Optional[Tuple[str, str, int]]   # (root, salt, max_bytes)
+
+#: One long-lived handle per (root, salt, max_bytes) per process.  A
+#: fresh :class:`~repro.batch.cache.ArtifactCache` seeds its running
+#: size estimate with a full store walk on its first ``put``; a fleet
+#: worker serving thousands of requests must pay that walk once per
+#: process, not once per request.  Sharing a handle across pool threads
+#: is safe: publication is atomic on disk, and the estimate is advisory
+#: (a race at worst triggers an early eviction sweep, which resyncs it).
+_CACHE_HANDLES: Dict[Tuple[str, str, int], Any] = {}
+_CACHE_HANDLES_LOCK = threading.Lock()
 
 
 def _open_cache(cache_spec: CacheSpec):
@@ -34,7 +45,13 @@ def _open_cache(cache_spec: CacheSpec):
     from repro.batch.cache import ArtifactCache
 
     root, salt, max_bytes = cache_spec
-    return ArtifactCache(root, salt=salt, max_bytes=max_bytes)
+    key = (root, salt, max_bytes)
+    with _CACHE_HANDLES_LOCK:
+        cache = _CACHE_HANDLES.get(key)
+        if cache is None:
+            cache = _CACHE_HANDLES[key] = ArtifactCache(
+                root, salt=salt, max_bytes=max_bytes)
+    return cache
 
 
 def optimize_worker(payload: Dict[str, Any]) -> Dict[str, Any]:

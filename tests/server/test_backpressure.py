@@ -106,7 +106,13 @@ class TestBackpressure:
                     health = client.healthz()
                     assert health["status"] == "ok"
                     assert health["inflight"] == 1
-                    assert client.metrics()["type"] == "metrics"
+                    assert health["queue_depth"] == 0
+                    metrics = client.metrics()
+                    assert metrics["type"] == "metrics"
+                    # The registry gauges mirror the live admission
+                    # numbers — the fleet's merged /metrics sums these.
+                    assert metrics["values"]["server.inflight"] == 1
+                    assert metrics["values"]["server.queue_depth"] == 0
             finally:
                 blocker.join()
 

@@ -84,6 +84,101 @@ class ScriptedServer:
         self._thread.join(timeout=5)
 
 
+def canned_keepalive(payload):
+    body = json.dumps(payload).encode()
+    return ("HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            "Content-Length: %d\r\nConnection: keep-alive\r\n\r\n"
+            % len(body)).encode() + body
+
+
+class KeepAliveServer:
+    """Serve keep-alive responses, ``per_conn`` per accepted connection,
+    counting accepts — the fake that pins connection reuse."""
+
+    def __init__(self, per_conn=10 ** 9):
+        self.per_conn = per_conn
+        self.accepts = 0
+        self.requests = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _read_request(self, conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return False
+            data += chunk
+        head, body = data.split(b"\r\n\r\n", 1)
+        length = 0
+        for line in head.decode("latin-1").split("\r\n")[1:]:
+            if line.lower().startswith("content-length:"):
+                length = int(line.split(":", 1)[1])
+        while len(body) < length:
+            body += conn.recv(65536)
+        return True
+
+    def _run(self):
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            self.accepts += 1
+            try:
+                conn.settimeout(10)
+                for _ in range(self.per_conn):
+                    if not self._read_request(conn):
+                        break
+                    self.requests += 1
+                    conn.sendall(canned_keepalive({"ok": True}))
+            except OSError:
+                pass
+            finally:
+                conn.close()
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._sock.close()
+        self._thread.join(timeout=5)
+
+
+class TestKeepAlive:
+    def test_sequential_requests_share_one_connection(self):
+        with KeepAliveServer() as server:
+            with Client(port=server.port, retries=0) as client:
+                for _ in range(5):
+                    assert client.request("GET", "/healthz") \
+                        == {"ok": True}
+        assert server.accepts == 1
+        assert server.requests == 5
+        assert client.connects == 1
+        assert client.stale_replays == 0
+
+    def test_stale_keepalive_is_replayed_free_of_retry_budget(self):
+        """The server closes each connection after one response (what a
+        draining fleet worker does to idle sockets).  With retries=0 the
+        next request still succeeds: a failure on a reused connection is
+        replayed once on a fresh one without touching the budget."""
+        with KeepAliveServer(per_conn=1) as server:
+            with Client(port=server.port, retries=0,
+                        backoff_s=0.01) as client:
+                for _ in range(3):
+                    assert client.request("GET", "/healthz") \
+                        == {"ok": True}
+        assert server.accepts == 3
+        assert client.connects == 3
+        assert client.stale_replays == 2
+        assert client.retries_on_transport == 0
+
+
 class TestRetries:
     def test_retries_503_until_success(self):
         script = [canned(503, {"error": "busy", "status": 503},

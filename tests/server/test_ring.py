@@ -1,0 +1,147 @@
+"""The consistent-hash ring: the three properties the fleet leans on —
+cross-process determinism, routing affinity, and bounded key movement
+on membership change."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.ring import DEFAULT_REPLICAS, HashRing, hash_key
+
+KEYS = ["key-%03d" % i for i in range(200)]
+
+
+class TestDeterminism:
+    def test_route_is_stable_within_a_process(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in KEYS:
+            assert ring.route(key) == ring.route(key)
+
+    @pytest.mark.parametrize("hashseed", ["0", "31337"])
+    def test_route_agrees_across_processes(self, hashseed):
+        """A fresh interpreter with a different PYTHONHASHSEED routes
+        every key identically — placement never depends on hash()."""
+        script = (
+            "import json, sys\n"
+            "from repro.server.ring import HashRing\n"
+            "ring = HashRing(['w0', 'w1', 'w2', 'w3'])\n"
+            "keys = ['key-%03d' % i for i in range(200)]\n"
+            "json.dump({k: ring.route(k) for k in keys}, sys.stdout)\n")
+        import repro
+        src = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": hashseed})
+        remote = json.loads(out.stdout)
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        assert remote == {key: ring.route(key) for key in KEYS}
+
+    def test_membership_order_is_irrelevant(self):
+        forward = HashRing(["w0", "w1", "w2", "w3"])
+        backward = HashRing(["w3", "w2", "w1", "w0"])
+        for key in KEYS:
+            assert forward.route(key) == backward.route(key)
+
+    def test_hash_key_is_64bit_and_deterministic(self):
+        assert hash_key("a") == hash_key("a")
+        assert hash_key("a") != hash_key("b")
+        assert 0 <= hash_key("anything") < 2 ** 64
+
+
+members_strategy = st.integers(min_value=2, max_value=8).map(
+    lambda n: ["w%d" % i for i in range(n)])
+keys_strategy = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=50)
+
+
+class TestBoundedMovement:
+    @settings(max_examples=50, deadline=None)
+    @given(members=members_strategy, keys=keys_strategy,
+           data=st.data())
+    def test_remove_only_reassigns_the_removed_members_keys(
+            self, members, keys, data):
+        ring = HashRing(members)
+        before = {key: ring.route(key) for key in keys}
+        victim = data.draw(st.sampled_from(members))
+        ring.remove(victim)
+        for key in keys:
+            after = ring.route(key)
+            if before[key] != victim:
+                # Keys never shuffle between survivors.
+                assert after == before[key]
+            else:
+                assert after != victim
+
+    @settings(max_examples=50, deadline=None)
+    @given(members=members_strategy, keys=keys_strategy)
+    def test_add_only_steals_keys_for_the_new_member(
+            self, members, keys):
+        ring = HashRing(members)
+        before = {key: ring.route(key) for key in keys}
+        ring.add("w-new")
+        for key in keys:
+            after = ring.route(key)
+            assert after == before[key] or after == "w-new"
+
+    @settings(max_examples=30, deadline=None)
+    @given(members=members_strategy, keys=keys_strategy,
+           data=st.data())
+    def test_remove_then_readd_restores_placement(self, members, keys,
+                                                  data):
+        """The fleet's rolling restart: the replacement worker keeps
+        the slot id, so it re-inherits exactly its old ring segment."""
+        ring = HashRing(members)
+        before = {key: ring.route(key) for key in keys}
+        victim = data.draw(st.sampled_from(members))
+        ring.remove(victim)
+        ring.add(victim)
+        assert before == {key: ring.route(key) for key in keys}
+
+
+class TestPreference:
+    def test_preference_starts_at_the_owner(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in KEYS[:50]:
+            order = ring.preference(key)
+            assert order[0] == ring.route(key)
+            assert sorted(order) == ["w0", "w1", "w2"]
+
+    def test_preference_on_empty_ring_is_empty(self):
+        assert HashRing().preference("k") == []
+
+
+class TestEdges:
+    def test_empty_ring_raises_lookup_error(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.route("k")
+        assert ring.route_or_none("k") is None
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(["w0"])
+        ring.add("w0")
+        assert len(ring) == 1
+        assert ring.describe()["points"] == DEFAULT_REPLICAS
+        ring.remove("absent")
+        ring.remove("w0")
+        ring.remove("w0")
+        assert len(ring) == 0
+
+    def test_load_is_roughly_balanced(self):
+        ring = HashRing(["w%d" % i for i in range(4)])
+        counts = {}
+        for i in range(4000):
+            counts[ring.route("key-%d" % i)] = \
+                counts.get(ring.route("key-%d" % i), 0) + 1
+        assert len(counts) == 4
+        # 128 vnodes/member keeps skew loose but real: no member owns
+        # more than half or less than a tenth of a uniform keyspace.
+        assert max(counts.values()) < 2000
+        assert min(counts.values()) > 400
