@@ -2,7 +2,8 @@ PYTHON ?= python
 
 .PHONY: test bench bench-quick bench-suite bench-batch-smoke \
 	bench-predict-smoke perf-report trace-smoke server-smoke \
-	bench-server-smoke fleet-smoke bench-fleet-smoke clean
+	bench-server-smoke fleet-smoke bench-fleet-smoke tune-smoke \
+	bench-tune-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -14,6 +15,7 @@ bench:
 	$(PYTHON) benchmarks/bench_server.py
 	$(PYTHON) benchmarks/bench_server.py --fleet 1,2,4
 	$(PYTHON) benchmarks/bench_predict.py
+	$(PYTHON) benchmarks/bench_tune.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
@@ -41,6 +43,21 @@ bench-predict-smoke:
 	$(PYTHON) benchmarks/bench_predict.py --quick \
 		-o /tmp/pymao_bench_predict.json
 	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_predict.json
+
+# Autotuner CLI smoke: a cold `mao tune` whose winner must beat (or
+# tie) the default spec on predicted cycles, then a warm re-tune that
+# must replay every pipeline prefix from the artifact cache with zero
+# pass executions and an identical winner.
+tune-smoke:
+	$(PYTHON) scripts/tune_smoke.py
+
+# Autotuner bench smoke: tuned-never-worse + >=3x fewer pass runs than
+# exhaustive enumeration + zero-execution warm replay, on the --quick
+# kernel matrix; the report gate re-checks the recorded JSON.
+bench-tune-smoke:
+	$(PYTHON) benchmarks/bench_tune.py --quick \
+		-o /tmp/pymao_bench_tune.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_tune.json
 
 # Service lifecycle smoke: start `mao serve` on an ephemeral port, one
 # optimize + one metrics scrape through repro.server.client, SIGTERM,

@@ -5,9 +5,11 @@ The full lifecycle in under a minute, against a real ``mao fleet``
 subprocess (front door + 2 workers on ephemeral ports):
 
 1. mixed requests through ``mao remote``-level clients (optimize,
-   simulate, healthz, metrics) — every optimize response must carry the
-   worker's answer, and an identical re-request must be a cache *hit*
-   served by the same affinity routing;
+   simulate, tune, healthz, metrics) — every optimize response must
+   carry the worker's answer, an identical re-request must be a cache
+   *hit* served by the same affinity routing, and a re-tune of the same
+   input must land on the same worker and replay every pipeline prefix
+   from the shared store with zero pass executions;
 2. a **rolling restart** (``POST /admin/restart``) fired mid-stream
    while clients with a **zero retry budget** keep sending — the
    zero-dropped-admitted-requests contract means not one of them may
@@ -65,12 +67,12 @@ def start_fleet(cache_dir):
     return proc, int(address.rsplit(":", 1)[1])
 
 
-def optimize_with_worker(port, body):
-    """One optimize via http.client so the X-Worker routing header is
+def post_with_worker(port, path, body):
+    """One POST via http.client so the X-Worker routing header is
     visible alongside the payload."""
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
     try:
-        conn.request("POST", "/v1/optimize", body=json.dumps(body).encode(),
+        conn.request("POST", path, body=json.dumps(body).encode(),
                      headers={"Content-Type": "application/json"})
         response = conn.getresponse()
         payload = json.loads(response.read().decode())
@@ -78,6 +80,10 @@ def optimize_with_worker(port, body):
         return response.getheader("X-Worker"), payload
     finally:
         conn.close()
+
+
+def optimize_with_worker(port, body):
+    return post_with_worker(port, "/v1/optimize", body)
 
 
 def main() -> int:
@@ -107,6 +113,21 @@ def main() -> int:
                 assert "fleet.forwarded" in metrics["values"], metrics
                 assert "server.requests" in metrics["values"], metrics
             print("simulate + healthz + merged metrics: ok")
+
+            # -- 1b. tune: input-digest routing + warm prefix replay ----
+            tune_body = {"workload": "fig4_loop", "core": "core2"}
+            tuner_a, cold = post_with_worker(port, "/v1/tune", tune_body)
+            tuner_b, warm = post_with_worker(port, "/v1/tune", tune_body)
+            assert tuner_a == tuner_b, (tuner_a, tuner_b)
+            assert cold["tune"]["winner"]["cycles"] \
+                <= cold["tune"]["leaderboard"][0]["cycles"], cold["tune"]
+            assert warm["tune"]["pass_runs"]["executed"] == 0, \
+                warm["tune"]["pass_runs"]
+            assert warm["tune"]["winner"] == cold["tune"]["winner"], \
+                "warm re-tune changed the winner"
+            print("tune: ok (affinity %s, warm re-tune replayed %d "
+                  "prefixes with 0 executions)"
+                  % (tuner_a, warm["tune"]["pass_runs"]["cache_hits"]))
 
             # -- 2. rolling restart under load, zero retry budget -------
             failures = []

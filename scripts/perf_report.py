@@ -33,7 +33,15 @@ field:
   cross-validated against trace simulation on every kernel x {core2,
   opteron}: per-config predicted-over-simulated ratios inside pinned
   bands, candidate-ranking agreement >= the pinned threshold, and
-  prediction >= 100x faster than simulation.
+  prediction >= 100x faster than simulation;
+* ``BENCH_tune.json`` (``mao-bench-tune/1``) from
+  ``benchmarks/bench_tune.py`` — the pass-pipeline autotuner vs the
+  hand-written default spec on the kernel corpus x {core2, opteron}:
+  the tuned spec never predicted worse than ``REDTEST:LOOP16``,
+  prefix-artifact caching + early stopping >= 3x fewer pass executions
+  than exhaustive enumeration of the generated candidate set, and warm
+  re-tunes replaying entirely from the shared store (zero executions,
+  identical winner).
 
 Handlers self-register: decorating a class with
 ``@register("mao-bench-X/1")`` adds its ``render(results)`` /
@@ -67,7 +75,8 @@ import sys
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
                   "BENCH_batch.json", "BENCH_server.json",
-                  "BENCH_fleet.json", "BENCH_predict.json")
+                  "BENCH_fleet.json", "BENCH_predict.json",
+                  "BENCH_tune.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
@@ -513,6 +522,74 @@ class PredictReport:
         if speedup is None or speedup < required:
             failures.append("prediction speedup %sx < required %.0fx"
                             % (speedup, required))
+        return failures
+
+
+TUNE_MIN_EFFICIENCY = 3.0
+
+
+@register("mao-bench-tune/1")
+class TuneReport:
+    """Pass-pipeline autotuner vs the hand-written default spec."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("autotuner benchmark (%s)" % results.get("schema", "?"))
+        _row("cores", ", ".join(config.get("cores", ())))
+        _row("default spec", config.get("default_spec", "?"))
+        print("tuned vs default (predicted cycles/iteration):")
+        for entry in results.get("rows", ()):
+            cold = entry.get("cold", {})
+            warm = entry.get("warm", {})
+            _row("%s/%s" % (entry["kernel"], entry["core"]),
+                 "default %6.2f tuned %6.2f %-28s runs %d/%d warm %d "
+                 "stop=%s %s"
+                 % (entry["default_cycles"], entry["tuned_cycles"],
+                    entry.get("winner_spec") or "<none>",
+                    cold.get("executed", 0), cold.get("naive_steps", 0),
+                    warm.get("executed", 0), entry.get("stop"),
+                    "ok" if entry.get("never_worse") else "WORSE"))
+        totals = results.get("totals", {})
+        if totals:
+            _row("pass executions", "%d for %d naive steps"
+                 % (totals.get("executed", 0),
+                    totals.get("naive_steps", 0)))
+            _row("search efficiency", "%.2fx (>= %.1fx required)"
+                 % (totals.get("efficiency", 0.0),
+                    totals.get("min_efficiency", TUNE_MIN_EFFICIENCY)))
+            _row("warm replay", "zero runs: %s, identical winners: %s"
+                 % (totals.get("warm_zero_runs"),
+                    totals.get("warm_winners_identical")))
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        rows = results.get("rows") or []
+        if not rows:
+            failures.append("missing per-kernel tune rows")
+        for entry in rows:
+            if not entry.get("never_worse"):
+                failures.append(
+                    "%s/%s: tuned %.2f cycles worse than default %.2f"
+                    % (entry["kernel"], entry["core"],
+                       entry["tuned_cycles"], entry["default_cycles"]))
+            if (entry.get("warm") or {}).get("executed", 1) != 0:
+                failures.append(
+                    "%s/%s: warm re-tune executed %d pass runs "
+                    "(expected 0)"
+                    % (entry["kernel"], entry["core"],
+                       entry["warm"]["executed"]))
+            if not entry.get("warm_winner_identical"):
+                failures.append("%s/%s: warm re-tune changed the winner"
+                                % (entry["kernel"], entry["core"]))
+        totals = results.get("totals") or {}
+        required = max(min_speedup,
+                       totals.get("min_efficiency", TUNE_MIN_EFFICIENCY))
+        efficiency = totals.get("efficiency")
+        if efficiency is None or efficiency < required:
+            failures.append("search efficiency %sx < required %.1fx"
+                            % (efficiency, required))
         return failures
 
 

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI smoke for `mao tune`: the full verb in a few seconds.
+
+Runs the real CLI twice against one artifact cache directory:
+
+1. a cold ``mao tune fig4_loop --json`` — the winner's predicted
+   cycles must be <= the default ``REDTEST:LOOP16`` spec's (the default
+   is always a seed candidate, so the tuner can never lose to it);
+2. a warm re-tune of the same input — it must execute **zero** pass
+   runs (every pipeline prefix replayed from the artifact store) and
+   return the byte-identical document.
+
+Run via ``make tune-smoke``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import api  # noqa: E402
+from repro.tune import DEFAULT_SPEC  # noqa: E402
+from repro.workloads import kernels  # noqa: E402
+
+KERNEL = "fig4_loop"
+CORE = "core2"
+
+
+def run_cli(cache_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "tune", KERNEL,
+         "--core", CORE, "--cache-dir", cache_dir, "--json"],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        print("FAIL: mao tune exited %d:\n%s" % (proc.returncode,
+                                                 proc.stderr),
+              file=sys.stderr)
+        sys.exit(1)
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    source = getattr(kernels, KERNEL)()
+    default = api.predict(api.optimize(source, DEFAULT_SPEC).unit,
+                          CORE).cycles
+
+    with tempfile.TemporaryDirectory(prefix="pymao-tune-smoke-") as work:
+        cache_dir = os.path.join(work, "cache")
+        cold = run_cli(cache_dir)
+        assert cold["schema"] == "pymao.tune/1", cold["schema"]
+        tuned = cold["winner"]["cycles"]
+        if tuned > default + 1e-9:
+            print("FAIL: tuned %.2f cycles worse than default %.2f"
+                  % (tuned, default), file=sys.stderr)
+            return 1
+        print("cold tune: ok (winner %s %.2f <= default %.2f cycles, "
+              "%d pass runs, stop=%s)"
+              % (cold["winner"]["spec"] or "<none>", tuned, default,
+                 cold["pass_runs"]["executed"],
+                 cold["early_stop"]["reason"]))
+
+        warm = run_cli(cache_dir)
+        if warm["pass_runs"]["executed"] != 0:
+            print("FAIL: warm re-tune executed %d pass runs, expected 0"
+                  % warm["pass_runs"]["executed"], file=sys.stderr)
+            return 1
+        if warm["winner"] != cold["winner"]:
+            print("FAIL: warm re-tune changed the winner", file=sys.stderr)
+            return 1
+        print("warm tune: ok (0 executions, %d prefixes replayed, "
+              "identical winner)" % warm["pass_runs"]["cache_hits"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ through :mod:`repro.obs`:
 
 * :func:`optimize` — parse (if needed) and run a pass pipeline::
 
-      result = api.optimize(src, "REDTEST:LOOP16", jobs=4)
+      result = api.optimize(source, "REDTEST:LOOP16", jobs=4)
       result.unit, result.pipeline, result.parse_s, result.passes_s
 
 * :func:`simulate` — execute + time a program on a processor model::
@@ -19,8 +19,14 @@ through :mod:`repro.obs`:
 * :func:`predict` — the analytical fast path: statically predict
   steady-state cycles-per-iteration (no execution)::
 
-      p = api.predict(src, "core2")
+      p = api.predict(source, "core2")
       p.cycles, p.bottleneck, p.to_dict()   # pymao.predict/1
+
+* :func:`tune` — search the pass-spec space for the best pipeline on a
+  core, sharing prefix artifacts through the persistent cache::
+
+      t = api.tune("hash_bench", "core2", budget=32)
+      t.winner_spec, t.leaderboard, t.to_dict()   # pymao.tune/1
 
 * :func:`optimize_many` — a whole corpus in one call, sharded across
   workers, with a persistent content-addressed artifact cache so warm
@@ -33,24 +39,38 @@ through :mod:`repro.obs`:
 * :func:`verify` — the paper's §III.A disassemble-and-compare check
   over a source or an :class:`OptimizeResult`::
 
-      api.verify(src).identical                 # O1 vs O2 on the source
-      api.verify(api.optimize(src, "LFIND"))    # O1 vs the result's asm
+      api.verify(source).identical              # O1 vs O2 on the source
+      api.verify(api.optimize(source, "LFIND")) # O1 vs the result's asm
 
-The network entry point is :mod:`repro.server` (``mao serve``), which
-exposes ``optimize``/``optimize_many``/``simulate`` as ``/v1/*``
-endpoints behind admission control and the shared artifact cache.
+One input convention everywhere (:func:`_resolve_source`): the first
+parameter of every entry point is ``source`` and accepts assembly text,
+a parsed :class:`~repro.ir.MaoUnit`, or the *name* of a workload kernel
+from :mod:`repro.workloads.kernels` (``api.predict("hash_bench",
+"core2")``); ``workload=`` additionally accepts a kernel name or any
+callable returning source, with ``source`` left ``None``.  The old
+per-function first-parameter keywords (``src=``, ``src_or_unit=``,
+``src_or_result=``) keep working behind ``DeprecationWarning`` shims.
 
-Models may be passed as :class:`~repro.uarch.model.ProcessorModel`
-instances or by profile name (``"core2"``, ``"opteron"``,
-``"pentium4"``).  A workload kernel from :mod:`repro.workloads.kernels`
-can be named instead of source text: ``api.simulate(None, "core2",
-workload="hash_bench")``.
+One model convention everywhere: ``core=`` takes a
+:class:`~repro.uarch.model.ProcessorModel` instance or a profile name
+(``"core2"``, ``"opteron"``, ``"pentium4"``).
+
+Every result object implements the :class:`repro.result.ApiResult`
+contract — a versioned, deterministic ``to_dict(timings=False)`` plus
+``from_dict`` — and registers its schema so ``mao --version`` can list
+the full wire surface.
+
+The network entry point is :mod:`repro.server` (``mao serve`` /
+``mao fleet``), which exposes ``optimize``/``optimize_many``/
+``simulate``/``predict``/``tune`` as ``/v1/*`` endpoints behind
+admission control and the shared artifact cache.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, ClassVar, Dict, List, Optional, Tuple, Union
 
 import repro.passes  # noqa: F401  (registers all built-in passes)
 from repro import obs
@@ -60,6 +80,7 @@ from repro.passes.manager import (
     PipelineResult,
     parse_pass_spec,
 )
+from repro.result import ApiResult
 from repro.sim.interp import RunResult
 from repro.sim.loader import load_unit
 from repro.uarch import profiles
@@ -68,48 +89,92 @@ from repro.uarch.pipeline import SimStats, simulate_program
 
 SpecItems = List[Tuple[str, Dict[str, Any]]]
 
+#: Schema of :meth:`OptimizeResult.to_dict`.
+OPTIMIZE_SCHEMA = "pymao.optimize/1"
 
-@dataclass
-class OptimizeResult:
-    """Outcome of one :func:`optimize` call."""
-
-    unit: MaoUnit
-    pipeline: PipelineResult
-    parse_s: float
-    passes_s: float
-
-    @property
-    def reports(self):
-        return self.pipeline.reports
-
-    def stats_for(self, pass_name: str) -> Dict[str, int]:
-        return self.pipeline.stats_for(pass_name)
-
-    def to_asm(self) -> str:
-        return self.unit.to_asm()
+#: Schema of :meth:`SimResult.to_dict`.
+SIM_SCHEMA = "pymao.sim/1"
 
 
-@dataclass
-class SimResult:
-    """Outcome of one :func:`simulate` call."""
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
 
-    result: RunResult
-    stats: SimStats
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
 
-    @property
-    def cycles(self) -> int:
-        return self.stats.cycles
+    def __bool__(self) -> bool:
+        return False
 
-    @property
-    def counters(self) -> Dict[str, int]:
-        return self.stats.counters
 
-    @property
-    def steps(self) -> int:
-        return self.result.steps
+_UNSET = _Unset()
 
-    def __getitem__(self, counter_name: str) -> int:
-        return self.stats[counter_name]
+
+def _merge_renamed(new: Any, old: Any, old_name: str) -> Any:
+    """Fold a deprecated first-parameter keyword into ``source``.
+
+    Returns the effective value; warns when the old keyword is used and
+    rejects calls that set both.
+    """
+    if old is _UNSET:
+        return None if new is _UNSET else new
+    warnings.warn("%s= is deprecated; pass source= (or positionally)"
+                  % old_name, DeprecationWarning, stacklevel=3)
+    if new is not _UNSET and new is not None:
+        raise TypeError("got values for both source and the deprecated "
+                        "%s= keyword" % old_name)
+    return old
+
+
+def _resolve_source(source: Union[None, str, MaoUnit], *,
+                    workload: Union[None, str, Any] = None
+                    ) -> Union[str, MaoUnit]:
+    """The one input convention: text, a parsed unit, or a kernel name.
+
+    * a :class:`MaoUnit` passes through untouched;
+    * a string that names a public factory in
+      :mod:`repro.workloads.kernels` (a bare identifier such as
+      ``"hash_bench"`` — real assembly always contains whitespace or
+      punctuation) is expanded to that kernel's source;
+    * any other string is assembly source text;
+    * ``workload=`` names a kernel (or is a callable returning source)
+      with ``source`` left ``None``.
+    """
+    if workload is not None:
+        if source is not None:
+            raise ValueError("pass either source or workload=, not both")
+        if callable(workload):
+            return workload()
+        return _kernel_source(str(workload), strict=True)
+    if source is None:
+        raise ValueError(
+            "need source text, a MaoUnit, a kernel name, or workload=")
+    if isinstance(source, MaoUnit):
+        return source
+    if not isinstance(source, str):
+        raise TypeError("source must be str or MaoUnit, not %s"
+                        % type(source).__name__)
+    if source.isidentifier() and not source.startswith("_"):
+        expanded = _kernel_source(source, strict=False)
+        if expanded is not None:
+            return expanded
+    return source
+
+
+def _kernel_source(name: str, *, strict: bool) -> Optional[str]:
+    """Source text of the named workload kernel, if it is one."""
+    from repro.workloads import kernels
+
+    factory = getattr(kernels, name, None)
+    if (callable(factory)
+            and getattr(factory, "__module__", None) == kernels.__name__):
+        return factory()
+    if strict:
+        raise ValueError("unknown workload kernel %r" % (name,))
+    return None
+
+
+def _source_text(resolved: Union[str, MaoUnit]) -> str:
+    return resolved.to_asm() if isinstance(resolved, MaoUnit) else resolved
 
 
 def _resolve_model(core: Union[str, ProcessorModel]) -> ProcessorModel:
@@ -131,24 +196,155 @@ def _resolve_spec(spec: Union[None, str, SpecItems]) -> SpecItems:
     return list(spec)
 
 
-def optimize(src: Union[str, MaoUnit],
+def _resolve_cache(cache: Union[bool, Any],
+                   cache_dir: Optional[str] = None,
+                   cache_salt: Optional[str] = None,
+                   max_cache_bytes: Optional[int] = None):
+    """The shared cache convention of :func:`optimize_many` / :func:`tune`.
+
+    ``True`` opens the persistent artifact cache at *cache_dir*
+    (``$PYMAO_CACHE_DIR``, else ``~/.cache/pymao``); ``False``/``None``
+    disables caching; an :class:`repro.batch.ArtifactCache` instance is
+    used as-is.
+    """
+    from repro import batch as _batch
+
+    if isinstance(cache, _batch.ArtifactCache):
+        return cache
+    if not cache:
+        return None
+    kwargs: Dict[str, Any] = {}
+    if cache_salt is not None:
+        kwargs["salt"] = cache_salt
+    if max_cache_bytes is not None:
+        kwargs["max_bytes"] = max_cache_bytes
+    return _batch.ArtifactCache(
+        cache_dir or _batch.default_cache_dir(), **kwargs)
+
+
+@dataclass
+class OptimizeResult(ApiResult):
+    """Outcome of one :func:`optimize` call."""
+
+    SCHEMA: ClassVar[str] = OPTIMIZE_SCHEMA
+
+    unit: MaoUnit
+    pipeline: PipelineResult
+    parse_s: float
+    passes_s: float
+
+    @property
+    def reports(self):
+        return self.pipeline.reports
+
+    def stats_for(self, pass_name: str) -> Dict[str, int]:
+        return self.pipeline.stats_for(pass_name)
+
+    def to_asm(self) -> str:
+        return self.unit.to_asm()
+
+    def to_dict(self, timings: bool = False) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"schema": OPTIMIZE_SCHEMA,
+                               "asm": self.unit.to_asm(),
+                               "pipeline": self.pipeline.to_dict()}
+        if timings:
+            doc["timings"] = {"parse_s": round(self.parse_s, 6),
+                              "passes_s": round(self.passes_s, 6)}
+        return doc
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "OptimizeResult":
+        cls.check_schema(data)
+        timing = data.get("timings") or {}
+        return cls(unit=parse_unit(data["asm"]),
+                   pipeline=PipelineResult.from_dict(data["pipeline"]),
+                   parse_s=float(timing.get("parse_s", 0.0)),
+                   passes_s=float(timing.get("passes_s", 0.0)))
+
+
+@dataclass
+class SimResult(ApiResult):
+    """Outcome of one :func:`simulate` call.
+
+    ``result`` is the live machine outcome; a :meth:`from_dict`
+    reconstruction has ``result=None`` and answers ``steps`` /
+    ``reason`` / ``cycles`` / ``counters`` from the document alone.
+    """
+
+    SCHEMA: ClassVar[str] = SIM_SCHEMA
+
+    result: Optional[RunResult]
+    stats: SimStats
+    _steps: int = 0
+    _reason: str = ""
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return self.stats.counters
+
+    @property
+    def steps(self) -> int:
+        return self.result.steps if self.result is not None else self._steps
+
+    @property
+    def reason(self) -> str:
+        return self.result.reason if self.result is not None else self._reason
+
+    def __getitem__(self, counter_name: str) -> int:
+        return self.stats[counter_name]
+
+    def to_dict(self, timings: bool = False) -> Dict[str, Any]:
+        # Simulated time is deterministic; there are no wall-clock
+        # fields, so ``timings`` changes nothing here.
+        return {"schema": SIM_SCHEMA,
+                "model": self.stats.model_name,
+                "cycles": self.stats.cycles,
+                "steps": self.steps,
+                "reason": self.reason,
+                "ipc": round(self.stats.ipc(), 6),
+                "counters": {name: self.stats.counters[name]
+                             for name in sorted(self.stats.counters)}}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        cls.check_schema(data)
+        stats = SimStats(model_name=str(data.get("model", "")),
+                         counters=dict(data.get("counters") or {}))
+        return cls(result=None, stats=stats,
+                   _steps=int(data.get("steps", 0)),
+                   _reason=str(data.get("reason", "")))
+
+
+def optimize(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
              spec: Union[None, str, SpecItems] = None, *,
              jobs: int = 1,
              parallel_backend: str = "thread",
-             filename: str = "<string>") -> OptimizeResult:
-    """Parse *src* (source text or an already-built unit) and run *spec*
-    (a ``--mao=`` string or ``(name, options)`` items) over it."""
+             filename: str = "<string>",
+             workload: Union[None, str, Any] = None,
+             src: Any = _UNSET) -> OptimizeResult:
+    """Parse *source* (text, a unit, or a kernel name) and run *spec*
+    (a ``--mao=`` string or ``(name, options)`` items) over it.
+
+    ``src=`` is the deprecated spelling of ``source=``.
+    """
     import time
 
+    source = _merge_renamed(source, src, "src")
+    resolved = _resolve_source(source, workload=workload)
     with obs.span("optimize", jobs=jobs,
                   parallel_backend=parallel_backend) as root:
-        if isinstance(src, MaoUnit):
-            unit = src
+        if isinstance(resolved, MaoUnit):
+            unit = resolved
             parse_s = 0.0
         else:
-            with obs.span("parse", filename=filename, bytes=len(src)) as sp:
+            with obs.span("parse", filename=filename,
+                          bytes=len(resolved)) as sp:
                 start = time.perf_counter()
-                unit = parse_unit(src, filename=filename)
+                unit = parse_unit(resolved, filename=filename)
                 parse_s = time.perf_counter() - start
                 if sp:
                     sp.attach(entries=sum(1 for _ in unit.entries()),
@@ -181,11 +377,11 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
     ``pymao.batch/1`` summary, in input order regardless of completion
     order.
 
-    Caching: ``cache=True`` (default) opens the persistent artifact
-    cache at *cache_dir* (``$PYMAO_CACHE_DIR``, else
-    ``~/.cache/pymao``); ``cache=False`` disables it; an
-    :class:`repro.batch.ArtifactCache` instance is used as-is.
-    *cache_salt* / *max_cache_bytes* tune a cache built here.
+    Caching follows :func:`_resolve_cache`: ``cache=True`` (default)
+    opens the persistent artifact cache at *cache_dir*
+    (``$PYMAO_CACHE_DIR``, else ``~/.cache/pymao``); ``cache=False``
+    disables it; an :class:`repro.batch.ArtifactCache` instance is used
+    as-is.  *cache_salt* / *max_cache_bytes* tune a cache built here.
 
     ``predict_core=`` a profile name additionally annotates every ok
     item with the static throughput prediction of its emitted assembly
@@ -194,53 +390,51 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
     """
     from repro import batch as _batch
 
-    cache_obj: Optional[_batch.ArtifactCache]
-    if isinstance(cache, _batch.ArtifactCache):
-        cache_obj = cache
-    elif cache:
-        kwargs: Dict[str, Any] = {}
-        if cache_salt is not None:
-            kwargs["salt"] = cache_salt
-        if max_cache_bytes is not None:
-            kwargs["max_bytes"] = max_cache_bytes
-        cache_obj = _batch.ArtifactCache(
-            cache_dir or _batch.default_cache_dir(), **kwargs)
-    else:
-        cache_obj = None
+    cache_obj = _resolve_cache(cache, cache_dir, cache_salt,
+                               max_cache_bytes)
     return _batch.run_batch(inputs, spec, jobs=jobs,
                             parallel_backend=parallel_backend,
                             cache=cache_obj, predict=predict_core)
 
 
-def verify(src_or_result: Union[str, OptimizeResult]):
+def verify(source: Union[None, str, MaoUnit, "OptimizeResult",
+                         _Unset] = _UNSET, *,
+           src_or_result: Any = _UNSET):
     """The paper's §III.A correctness flow on the public surface.
 
-    For source text: assemble it (O1), run the analyses-only MAO pass
-    over it, re-emit and re-assemble (O2), disassemble both and compare
-    textually.  For an :class:`OptimizeResult`: the same check over the
-    *emitted* assembly — whatever the passes produced must survive a
-    re-parse + analyses round trip bit-for-bit once assembled.
+    For source text (or a unit / kernel name): assemble it (O1), run the
+    analyses-only MAO pass over it, re-emit and re-assemble (O2),
+    disassemble both and compare textually.  For an
+    :class:`OptimizeResult`: the same check over the *emitted* assembly
+    — whatever the passes produced must survive a re-parse + analyses
+    round trip bit-for-bit once assembled.
 
     Returns a :class:`repro.verify.VerifyResult`; ``identical`` is the
     verdict, ``first_diff`` the earliest divergent disassembly pair.
+
+    ``src_or_result=`` is the deprecated spelling of ``source=``.
     """
     from repro import verify as _verify
 
-    source = src_or_result.to_asm() \
-        if isinstance(src_or_result, OptimizeResult) else src_or_result
-    with obs.span("verify", bytes=len(source)) as sp:
-        result = _verify.disassemble_compare(source)
+    source = _merge_renamed(source, src_or_result, "src_or_result")
+    if isinstance(source, OptimizeResult):
+        text = source.to_asm()
+    else:
+        text = _source_text(_resolve_source(source))
+    with obs.span("verify", bytes=len(text)) as sp:
+        result = _verify.disassemble_compare(text)
         if sp:
             sp.attach(identical=result.identical)
     return result
 
 
-def predict(src_or_unit: Union[None, str, MaoUnit],
-            core: Union[str, ProcessorModel], *,
+def predict(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
+            core: Union[str, ProcessorModel, _Unset] = _UNSET, *,
             function: Optional[str] = None,
             loop: Optional[str] = None,
             workload: Union[None, str, Any] = None,
-            assume_lsd: bool = False):
+            assume_lsd: bool = False,
+            src_or_unit: Any = _UNSET):
     """Statically predict steady-state cycles-per-iteration on *core*.
 
     The analytical fast path: no instruction is executed.  The
@@ -256,29 +450,21 @@ def predict(src_or_unit: Union[None, str, MaoUnit],
     Orders of magnitude faster than :func:`simulate` but blind to branch
     prediction, caches, and trip counts — see DESIGN for when to trust
     which tool.
+
+    ``src_or_unit=`` is the deprecated spelling of ``source=``.
     """
     import time
 
     from repro.uarch import static_model
 
-    if src_or_unit is None:
-        if workload is None:
-            raise ValueError("need source text, a unit, or workload=")
-        if callable(workload):
-            src_or_unit = workload()
-        else:
-            from repro.workloads import kernels
-            factory = getattr(kernels, str(workload), None)
-            if factory is None or not callable(factory):
-                raise ValueError("unknown workload kernel %r" % (workload,))
-            src_or_unit = factory()
-    elif workload is not None:
-        raise ValueError("pass either src_or_unit or workload=, not both")
-
+    source = _merge_renamed(source, src_or_unit, "src_or_unit")
+    if core is _UNSET:
+        raise TypeError("predict() missing required argument: 'core'")
+    resolved = _resolve_source(source, workload=workload)
     model = _resolve_model(core)
     with obs.span("predict", model=model.name) as sp:
         start = time.perf_counter()
-        prediction = static_model.predict(src_or_unit, model,
+        prediction = static_model.predict(resolved, model,
                                           function=function, loop=loop,
                                           assume_lsd=assume_lsd)
         elapsed = time.perf_counter() - start
@@ -292,41 +478,95 @@ def predict(src_or_unit: Union[None, str, MaoUnit],
     return prediction
 
 
-def simulate(src_or_unit: Union[None, str, MaoUnit],
-             core: Union[str, ProcessorModel], *,
+def simulate(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
+             core: Union[str, ProcessorModel, _Unset] = _UNSET, *,
              workload: Union[None, str, Any] = None,
              entry_symbol: str = "main",
              max_steps: int = 5_000_000,
              args: Optional[List[int]] = None,
-             fast_forward: bool = True) -> SimResult:
+             fast_forward: bool = True,
+             src_or_unit: Any = _UNSET) -> SimResult:
     """Execute + time a program on *core* in one streaming pass.
 
-    ``src_or_unit`` is assembly text or a parsed unit; alternatively pass
-    ``workload=`` (a kernel name from :mod:`repro.workloads.kernels`, or
-    any callable returning source text) and leave ``src_or_unit`` None.
-    """
-    model = _resolve_model(core)
-    if src_or_unit is None:
-        if workload is None:
-            raise ValueError("need source text, a unit, or workload=")
-        if callable(workload):
-            src_or_unit = workload()
-        else:
-            from repro.workloads import kernels
-            factory = getattr(kernels, str(workload), None)
-            if factory is None or not callable(factory):
-                raise ValueError("unknown workload kernel %r" % (workload,))
-            src_or_unit = factory()
-    elif workload is not None:
-        raise ValueError("pass either src_or_unit or workload=, not both")
+    *source* is assembly text, a parsed unit, or a workload kernel name;
+    alternatively pass ``workload=`` (a kernel name from
+    :mod:`repro.workloads.kernels`, or any callable returning source
+    text) and leave *source* ``None``.
 
-    if isinstance(src_or_unit, MaoUnit):
-        unit = src_or_unit
+    ``src_or_unit=`` is the deprecated spelling of ``source=``.
+    """
+    source = _merge_renamed(source, src_or_unit, "src_or_unit")
+    if core is _UNSET:
+        raise TypeError("simulate() missing required argument: 'core'")
+    model = _resolve_model(core)
+    resolved = _resolve_source(source, workload=workload)
+
+    if isinstance(resolved, MaoUnit):
+        unit = resolved
     else:
-        with obs.span("parse", bytes=len(src_or_unit)):
-            unit = parse_unit(src_or_unit)
+        with obs.span("parse", bytes=len(resolved)):
+            unit = parse_unit(resolved)
     with obs.span("load", entry=entry_symbol):
         program = load_unit(unit, entry_symbol)
     result, stats = simulate_program(program, model, max_steps=max_steps,
                                      args=args, fast_forward=fast_forward)
     return SimResult(result=result, stats=stats)
+
+
+def tune(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
+         core: Union[str, ProcessorModel, _Unset] = _UNSET, *,
+         function: Optional[str] = None,
+         budget: Optional[int] = None,
+         n_select: Optional[int] = None,
+         max_rounds: Optional[int] = None,
+         simulate_top: int = 0,
+         jobs: int = 1,
+         parallel_backend: str = "thread",
+         cache: Union[bool, Any] = True,
+         cache_dir: Optional[str] = None,
+         cache_salt: Optional[str] = None,
+         max_cache_bytes: Optional[int] = None,
+         default_spec: Optional[str] = None,
+         entry_symbol: str = "main",
+         max_steps: int = 5_000_000,
+         workload: Union[None, str, Any] = None):
+    """Search the pass-spec space for the best pipeline on *core*.
+
+    Candidates are generated along the strategy paths of
+    :mod:`repro.tune` (peephole-first, alignment-first, combined, beam
+    extensions of the current best), scored with :func:`predict`
+    (optionally the top ``simulate_top`` re-scored with :func:`simulate`
+    for ground truth), with every shared pipeline prefix materialized
+    exactly once and published to the artifact cache so a warm re-tune
+    executes zero pass runs.  Stops early once the best candidate's
+    predicted cycles hit the static lower bound.
+
+    Returns a :class:`repro.tune.TuneResult`; ``to_dict()`` is the
+    versioned ``pymao.tune/1`` document (winner, leaderboard, pass-run
+    accounting, early-stop reason) and ``explain()`` the leaderboard
+    rendering.  Caching follows :func:`_resolve_cache`, exactly as in
+    :func:`optimize_many` — tune prefixes and batch artifacts share one
+    key space.
+    """
+    from repro import tune as _tune
+
+    if core is _UNSET:
+        raise TypeError("tune() missing required argument: 'core'")
+    source = None if isinstance(source, _Unset) else source
+    text = _source_text(_resolve_source(source, workload=workload))
+    cache_obj = _resolve_cache(cache, cache_dir, cache_salt,
+                               max_cache_bytes)
+    kwargs: Dict[str, Any] = {}
+    if budget is not None:
+        kwargs["budget"] = budget
+    if n_select is not None:
+        kwargs["n_select"] = n_select
+    if max_rounds is not None:
+        kwargs["max_rounds"] = max_rounds
+    if default_spec is not None:
+        kwargs["default_spec"] = default_spec
+    return _tune.tune(text, core, function=function,
+                      simulate_top=simulate_top, jobs=jobs,
+                      parallel_backend=parallel_backend, cache=cache_obj,
+                      entry_symbol=entry_symbol, max_steps=max_steps,
+                      **kwargs)

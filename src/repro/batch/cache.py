@@ -50,9 +50,10 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import metrics
+from repro.result import register_schema
 
 #: Version tag of the on-disk entry format.
-ARTIFACT_SCHEMA = "pymao.artifact/1"
+ARTIFACT_SCHEMA = register_schema("artifact", "pymao.artifact/1")
 
 #: Default size bound for a cache directory (256 MiB).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024

@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.batch.cache import ArtifactCache, source_sha256
@@ -46,9 +46,10 @@ from repro.passes.manager import (
     parse_pass_spec,
     spec_has_side_effects,
 )
+from repro.result import ApiResult
 
 #: Version tag of the serialized batch summary format.
-BATCH_SCHEMA = "pymao.batch/1"
+BATCH_SCHEMA = "pymao.batch/1"   # registered by the BatchResult class below
 
 #: One input: a path on disk, or an in-memory ``(name, source)`` pair.
 BatchInput = Union[str, Tuple[str, str]]
@@ -106,8 +107,10 @@ class BatchItem:
 
 
 @dataclass
-class BatchResult:
+class BatchResult(ApiResult):
     """All per-file outcomes of one :func:`run_batch` call, input order."""
+
+    SCHEMA: ClassVar[str] = BATCH_SCHEMA
 
     spec: str                      # canonical pass spec
     items: List[BatchItem] = field(default_factory=list)
@@ -175,6 +178,34 @@ class BatchResult:
         if timings:
             data["elapsed_s"] = round(self.elapsed_s, 6)
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BatchResult":
+        """Summary-level reconstruction: every ``files[]`` row comes back
+        as a :class:`BatchItem` (without the emitted asm, which the
+        document never carried)."""
+        cls.check_schema(data)
+        items = [_batch_item_from_dict(row)
+                 for row in data.get("files", [])]
+        return cls(spec=str(data.get("spec", "")), items=items,
+                   elapsed_s=float(data.get("elapsed_s", 0.0)))
+
+
+def _batch_item_from_dict(row: Dict[str, Any]) -> BatchItem:
+    pipeline = row.get("pipeline")
+    return BatchItem(
+        name=str(row.get("file", "")),
+        status=str(row.get("status", "error")),
+        sha256=row.get("sha256"),
+        cache=str(row.get("cache", "off")),
+        pipeline=(PipelineResult.from_dict(pipeline)
+                  if pipeline is not None else None),
+        error=row.get("error"),
+        parse_s=float(row.get("parse_s", 0.0)),
+        passes_s=float(row.get("passes_s", 0.0)),
+        prediction=row.get("prediction"),
+        predict_error=row.get("predict_error"),
+    )
 
 
 def _resolve_spec(spec: Union[None, str, SpecItems]) -> SpecItems:

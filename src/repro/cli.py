@@ -167,23 +167,23 @@ def print_version(stream) -> None:
     One block, parsed by deploy tooling: a server and its clients agree
     on payload formats iff these lines agree.
     """
-    from repro import __version__
-    from repro.batch.cache import ARTIFACT_SCHEMA
-    from repro.batch.engine import BATCH_SCHEMA
-    from repro.obs import TRACE_SCHEMA
-    from repro.passes.manager import PIPELINE_SCHEMA
-    from repro.uarch.static_model import (
-        PREDICT_BENCH_SCHEMA,
-        PREDICT_SCHEMA,
-    )
+    from repro import __version__, result
+
+    # Importing a module registers its schemas (repro.result); pull in
+    # the full surface so the listing is complete, then render the one
+    # registry sorted by label.
+    import repro.api            # noqa: F401  optimize / sim
+    import repro.batch.cache    # noqa: F401  artifact
+    import repro.batch.engine   # noqa: F401  batch
+    import repro.obs.span       # noqa: F401  trace
+    import repro.passes.manager  # noqa: F401  pipeline
+    import repro.server.app     # noqa: F401  server
+    import repro.server.fleet   # noqa: F401  fleet
+    import repro.tune           # noqa: F401  tune / bench-tune
+    import repro.uarch.static_model  # noqa: F401  predict / bench-predict
 
     stream.write("mao (PyMAO) %s\n" % __version__)
-    for label, schema in (("pipeline", PIPELINE_SCHEMA),
-                          ("batch", BATCH_SCHEMA),
-                          ("trace", TRACE_SCHEMA),
-                          ("artifact", ARTIFACT_SCHEMA),
-                          ("predict", PREDICT_SCHEMA),
-                          ("bench-predict", PREDICT_BENCH_SCHEMA)):
+    for label, schema in result.iter_schemas():
         stream.write("schema %-13s %s\n" % (label, schema))
 
 
@@ -264,6 +264,108 @@ def predict_main(argv: List[str]) -> int:
     return 0
 
 
+def tune_main(argv: List[str]) -> int:
+    """``mao tune`` — search the pass-spec space for the best pipeline.
+
+    ``mao tune --core=core2 file.s`` scores candidate pipelines with the
+    analytical predictor, shares pipeline prefixes through the artifact
+    cache, and reports the winning spec.  The input may be an assembly
+    file or the name of a workload kernel (``mao tune hash_bench``).
+    """
+    import argparse
+    import json as _json
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="mao tune",
+        description="search candidate pass pipelines for the lowest "
+                    "predicted cycles/iteration on a target core")
+    parser.add_argument("--core", default="core2",
+                        choices=("core2", "opteron", "pentium4"),
+                        help="processor profile to tune for")
+    parser.add_argument("--budget", type=int, default=None, metavar="N",
+                        help="max pass executions to spend (default 48)")
+    parser.add_argument("--n-select", type=int, default=None, metavar="N",
+                        help="leaders extended per beam round (default 3)")
+    parser.add_argument("--max-rounds", type=int, default=None, metavar="N",
+                        help="beam rounds after the seed set (default 2)")
+    parser.add_argument("--simulate-top", type=int, default=0, metavar="N",
+                        help="re-score the top N leaders with full trace "
+                             "simulation (ground truth; slower)")
+    parser.add_argument("--function", default=None, metavar="NAME",
+                        help="function to score (default: first)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel workers for independent candidates")
+    parser.add_argument("--parallel-backend", default="thread",
+                        choices=("thread", "process"),
+                        help="worker pool backend")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache directory "
+                             "($PYMAO_CACHE_DIR, else ~/.cache/pymao)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent artifact cache")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the scored leaderboard and search "
+                             "summary")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the pymao.tune/1 document instead of "
+                             "the one-line summary")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the winning emitted assembly here")
+    parser.add_argument("input",
+                        help="input assembly file or workload kernel name")
+    args = parser.parse_args(argv)
+
+    source = args.input
+    if os.path.exists(args.input) or not args.input.isidentifier():
+        try:
+            with open(args.input) as handle:
+                source = handle.read()
+        except OSError as exc:
+            sys.stderr.write("mao tune: %s\n" % exc)
+            return 1
+
+    from repro.tune import TuneError
+    try:
+        result = api.tune(source, args.core,
+                          function=args.function,
+                          budget=args.budget,
+                          n_select=args.n_select,
+                          max_rounds=args.max_rounds,
+                          simulate_top=args.simulate_top,
+                          jobs=args.jobs,
+                          parallel_backend=args.parallel_backend,
+                          cache=not args.no_cache,
+                          cache_dir=args.cache_dir)
+    except (TuneError, ValueError) as exc:
+        sys.stderr.write("mao tune: %s\n" % exc)
+        return 1
+
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(result.asm)
+        except OSError as exc:
+            sys.stderr.write("mao tune: %s\n" % exc)
+            return 1
+
+    if args.json:
+        _json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif args.explain:
+        print(result.explain())
+    else:
+        runs = result.pass_runs
+        print("%s %s: winner --mao=%s %.2f cycles/iteration (%s; "
+              "%d runs, %d cached, stop=%s)"
+              % (args.input, args.core,
+                 result.winner_spec or "<none>", result.winner_cycles,
+                 result.winner.get("origin", "?"),
+                 runs.get("executed", 0), runs.get("cache_hits", 0),
+                 result.early_stop.get("reason", "?")))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -280,6 +382,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return remote_main(argv[1:])
     if argv and argv[0] == "predict":
         return predict_main(argv[1:])
+    if argv and argv[0] == "tune":
+        return tune_main(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -30,9 +30,10 @@ from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs import profile as _profile
+from repro.result import register_schema
 
 #: Version tag carried by every serialized trace event.
-TRACE_SCHEMA = "pymao.trace/1"
+TRACE_SCHEMA = register_schema("trace", "pymao.trace/1")
 
 
 class Span:

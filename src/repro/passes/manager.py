@@ -41,9 +41,10 @@ from repro import obs
 from repro.ir.entries import MaoEntry, OpaqueEntry
 from repro.ir.unit import Function, MaoUnit
 from repro.passes.base import MaoFunctionPass, MaoPass, MaoUnitPass
+from repro.result import register_schema
 
 #: Version tag of the serialized PipelineResult/PassReport format.
-PIPELINE_SCHEMA = "pymao.pipeline/1"
+PIPELINE_SCHEMA = register_schema("pipeline", "pymao.pipeline/1")
 
 _FUNC_PASSES: Dict[str, Type[MaoFunctionPass]] = {}
 _UNIT_PASSES: Dict[str, Type[MaoUnitPass]] = {}

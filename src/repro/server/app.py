@@ -60,6 +60,7 @@ from repro.passes.manager import (
     parse_pass_spec,
     spec_has_side_effects,
 )
+from repro.result import register_schema
 from repro.server import work
 from repro.server.http import (
     ProtocolError,
@@ -70,7 +71,7 @@ from repro.server.http import (
 )
 
 #: Schema tag carried by every JSON response envelope.
-SERVER_SCHEMA = "pymao.server/1"
+SERVER_SCHEMA = register_schema("server", "pymao.server/1")
 
 _KNOWN_CORES = ("core2", "opteron", "pentium4")
 
@@ -281,7 +282,7 @@ class MaoServer:
                                    headers=headers)
             if request.method == "POST" and request.path in (
                     "/v1/optimize", "/v1/batch", "/v1/simulate",
-                    "/v1/predict"):
+                    "/v1/predict", "/v1/tune"):
                 return await self._dispatch_work(request, rid, keep_alive,
                                                  headers)
             self.registry.inc("server.not_found")
@@ -380,6 +381,8 @@ class MaoServer:
                     return await self._handle_batch(request, rid, span)
                 if request.path == "/v1/predict":
                     return await self._handle_predict(request, rid, span)
+                if request.path == "/v1/tune":
+                    return await self._handle_tune(request, rid, span)
                 return await self._handle_simulate(request, rid, span)
             finally:
                 self._executing -= 1
@@ -535,6 +538,71 @@ class MaoServer:
                         bottleneck=prediction["bottleneck"])
         return {"schema": SERVER_SCHEMA, "request_id": rid,
                 "core": core, "prediction": prediction}
+
+    #: Server-side ceilings for the tuner search parameters: a request
+    #: can spend at most this much work, whatever it asks for.
+    _TUNE_MAX_BUDGET = 256
+    _TUNE_MAX_ROUNDS = 8
+    _TUNE_MAX_SELECT = 16
+
+    async def _handle_tune(self, request: Request, rid: str,
+                           span) -> Dict[str, Any]:
+        """``/v1/tune``: the pass-pipeline autotuner over the shared
+        artifact cache.
+
+        Every prefix the search materializes is published to the same
+        store ``/v1/optimize`` replays from, so tuning an input warms
+        the cache for later plain optimizes of the winning spec (and the
+        fleet routes both by the same input digest — cache affinity).
+        """
+        data = self._body_object(request)
+        core = data.get("core")
+        if not isinstance(core, str) or core not in _KNOWN_CORES:
+            raise ProtocolError(400, "field 'core' must be one of %s"
+                                % ", ".join(_KNOWN_CORES))
+        source = data.get("source")
+        workload = data.get("workload")
+        if (source is None) == (workload is None):
+            raise ProtocolError(400, "pass exactly one of 'source' or "
+                                     "'workload'")
+        payload: Dict[str, Any] = {
+            "source": source, "workload": workload, "core": core,
+            "function": data.get("function"),
+            "simulate_top": self._tune_param(data, "simulate_top",
+                                             self._TUNE_MAX_SELECT) or 0,
+            "budget": self._tune_param(data, "budget",
+                                       self._TUNE_MAX_BUDGET),
+            "n_select": self._tune_param(data, "n_select",
+                                         self._TUNE_MAX_SELECT),
+            "max_rounds": self._tune_param(data, "max_rounds",
+                                           self._TUNE_MAX_ROUNDS),
+            "want_spans": obs.enabled(),
+            "cache": self.config.cache_spec()}
+        outcome = await self._await_pool(work.tune_worker, payload)
+        if outcome["status"] == "error":
+            self.registry.inc("server.client_errors")
+            return {"_status": 400, "error": outcome["error"],
+                    "status": 400, "request_id": rid}
+        doc = outcome["tune"]
+        self.registry.inc("server.tune.requests")
+        if span:
+            span.attach(core=core, winner=doc["winner"]["spec"],
+                        cycles=doc["winner"]["cycles"],
+                        stop=doc["early_stop"]["reason"])
+        return {"schema": SERVER_SCHEMA, "request_id": rid,
+                "core": core, "tune": doc, "asm": outcome["asm"]}
+
+    @staticmethod
+    def _tune_param(data: Dict[str, Any], name: str,
+                    ceiling: int) -> Optional[int]:
+        value = data.get(name)
+        if value is None:
+            return None
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            raise ProtocolError(400, "field %r must be a non-negative "
+                                     "integer" % name)
+        return min(value, ceiling)
 
     async def _handle_simulate(self, request: Request, rid: str,
                                span) -> Dict[str, Any]:

@@ -261,6 +261,32 @@ class Client:
         return self.request("POST", "/v1/predict", payload,
                             request_id=request_id)
 
+    def tune(self, source: Optional[str] = None, core: str = "core2", *,
+             workload: Optional[str] = None,
+             function: Optional[str] = None,
+             budget: Optional[int] = None,
+             n_select: Optional[int] = None,
+             max_rounds: Optional[int] = None,
+             simulate_top: Optional[int] = None,
+             request_id: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"core": core}
+        if source is not None:
+            payload["source"] = source
+        if workload is not None:
+            payload["workload"] = workload
+        if function is not None:
+            payload["function"] = function
+        if budget is not None:
+            payload["budget"] = budget
+        if n_select is not None:
+            payload["n_select"] = n_select
+        if max_rounds is not None:
+            payload["max_rounds"] = max_rounds
+        if simulate_top is not None:
+            payload["simulate_top"] = simulate_top
+        return self.request("POST", "/v1/tune", payload,
+                            request_id=request_id)
+
     def healthz(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")
 

@@ -78,10 +78,11 @@ from repro.server.http import (
     render_request,
     render_response,
 )
+from repro.result import register_schema
 from repro.server.ring import DEFAULT_REPLICAS, HashRing
 
 #: Schema tag carried by fleet-level response envelopes (/healthz).
-FLEET_SCHEMA = "pymao.fleet/1"
+FLEET_SCHEMA = register_schema("fleet", "pymao.fleet/1")
 
 #: Headers never forwarded between hops (owned per-connection).
 _HOP_HEADERS = ("connection", "content-length", "host", "keep-alive")
@@ -409,10 +410,35 @@ class FleetServer:
         ``/v1/optimize`` hashes the **artifact cache key** (salt +
         source sha + injective spec encoding — byte-identical to the
         key the worker's cache lookup will compute), so routing
-        affinity and cache affinity coincide.  Anything unparsable
+        affinity and cache affinity coincide.  ``/v1/tune`` hashes the
+        **input digest** alone (salt + source sha): every prefix the
+        tuner materializes for one input lands on one worker, so a
+        re-tune — or a tune after related tunes of the same input —
+        replays that worker's warm prefixes.  Anything unparsable
         falls back to a raw body hash; the routed worker answers the
         400 with the real diagnostics.
         """
+        if request.path == "/v1/tune":
+            try:
+                data = json.loads(request.body.decode("utf-8"))
+                source = data.get("source")
+                if source is None and isinstance(data.get("workload"), str):
+                    # Resolve kernel names here so tune-by-name and
+                    # tune-by-text of the same kernel share a worker.
+                    from repro.workloads import kernels
+                    factory = getattr(kernels, data["workload"], None)
+                    if (callable(factory) and getattr(
+                            factory, "__module__", None) == kernels.__name__):
+                        source = factory()
+                if isinstance(source, str):
+                    digest = hashlib.sha256()
+                    digest.update(self._key_salt)
+                    digest.update(b"\x00")
+                    digest.update(source_sha256(source).encode("ascii"))
+                    return "input\x00" + digest.hexdigest()
+            except (ValueError, UnicodeDecodeError, TypeError,
+                    AttributeError):
+                pass
         if request.path == "/v1/optimize":
             try:
                 from repro.passes.manager import encode_pass_spec

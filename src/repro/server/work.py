@@ -155,6 +155,35 @@ def predict_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "error": "%s: %s" % (type(exc).__name__, exc)}
 
 
+def tune_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One ``/v1/tune`` body over :func:`repro.api.tune`.
+
+    Opens the shared artifact cache like :func:`optimize_worker` does,
+    so tuned pipeline prefixes are published for every other worker —
+    and for plain ``/v1/optimize`` requests — to replay.
+    """
+    import repro.passes  # noqa: F401
+    from repro import api, obs
+
+    obs.set_enabled(payload.get("want_spans", False))
+    cache = _open_cache(payload.get("cache"))
+    try:
+        result = api.tune(
+            payload.get("source"), payload["core"],
+            workload=payload.get("workload"),
+            function=payload.get("function"),
+            budget=payload.get("budget"),
+            n_select=payload.get("n_select"),
+            max_rounds=payload.get("max_rounds"),
+            simulate_top=int(payload.get("simulate_top", 0)),
+            cache=cache if cache is not None else False)
+        return {"status": "ok", "tune": result.to_dict(),
+                "asm": result.asm}
+    except Exception as exc:
+        return {"status": "error", "kind": type(exc).__name__,
+                "error": "%s: %s" % (type(exc).__name__, exc)}
+
+
 def simulate_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """One ``/v1/simulate`` body over :func:`repro.api.simulate`."""
     import repro.passes  # noqa: F401

@@ -48,6 +48,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.analysis.relax import relax_unit
 from repro.ir.entries import InstructionEntry, LabelEntry
 from repro.ir.unit import Function, MaoUnit
+from repro.result import ApiResult, register_schema
 from repro.uarch import model as M
 from repro.uarch.classify import uops_of
 from repro.uarch.model import ProcessorModel
@@ -59,7 +60,8 @@ from repro.x86.operands import Memory
 PREDICT_SCHEMA = "pymao.predict/1"
 
 #: Schema of the cross-validation benchmark (BENCH_predict.json).
-PREDICT_BENCH_SCHEMA = "mao-bench-predict/1"
+PREDICT_BENCH_SCHEMA = register_schema("bench-predict",
+                                       "mao-bench-predict/1")
 
 
 class PredictError(ValueError):
@@ -82,7 +84,7 @@ class Loop:
 
 
 @dataclass
-class Prediction:
+class Prediction(ApiResult):
     """Outcome of one :func:`predict` call — the per-bound breakdown.
 
     ``cycles`` is ``max(port_bound, latency_bound, frontend_bound)``;
@@ -90,6 +92,8 @@ class Prediction:
     cycles-per-iteration of the analyzed loop body (for a function with
     no loop, cycles for one straight-line pass over the body).
     """
+
+    SCHEMA = PREDICT_SCHEMA
 
     model_name: str
     function: str
@@ -127,8 +131,13 @@ class Prediction:
         LSDFIT case).  Lower is better."""
         return (self.cycles, self.lsd_cycles())
 
-    def to_dict(self) -> Dict[str, Any]:
-        """The versioned ``pymao.predict/1`` document (JSON-able)."""
+    def to_dict(self, timings: bool = False) -> Dict[str, Any]:
+        """The versioned ``pymao.predict/1`` document (JSON-able).
+
+        A prediction has no wall-clock fields, so *timings* (part of the
+        shared :class:`~repro.result.ApiResult` signature) is accepted
+        and ignored — the document is always deterministic.
+        """
         return {
             "schema": PREDICT_SCHEMA,
             "model": self.model_name,
@@ -154,6 +163,39 @@ class Prediction:
                               sorted(self.port_pressure.items())},
             "critical_path": list(self.critical_path),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Prediction":
+        """Rebuild a prediction from its ``pymao.predict/1`` document.
+
+        Bound values round-trip at the document's 4-decimal rounding;
+        ``bottleneck``/``cycles`` are taken as recorded rather than
+        recomputed so a stored document replays exactly.
+        """
+        cls.check_schema(data)
+        bounds = data.get("bounds") or {}
+        return cls(
+            model_name=data["model"],
+            function=data["function"],
+            loop_label=data.get("loop"),
+            instructions=int(data.get("instructions", 0)),
+            uops=int(data.get("uops", 0)),
+            body_bytes=int(data.get("body_bytes", 0)),
+            decode_lines=int(data.get("decode_lines", 0)),
+            port_bound=float(bounds.get("ports", 0.0)),
+            latency_bound=float(bounds.get("latency", 0.0)),
+            frontend_bound=float(bounds.get("frontend", 0.0)),
+            cycles=float(data.get("cycles", 0.0)),
+            bottleneck=data.get("bottleneck", ""),
+            lsd_streamable=bool(data.get("lsd_streamable", False)),
+            frontend_lsd=float(data["frontend_lsd"])
+            if data.get("frontend_lsd") is not None else None,
+            port_pressure={int(port): float(value)
+                           for port, value in
+                           (data.get("port_pressure") or {}).items()},
+            critical_path=[dict(row)
+                           for row in data.get("critical_path", ())],
+        )
 
     def explain(self) -> str:
         """Human-readable per-port pressure table + critical path."""
@@ -669,3 +711,56 @@ def predict(src_or_unit: Union[str, MaoUnit], model: ProcessorModel, *,
         unit = parse_unit(src_or_unit)
     return predict_unit(unit, model, function=function, loop=loop,
                         assume_lsd=assume_lsd)
+
+
+def static_lower_bound(unit: MaoUnit, model: ProcessorModel, *,
+                       function: Optional[str] = None,
+                       loop: Optional[str] = None) -> float:
+    """Cycles/iteration no pass pipeline over this loop can beat.
+
+    The max of the three bounds with every removable stall gone: nops
+    (what ``NOPKILL`` deletes — they cost decode slots but no ports)
+    are dropped from the body, and the front end is priced at the ideal
+    packed decode rate ``ceil(instructions / decode_width)`` — the best
+    any alignment pass can achieve.  Port and latency bounds over the
+    remaining instructions are structural properties of the computation
+    itself.
+
+    This is the autotuner's **early-stop target**: a candidate predicted
+    at (or under) this value cannot be improved by more search, so the
+    tuner stops.  It is a search-policy floor, not an optimality proof —
+    a pass that deletes *work* (a redundant test on the critical path)
+    can in principle land below it, which only makes the stop fire
+    sooner.
+    """
+    if not unit.functions:
+        raise PredictError("unit has no functions")
+    if function is not None:
+        try:
+            func = unit.function_named(function)
+        except KeyError:
+            raise PredictError("no function named %r" % function)
+    else:
+        func = unit.functions[0]
+
+    placement, _symtab = _function_layout(unit, func)
+    loops = find_loops(unit, func)
+    selected = select_loop(loops, loop)
+    if selected is not None:
+        body_entries = selected.body
+        loop_carried = True
+    else:
+        body_entries = [e for e in func.instructions() if e in placement]
+        loop_carried = False
+        if not body_entries:
+            raise PredictError("function %r has no encodable instructions"
+                               % func.name)
+    body = [entry.insn for entry in body_entries if not entry.insn.is_nop]
+    if not body:
+        return 1.0
+
+    ports, _pressure = port_binding_bound(body, model)
+    latency, _path = latency_critical_path(body, model,
+                                           loop_carried=loop_carried)
+    ideal_frontend = float(-(-len(body) // model.decode_width))
+    return max(ports, latency, ideal_frontend, 1.0)

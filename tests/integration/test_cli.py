@@ -280,6 +280,78 @@ class TestPredictMode:
         assert "fast.s" in lines[0] and "slow.s" in lines[1]
 
 
+class TestTuneMode:
+    """The `mao tune` verb."""
+
+    @pytest.fixture
+    def loop_file(self, tmp_path):
+        path = tmp_path / "loop.s"
+        path.write_text(LOOP_SOURCE)
+        return path
+
+    def test_tune_verb_summary_line(self, loop_file, capsys):
+        assert main(["tune", "--core", "core2", "--no-cache",
+                     str(loop_file)]) == 0
+        out = capsys.readouterr().out
+        assert "winner --mao=" in out
+        assert "cycles/iteration" in out
+        assert "stop=" in out
+
+    def test_tune_verb_json_document(self, loop_file, capsys):
+        assert main(["tune", "--json", "--no-cache",
+                     str(loop_file)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "pymao.tune/1"
+        assert doc["model"] == "core2"
+        assert doc["winner"]["cycles"] \
+            == doc["leaderboard"][0]["cycles"]
+
+    def test_tune_verb_accepts_kernel_name(self, capsys):
+        assert main(["tune", "--json", "--no-cache", "--budget", "4",
+                     "fig4_loop"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["pass_runs"]["executed"] <= 4
+
+    def test_tune_verb_explain(self, loop_file, capsys):
+        assert main(["tune", "--explain", "--no-cache",
+                     str(loop_file)]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+        assert "candidates" in out
+
+    def test_tune_verb_writes_winner_asm(self, loop_file, tmp_path,
+                                         capsys):
+        out_path = tmp_path / "tuned.s"
+        assert main(["tune", "--no-cache", "-o", str(out_path),
+                     str(loop_file)]) == 0
+        from repro import api
+        tuned = api.predict(out_path.read_text(), "core2").cycles
+        default = api.predict(
+            api.optimize(LOOP_SOURCE, "REDTEST:LOOP16").unit,
+            "core2").cycles
+        assert tuned <= default + 1e-9
+
+    def test_tune_verb_cache_dir_warm_rerun(self, loop_file, tmp_path,
+                                            capsys):
+        argv = ["tune", "--json", "--cache-dir",
+                str(tmp_path / "cache"), str(loop_file)]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["pass_runs"]["executed"] == 0
+        assert warm["winner"] == cold["winner"]
+
+    def test_tune_verb_missing_file(self, tmp_path, capsys):
+        assert main(["tune", str(tmp_path / "nope.s")]) == 1
+        assert "mao tune:" in capsys.readouterr().err
+
+    def test_tune_verb_bad_budget(self, loop_file, capsys):
+        assert main(["tune", "--budget", "-2", "--no-cache",
+                     str(loop_file)]) == 1
+        assert "mao tune:" in capsys.readouterr().err
+
+
 class TestCacheStats:
     def test_cache_stats_format_pinned(self, asm_file, capsys):
         """Regression: the exact bytes --cache-stats writes (the
@@ -384,6 +456,22 @@ class TestVersion:
         assert "schema artifact      pymao.artifact/1" in out
         assert "schema predict       pymao.predict/1" in out
         assert "schema bench-predict mao-bench-predict/1" in out
+
+    def test_version_lists_the_full_registry_sorted(self, capsys):
+        """Every result/report schema the binary can emit appears, from
+        the one registry, sorted by label."""
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        for label, schema in (("optimize", "pymao.optimize/1"),
+                              ("sim", "pymao.sim/1"),
+                              ("tune", "pymao.tune/1"),
+                              ("server", "pymao.server/1"),
+                              ("fleet", "pymao.fleet/1"),
+                              ("bench-tune", "mao-bench-tune/1")):
+            assert "schema %-13s %s" % (label, schema) in out
+        labels = [line.split()[1] for line in out.splitlines()
+                  if line.startswith("schema ")]
+        assert labels == sorted(labels)
 
     def test_version_wins_over_other_arguments(self, capsys):
         """--version short-circuits: no inputs required, nothing run."""

@@ -114,6 +114,30 @@ class TestEndpoints:
         assert values["server.predict.requests"] >= 1
         assert values["predict.requests"] >= 1
 
+    def test_tune_workload(self, client):
+        result = client.tune(workload="fig4_loop", core="core2",
+                             budget=16)
+        assert result["schema"] == "pymao.server/1"
+        doc = result["tune"]
+        assert doc["schema"] == "pymao.tune/1"
+        assert doc["winner"]["cycles"] > 0
+        assert doc["early_stop"]["reason"] in ("lower_bound", "budget",
+                                               "rounds", "exhausted")
+        assert result["asm"]
+        # The winner is never worse than the default spec when the
+        # default got scored, and never worse than any leaderboard row.
+        for row in doc["leaderboard"]:
+            assert doc["winner"]["cycles"] <= row["cycles"]
+        values = client.metrics()["values"]
+        assert values["server.tune.requests"] >= 1
+        assert values["tune.requests"] >= 1
+
+    def test_tune_warm_retune_replays_from_shared_cache(self, client):
+        cold = client.tune(workload="mcf_fig1", core="opteron")
+        warm = client.tune(workload="mcf_fig1", core="opteron")
+        assert warm["tune"]["pass_runs"]["executed"] == 0
+        assert warm["tune"]["winner"] == cold["tune"]["winner"]
+
     def test_metrics_is_trace_event(self, client):
         client.optimize(SOURCE, "REDTEST")
         payload = client.metrics()
@@ -178,6 +202,33 @@ class TestClientErrors:
     def test_predict_unanalyzable_is_400(self, client):
         with pytest.raises(ServerError) as excinfo:
             client.predict(BAD_SOURCE, "core2")
+        assert excinfo.value.status == 400
+
+    def test_tune_unknown_core_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.tune(SOURCE, "z80")
+        assert excinfo.value.status == 400
+
+    def test_tune_needs_exactly_one_input(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.tune(SOURCE, "core2", workload="hash_bench")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServerError) as excinfo:
+            client.tune(core="core2")
+        assert excinfo.value.status == 400
+
+    def test_tune_rejects_bad_search_params(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.tune(workload="mcf_fig1", core="core2", budget=-1)
+        assert excinfo.value.status == 400
+        with pytest.raises(ServerError) as excinfo:
+            client.tune(workload="mcf_fig1", core="core2",
+                        n_select=0)
+        assert excinfo.value.status == 400
+
+    def test_tune_unanalyzable_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.tune(BAD_SOURCE, "core2")
         assert excinfo.value.status == 400
 
     def test_simulate_needs_exactly_one_input(self, client):

@@ -107,6 +107,24 @@ class TestRoutingAffinity:
         assert first["cache"] == "miss"
         assert second["cache"] == "hit"
 
+    def test_tune_routes_by_input_digest(self, fleet):
+        """Tune-by-name and tune-by-text of the same kernel must land
+        on one worker — and the second must replay the first's
+        prefixes from the shared store with zero executions."""
+        from repro.workloads.kernels import fig4_loop
+
+        by_name = {"workload": "fig4_loop", "core": "core2",
+                   "budget": 16}
+        by_text = {"source": fig4_loop(), "core": "core2", "budget": 16}
+        status_a, headers_a, cold = raw_request(
+            fleet.port, "POST", "/v1/tune", by_name)
+        status_b, headers_b, warm = raw_request(
+            fleet.port, "POST", "/v1/tune", by_text)
+        assert status_a == 200 and status_b == 200
+        assert headers_a["X-Worker"] == headers_b["X-Worker"]
+        assert warm["tune"]["pass_runs"]["cache_hits"] > 0
+        assert cold["tune"]["schema"] == "pymao.tune/1"
+
     def test_metrics_merge_worker_and_front_door_views(self, fleet):
         _s, _h, event = raw_request(fleet.port, "GET", "/metrics")
         assert event["schema"] == "pymao.trace/1"
@@ -200,6 +218,53 @@ class TestCrossInstanceCoherence:
         assert first["cache"] == "miss"
         assert second["cache"] == "hit"
         assert second["asm"] == first["asm"]
+
+
+class TestRoutingKey:
+    """Unit-level contract of FleetServer.routing_key — no sockets."""
+
+    @staticmethod
+    def _front_door():
+        from repro.server.fleet import FleetServer
+        return FleetServer(FleetConfig(port=0, workers=1,
+                                       cache_salt="rk-test"))
+
+    @staticmethod
+    def _request(path, payload):
+        from repro.server.http import Request
+        return Request(method="POST", path=path, version="HTTP/1.1",
+                       body=json.dumps(payload).encode())
+
+    def test_tune_key_is_input_digest_only(self):
+        """Different search parameters over one input share a key (one
+        worker owns that input's prefixes); by-name and by-text of the
+        same kernel share it too."""
+        from repro.workloads.kernels import hash_bench
+
+        door = self._front_door()
+        a = door.routing_key(self._request(
+            "/v1/tune", {"workload": "hash_bench", "core": "core2"}))
+        b = door.routing_key(self._request(
+            "/v1/tune", {"source": hash_bench(), "core": "opteron",
+                         "budget": 99}))
+        assert a == b
+        assert a.startswith("input\x00")
+
+    def test_tune_key_differs_per_input(self):
+        door = self._front_door()
+        a = door.routing_key(self._request(
+            "/v1/tune", {"workload": "hash_bench", "core": "core2"}))
+        b = door.routing_key(self._request(
+            "/v1/tune", {"workload": "mcf_fig1", "core": "core2"}))
+        assert a != b
+
+    def test_unparsable_tune_body_falls_back_to_body_hash(self):
+        door = self._front_door()
+        from repro.server.http import Request
+        key = door.routing_key(Request(method="POST", path="/v1/tune",
+                                       version="HTTP/1.1",
+                                       body=b"\xff not json"))
+        assert key.startswith("body\x00/v1/tune\x00")
 
 
 class TestMetricsMerge:

@@ -1,0 +1,177 @@
+"""The pass-pipeline autotuner: search contract, early stopping,
+prefix-cache accounting, and the ``pymao.tune/1`` document."""
+
+import pytest
+
+from repro import api
+from repro.batch.cache import ArtifactCache
+from repro.tune import (
+    DEFAULT_SPEC,
+    TUNE_SCHEMA,
+    TuneError,
+    TuneResult,
+    seed_candidates,
+    tune,
+)
+from repro.workloads import kernels
+
+
+@pytest.fixture(scope="module")
+def fig4_source():
+    return kernels.fig4_loop()
+
+
+@pytest.fixture(scope="module")
+def fig4_result(fig4_source):
+    """One cold, cache-less tune shared by the read-only assertions."""
+    return tune(fig4_source, "core2")
+
+
+class TestSeedCandidates:
+    def test_baseline_and_default_always_present(self):
+        seeds = seed_candidates()
+        origins = {cand.origin for cand in seeds}
+        assert "baseline" in origins
+        assert "default" in origins
+        by_origin = {cand.origin: cand for cand in seeds}
+        assert by_origin["baseline"].spec == ()
+        assert [name for name, _ in by_origin["default"].spec] \
+            == ["REDTEST", "LOOP16"]
+
+    def test_ladders_share_prefixes(self):
+        """Every strategy path contributes each of its prefixes, so the
+        trie evaluates the whole ladder in len(path) pass runs."""
+        seeds = seed_candidates()
+        peephole = [cand for cand in seeds
+                    if cand.origin == "peephole-first"]
+        lengths = sorted(len(cand.spec) for cand in peephole)
+        assert lengths == list(range(1, len(peephole) + 1))
+
+    def test_deduped_by_encoding(self):
+        seeds = seed_candidates()
+        encodings = [cand.encoding for cand in seeds]
+        assert len(encodings) == len(set(encodings))
+
+
+class TestSearchContract:
+    def test_winner_never_worse_than_default_or_baseline(
+            self, fig4_source, fig4_result):
+        baseline = api.predict(fig4_source, "core2").cycles
+        default = api.predict(
+            api.optimize(fig4_source, DEFAULT_SPEC).unit, "core2").cycles
+        assert fig4_result.winner_cycles <= baseline
+        assert fig4_result.winner_cycles <= default
+
+    def test_leaderboard_sorted_best_first(self, fig4_result):
+        cycles = [row["cycles"] for row in fig4_result.leaderboard]
+        assert cycles == sorted(cycles)
+        assert fig4_result.winner["cycles"] == cycles[0]
+
+    def test_winner_asm_scores_as_advertised(self, fig4_result):
+        """The emitted winning asm re-predicts to the winning cycles —
+        the document's claim is reproducible from its own artifact."""
+        assert fig4_result.asm
+        again = api.predict(fig4_result.asm, "core2")
+        assert again.cycles == pytest.approx(fig4_result.winner_cycles)
+
+    def test_winner_items_replay_through_optimize(self, fig4_source,
+                                                  fig4_result):
+        replay = api.optimize(fig4_source, fig4_result.winner_items)
+        assert replay.to_asm() == fig4_result.asm
+
+    def test_early_stop_at_lower_bound_skips_all_work(self):
+        """mcf_fig1's baseline already sits on the static lower bound:
+        the search must stop before executing a single pass."""
+        result = tune(kernels.mcf_fig1(), "core2")
+        assert result.early_stop["reason"] == "lower_bound"
+        assert result.pass_runs["executed"] == 0
+        assert result.winner["origin"] == "baseline"
+        assert result.candidates["skipped"] > 0
+        # The skipped candidates still count toward the naive cost the
+        # efficiency gate divides by.
+        assert result.pass_runs["total_steps"] > 0
+
+    def test_budget_zero_scores_baseline_only(self, fig4_source):
+        result = tune(fig4_source, "core2", budget=0)
+        assert result.pass_runs["executed"] == 0
+        assert result.early_stop["reason"] in ("budget", "lower_bound")
+        assert result.winner["origin"] == "baseline"
+
+    def test_budget_is_respected(self, fig4_source):
+        result = tune(fig4_source, "core2", budget=7)
+        assert result.pass_runs["executed"] <= 7
+
+    def test_bad_parameters_raise_tune_error(self, fig4_source):
+        with pytest.raises(TuneError):
+            tune(fig4_source, "core2", budget=-1)
+        with pytest.raises(TuneError):
+            tune(fig4_source, "core2", n_select=0)
+        with pytest.raises(TuneError):
+            tune(fig4_source, "core2", max_rounds=-1)
+
+    def test_unanalyzable_source_raises_tune_error(self):
+        with pytest.raises(TuneError):
+            tune("", "core2")   # no functions to score
+
+    def test_unknown_core_raises(self, fig4_source):
+        with pytest.raises(ValueError):
+            tune(fig4_source, "z80")
+
+    def test_simulate_rescore_reports_sim_cycles(self, fig4_source):
+        result = tune(fig4_source, "core2", budget=6, simulate_top=2,
+                      max_rounds=0)
+        simmed = [row for row in result.leaderboard
+                  if row.get("sim_cycles") is not None]
+        assert len(simmed) == 2
+        for row in simmed:
+            assert row["sim_cycles"] > 0
+
+
+class TestDocument:
+    def test_schema_and_round_trip(self, fig4_result):
+        doc = fig4_result.to_dict()
+        assert doc["schema"] == TUNE_SCHEMA
+        rebuilt = TuneResult.from_dict(doc)
+        assert rebuilt.to_dict() == doc
+        assert rebuilt.winner_spec == fig4_result.winner_spec
+
+    def test_timings_are_opt_in(self, fig4_result):
+        assert "timings" not in fig4_result.to_dict()
+        timed = fig4_result.to_dict(timings=True)
+        assert timed["timings"]["elapsed_s"] >= 0
+
+    def test_asm_stays_out_of_the_document(self, fig4_result):
+        assert "asm" not in fig4_result.to_dict()
+
+    def test_explain_mentions_winner_and_stop(self, fig4_result):
+        text = fig4_result.explain()
+        assert fig4_result.winner_spec in text
+        assert fig4_result.early_stop["reason"] in text
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError):
+            TuneResult.from_dict({"schema": "pymao.tune/999"})
+
+
+class TestPrefixCache:
+    def test_tune_prefixes_replay_as_batch_artifacts(self, tmp_path,
+                                                     fig4_source):
+        """Tune writes the same keys `optimize_many` reads: optimizing
+        the winning spec after a tune must be a pure cache hit."""
+        cache = ArtifactCache(str(tmp_path / "store"))
+        result = tune(fig4_source, "core2", cache=cache)
+        assert result.winner_spec   # fig4 improves beyond baseline
+        batch = api.optimize_many([("fig4.s", fig4_source)],
+                                  result.winner_spec, cache=cache)
+        assert batch.items[0].cache == "hit"
+        assert batch.items[0].asm == result.asm
+
+    def test_warm_retune_runs_nothing(self, tmp_path, fig4_source):
+        store = str(tmp_path / "store")
+        cold = tune(fig4_source, "core2", cache=ArtifactCache(store))
+        warm = tune(fig4_source, "core2", cache=ArtifactCache(store))
+        assert cold.pass_runs["cache_hits"] == 0
+        assert warm.pass_runs["executed"] == 0
+        assert warm.pass_runs["cache_hits"] \
+            == cold.pass_runs["executed"]
+        assert warm.winner == cold.winner
