@@ -3,7 +3,7 @@ PYTHON ?= python
 .PHONY: test bench bench-quick bench-suite bench-batch-smoke \
 	bench-predict-smoke perf-report trace-smoke server-smoke \
 	bench-server-smoke fleet-smoke bench-fleet-smoke tune-smoke \
-	bench-tune-smoke clean
+	bench-tune-smoke pgo-smoke bench-pgo-smoke clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -16,6 +16,7 @@ bench:
 	$(PYTHON) benchmarks/bench_server.py --fleet 1,2,4
 	$(PYTHON) benchmarks/bench_predict.py
 	$(PYTHON) benchmarks/bench_tune.py
+	$(PYTHON) benchmarks/bench_pgo.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
@@ -58,6 +59,22 @@ bench-tune-smoke:
 	$(PYTHON) benchmarks/bench_tune.py --quick \
 		-o /tmp/pymao_bench_tune.json
 	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_tune.json
+
+# Profile-guided loop smoke: two `mao profile --ingest` CLI runs, a
+# hot/warm guided optimize whose second run replays from the
+# epoch-salted cache, a targeted epoch invalidation, and a
+# /v1/profile ingest + lookup round-trip against a live server.
+pgo-smoke:
+	$(PYTHON) scripts/pgo_smoke.py
+
+# Profile-guided bench smoke: on the --quick Zipf mix, PGO must beat
+# the static default spec on request-weighted simulated cycles while
+# executing <= 1/3 of a full corpus autotune's pass runs; the report
+# gate re-checks the recorded JSON.
+bench-pgo-smoke:
+	$(PYTHON) benchmarks/bench_pgo.py --quick \
+		-o /tmp/pymao_bench_pgo.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_pgo.json
 
 # Service lifecycle smoke: start `mao serve` on an ephemeral port, one
 # optimize + one metrics scrape through repro.server.client, SIGTERM,

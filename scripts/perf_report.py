@@ -41,7 +41,14 @@ field:
   prefix-artifact caching + early stopping >= 3x fewer pass executions
   than exhaustive enumeration of the generated candidate set, and warm
   re-tunes replaying entirely from the shared store (zero executions,
-  identical winner).
+  identical winner);
+* ``BENCH_pgo.json`` (``mao-bench-pgo/1``) from
+  ``benchmarks/bench_pgo.py`` — continuous profile-guided
+  re-optimization on a Zipf-skewed request mix over the kernel corpus:
+  the hot tier rides the tuner's winner while warm inputs take the
+  default spec, so the request-weighted simulated-cycle total must
+  strictly beat optimizing everything with the static default, at
+  <= 1/3 of the pass executions a full autotune of the corpus costs.
 
 Handlers self-register: decorating a class with
 ``@register("mao-bench-X/1")`` adds its ``render(results)`` /
@@ -76,7 +83,7 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
                   "BENCH_batch.json", "BENCH_server.json",
                   "BENCH_fleet.json", "BENCH_predict.json",
-                  "BENCH_tune.json")
+                  "BENCH_tune.json", "BENCH_pgo.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
@@ -590,6 +597,76 @@ class TuneReport:
         if efficiency is None or efficiency < required:
             failures.append("search efficiency %sx < required %.1fx"
                             % (efficiency, required))
+        return failures
+
+
+#: Required tune-all-over-PGO pass-execution factor: profile guidance
+#: must spend at most 1/3 of what tuning every corpus input costs.
+PGO_MIN_PASS_RUN_FACTOR = 3.0
+
+
+@register("mao-bench-pgo/1")
+class PgoReport:
+    """Profile-guided re-optimization vs the static default spec."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("profile-guided benchmark (%s)" % results.get("schema", "?"))
+        _row("core", config.get("core", "?"))
+        _row("default spec", config.get("default_spec", "?"))
+        _row("hot fraction / tune budget", "%s / %s per input"
+             % (config.get("hot_fraction"),
+                config.get("tune_budget_per_input")))
+        print("per input (simulated cycles, request-weighted mix):")
+        for entry in results.get("rows", ()):
+            _row("%s" % entry["kernel"],
+                 "req %3d %-4s %-30s static %7d pgo %7d runs %d"
+                 % (entry["requests"], entry.get("tier", "?"),
+                    entry.get("spec") or "<passthrough>",
+                    entry["static_cycles"], entry["pgo_cycles"],
+                    entry.get("pgo_pass_runs", 0)))
+        totals = results.get("totals", {})
+        if totals:
+            _row("weighted cycles", "static %d -> pgo %d (saved %d)"
+                 % (totals.get("static_cycles", 0),
+                    totals.get("pgo_cycles", 0),
+                    totals.get("cycles_saved", 0)))
+            _row("pass executions", "pgo %d vs tune-all %d "
+                 "(<= 1/%.0f required)"
+                 % (totals.get("pgo_pass_runs", 0),
+                    totals.get("tune_all_pass_runs", 0),
+                    totals.get("min_pass_run_factor",
+                               PGO_MIN_PASS_RUN_FACTOR)))
+            _row("hot inputs", str(totals.get("hot_inputs")))
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        totals = results.get("totals") or {}
+        if not results.get("rows"):
+            failures.append("missing per-input pgo rows")
+            return failures
+        static = totals.get("static_cycles")
+        pgo = totals.get("pgo_cycles")
+        if static is None or pgo is None:
+            failures.append("missing weighted cycle totals")
+        elif not pgo < static:
+            failures.append("pgo weighted cycles %s not strictly below "
+                            "static default %s" % (pgo, static))
+        factor = totals.get("min_pass_run_factor",
+                            PGO_MIN_PASS_RUN_FACTOR)
+        pgo_runs = totals.get("pgo_pass_runs")
+        tune_all = totals.get("tune_all_pass_runs")
+        if pgo_runs is None or tune_all is None:
+            failures.append("missing pass-execution totals")
+        elif pgo_runs * factor > tune_all:
+            failures.append("pgo executed %s pass runs > 1/%.0f of the "
+                            "%s a full autotune costs"
+                            % (pgo_runs, factor, tune_all))
+        if not totals.get("hot_inputs"):
+            failures.append("no input classified hot — the mix exercises "
+                            "nothing")
         return failures
 
 

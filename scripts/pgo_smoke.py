@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""CI smoke for the profile-guided loop: sample -> store -> spec.
+
+Exercises the whole PGO surface in a few seconds:
+
+1. two real ``mao profile --ingest`` CLI runs land a heavy fig4_loop
+   and a light eon_loop profile in one on-disk store;
+2. ``api.optimize_many(profile_guided=True)`` classifies them hot /
+   warm — the hot input rides a tune winner, the warm one the default
+   spec — and a second run replays entirely from the epoch-salted
+   artifact cache;
+3. re-ingesting the hot input with a new weight bumps its profile
+   epoch, invalidating exactly that input's cached artifacts (the warm
+   input must still hit);
+4. one ``POST /v1/profile`` ingest + lookup round-trip against an
+   in-process server wired to the same store.
+
+Run via ``make pgo-smoke``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import api  # noqa: E402
+from repro.batch.cache import ArtifactCache  # noqa: E402
+from repro.pgo import PgoPolicy, ProfileStore, build_profile  # noqa: E402
+
+HOT_KERNEL = "fig4_loop"
+WARM_KERNEL = "eon_loop"
+PERIOD = 97
+SEED = 7
+
+
+def run_profile_cli(kernel, weight, profile_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "profile", kernel,
+         "--period", str(PERIOD), "--seed", str(SEED),
+         "--weight", str(weight), "--ingest",
+         "--profile-dir", profile_dir],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        print("FAIL: mao profile exited %d:\n%s" % (proc.returncode,
+                                                    proc.stderr),
+              file=sys.stderr)
+        sys.exit(1)
+    document = json.loads(proc.stdout)
+    assert document["schema"] == "pymao.profile/1", document["schema"]
+    return document
+
+
+def guided_run(sources, profile_dir, cache):
+    # Default tune budget: warm re-tunes replay the identical winner
+    # from the artifact store (bench_tune's gated claim), so the hot
+    # input's group cache key is stable across guided runs.
+    return api.optimize_many(
+        sources, profile_guided=True, profile_dir=profile_dir,
+        cache=cache, pgo_policy=PgoPolicy(hot_fraction=0.55))
+
+
+def main() -> int:
+    from repro.workloads import kernels
+
+    hot_src = getattr(kernels, HOT_KERNEL)()
+    warm_src = getattr(kernels, WARM_KERNEL)()
+    sources = [(HOT_KERNEL, hot_src), (WARM_KERNEL, warm_src)]
+
+    with tempfile.TemporaryDirectory(prefix="pymao-pgo-smoke-") as work:
+        profile_dir = os.path.join(work, "profiles")
+        cache = ArtifactCache(os.path.join(work, "cache"),
+                              salt="pgo-smoke")
+
+        run_profile_cli(HOT_KERNEL, 64.0, profile_dir)
+        run_profile_cli(WARM_KERNEL, 9.0, profile_dir)
+        print("ingest: ok (two profiles via `mao profile --ingest`)")
+
+        first = guided_run(sources, profile_dir, cache)
+        tiers = [item.pgo["tier"] for item in first]
+        if tiers != ["hot", "warm"] or not all(i.ok for i in first):
+            print("FAIL: expected [hot, warm] tiers, got %s" % tiers,
+                  file=sys.stderr)
+            return 1
+        if first.items[1].pgo["spec"] != "REDTEST:LOOP16":
+            print("FAIL: warm input not on the default spec: %r"
+                  % first.items[1].pgo["spec"], file=sys.stderr)
+            return 1
+        print("guided: ok (hot=%s via %s, warm=default)"
+              % (first.items[0].pgo["spec"] or "<passthrough>",
+                 first.items[0].pgo["origin"]))
+
+        second = guided_run(sources, profile_dir, cache)
+        if [item.cache for item in second] != ["hit", "hit"]:
+            print("FAIL: warm replay missed the epoch-salted cache: %s"
+                  % [item.cache for item in second], file=sys.stderr)
+            return 1
+        print("replay: ok (both inputs hit the epoch-salted cache)")
+
+        store = ProfileStore(profile_dir)
+        store.ingest(build_profile(hot_src, period=PERIOD, seed=SEED,
+                                   weight=96.0))
+        third = guided_run(sources, profile_dir, cache)
+        if [item.cache for item in third] != ["miss", "hit"]:
+            print("FAIL: epoch bump did not invalidate exactly the "
+                  "re-profiled input: %s" % [i.cache for i in third],
+                  file=sys.stderr)
+            return 1
+        print("invalidate: ok (new epoch missed, untouched input hit)")
+
+        from repro.server import Client, ServerConfig, ServerThread
+
+        document = build_profile(warm_src, period=PERIOD, seed=SEED,
+                                 weight=33.0)
+        with ServerThread(ServerConfig(port=0, cache=False,
+                                       profile_dir=profile_dir)) as server:
+            with Client(port=server.port) as client:
+                ingested = client.profile(document)
+                fetched = client.profile(digest=document["digest"])
+        if not fetched["found"] \
+                or fetched["profile"]["weight"] != 33.0 \
+                or ingested["profile"]["epoch"] \
+                != fetched["profile"]["epoch"]:
+            print("FAIL: /v1/profile round-trip mismatch: %s"
+                  % fetched, file=sys.stderr)
+            return 1
+        print("serve: ok (/v1/profile ingest + lookup round-trip)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -232,6 +232,9 @@ class OptimizeResult(ApiResult):
     pipeline: PipelineResult
     parse_s: float
     passes_s: float
+    #: Profile-guided decision summary (``optimize(profile_guided=True)``
+    #: only).
+    pgo: Optional[Dict[str, Any]] = None
 
     @property
     def reports(self):
@@ -247,6 +250,8 @@ class OptimizeResult(ApiResult):
         doc: Dict[str, Any] = {"schema": OPTIMIZE_SCHEMA,
                                "asm": self.unit.to_asm(),
                                "pipeline": self.pipeline.to_dict()}
+        if self.pgo is not None:
+            doc["pgo"] = self.pgo
         if timings:
             doc["timings"] = {"parse_s": round(self.parse_s, 6),
                               "passes_s": round(self.passes_s, 6)}
@@ -259,7 +264,8 @@ class OptimizeResult(ApiResult):
         return cls(unit=parse_unit(data["asm"]),
                    pipeline=PipelineResult.from_dict(data["pipeline"]),
                    parse_s=float(timing.get("parse_s", 0.0)),
-                   passes_s=float(timing.get("passes_s", 0.0)))
+                   passes_s=float(timing.get("passes_s", 0.0)),
+                   pgo=data.get("pgo"))
 
 
 @dataclass
@@ -325,9 +331,23 @@ def optimize(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
              parallel_backend: str = "thread",
              filename: str = "<string>",
              workload: Union[None, str, Any] = None,
+             profile_guided: bool = False,
+             core: Union[str, ProcessorModel] = "core2",
+             profile_dir: Optional[str] = None,
+             pgo_policy: Any = None,
+             cache: Union[bool, Any] = True,
+             cache_dir: Optional[str] = None,
              src: Any = _UNSET) -> OptimizeResult:
     """Parse *source* (text, a unit, or a kernel name) and run *spec*
     (a ``--mao=`` string or ``(name, options)`` items) over it.
+
+    ``profile_guided=True`` picks the spec from the input's stored
+    execution profile instead (``spec`` must then be ``None``): the
+    :class:`repro.pgo.ProfileStore` at *profile_dir* is consulted and
+    the input's hotness tier decides between the ``tune()`` winner
+    (hot, searched on *core* against ``pgo_policy``'s budget and cached
+    via *cache*/*cache_dir*), the default spec (warm), or a passthrough
+    (cold).  The decision summary lands on ``result.pgo``.
 
     ``src=`` is the deprecated spelling of ``source=``.
     """
@@ -335,6 +355,21 @@ def optimize(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
 
     source = _merge_renamed(source, src, "src")
     resolved = _resolve_source(source, workload=workload)
+    pgo_doc: Optional[Dict[str, Any]] = None
+    if profile_guided:
+        from repro import pgo as _pgo
+
+        if spec is not None:
+            raise ValueError(
+                "profile_guided=True chooses the spec itself; "
+                "pass spec=None")
+        decision = _pgo.decide_one(
+            _source_text(resolved), core=core,
+            store=_pgo.ProfileStore(profile_dir), policy=pgo_policy,
+            cache=_resolve_cache(cache, cache_dir), jobs=jobs,
+            parallel_backend=parallel_backend)
+        spec = decision.spec_items
+        pgo_doc = decision.to_dict()
     with obs.span("optimize", jobs=jobs,
                   parallel_backend=parallel_backend) as root:
         if isinstance(resolved, MaoUnit):
@@ -358,7 +393,7 @@ def optimize(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
             root.attach(passes=[name for name, _ in items],
                         reports=len(result.reports))
     return OptimizeResult(unit=unit, pipeline=result,
-                          parse_s=parse_s, passes_s=passes_s)
+                          parse_s=parse_s, passes_s=passes_s, pgo=pgo_doc)
 
 
 def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
@@ -368,7 +403,11 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
                   cache_dir: Optional[str] = None,
                   cache_salt: Optional[str] = None,
                   max_cache_bytes: Optional[int] = None,
-                  predict_core: Optional[str] = None):
+                  predict_core: Optional[str] = None,
+                  profile_guided: bool = False,
+                  core: Union[str, ProcessorModel] = "core2",
+                  profile_dir: Optional[str] = None,
+                  pgo_policy: Any = None):
     """Optimize a corpus of files (paths or ``(name, source)`` pairs).
 
     The batch front door: shards cache misses across ``jobs`` workers on
@@ -387,11 +426,30 @@ def optimize_many(inputs, spec: Union[None, str, SpecItems] = None, *,
     item with the static throughput prediction of its emitted assembly
     (see :func:`predict`), enabling
     ``batch.ranked_by_prediction()`` corpus triage without simulation.
+
+    ``profile_guided=True`` ignores the corpus-wide *spec* (it must be
+    ``None``) and decides each input's spec from its stored execution
+    profile: hot inputs get a budgeted ``tune()`` search on *core*, warm
+    inputs the default spec, cold inputs a passthrough, and artifacts
+    are cached under a salt folding in each input's profile epoch so a
+    re-profiled input misses exactly its own cached entries.  Each item
+    carries its decision as ``item.pgo``.
     """
     from repro import batch as _batch
 
     cache_obj = _resolve_cache(cache, cache_dir, cache_salt,
                                max_cache_bytes)
+    if profile_guided:
+        from repro import pgo as _pgo
+
+        if spec is not None:
+            raise ValueError(
+                "profile_guided=True chooses per-input specs; "
+                "pass spec=None")
+        return _pgo.run_guided_batch(
+            inputs, core=core, store=_pgo.ProfileStore(profile_dir),
+            policy=pgo_policy, cache=cache_obj, jobs=jobs,
+            parallel_backend=parallel_backend, predict=predict_core)
     return _batch.run_batch(inputs, spec, jobs=jobs,
                             parallel_backend=parallel_backend,
                             cache=cache_obj, predict=predict_core)

@@ -76,6 +76,9 @@ class BatchItem:
     #: the item itself.
     prediction: Optional[Dict[str, Any]] = None
     predict_error: Optional[str] = None
+    #: Profile-guided decision summary (tier, epoch, origin, spec) when
+    #: the item ran under ``optimize_many(profile_guided=True)``.
+    pgo: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -100,6 +103,8 @@ class BatchItem:
             data["prediction"] = self.prediction
         if self.predict_error is not None:
             data["predict_error"] = self.predict_error
+        if self.pgo is not None:
+            data["pgo"] = self.pgo
         if timings:
             data["parse_s"] = round(self.parse_s, 6)
             data["passes_s"] = round(self.passes_s, 6)
@@ -205,6 +210,7 @@ def _batch_item_from_dict(row: Dict[str, Any]) -> BatchItem:
         passes_s=float(row.get("passes_s", 0.0)),
         prediction=row.get("prediction"),
         predict_error=row.get("predict_error"),
+        pgo=row.get("pgo"),
     )
 
 

@@ -177,6 +177,7 @@ def print_version(stream) -> None:
     import repro.batch.engine   # noqa: F401  batch
     import repro.obs.span       # noqa: F401  trace
     import repro.passes.manager  # noqa: F401  pipeline
+    import repro.pgo.store      # noqa: F401  profile
     import repro.server.app     # noqa: F401  server
     import repro.server.fleet   # noqa: F401  fleet
     import repro.tune           # noqa: F401  tune / bench-tune
@@ -366,6 +367,112 @@ def tune_main(argv: List[str]) -> int:
     return 0
 
 
+def profile_main(argv: List[str]) -> int:
+    """``mao profile`` — sample an input and emit its profile document.
+
+    ``mao profile --period 1000 --seed 7 file.s`` runs the input under
+    the sampling interpreter and prints the ``pymao.profile/1`` document
+    that ``POST /v1/profile`` (or ``--ingest``) feeds the PGO store.
+    The input may be an assembly file or a workload kernel name, and
+    ``--seed`` makes the sample phase deterministic — the same seed
+    reproduces the same samples at any ``--jobs`` count.
+    """
+    import argparse
+    import json as _json
+    import os
+
+    parser = argparse.ArgumentParser(
+        prog="mao profile",
+        description="sample an input under the architectural interpreter "
+                    "and emit its pymao.profile/1 document")
+    parser.add_argument("--period", type=int, default=1000, metavar="N",
+                        help="sample every N executed instructions "
+                             "(default: 1000)")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="deterministic sampling-phase seed (default: "
+                             "phase 0, the historical behavior)")
+    parser.add_argument("--weight", type=float, default=None, metavar="W",
+                        help="profile weight to record (default: executed "
+                             "step count)")
+    parser.add_argument("--entry", default="main", metavar="SYMBOL",
+                        help="entry symbol to execute (default: main)")
+    parser.add_argument("--max-steps", type=int, default=5_000_000,
+                        metavar="N",
+                        help="execution step bound (default: 5000000)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel workers when profiling several "
+                             "inputs")
+    parser.add_argument("--parallel-backend", default="thread",
+                        choices=("thread", "process"),
+                        help="worker pool backend")
+    parser.add_argument("--ingest", action="store_true",
+                        help="also store the document in the local PGO "
+                             "profile store")
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="profile store for --ingest (default: "
+                             "$PYMAO_PROFILE_DIR, else "
+                             "~/.cache/pymao-profiles)")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the document(s) here instead of stdout")
+    parser.add_argument("inputs", nargs="+", metavar="input",
+                        help="assembly files or workload kernel names")
+    args = parser.parse_args(argv)
+    if args.period <= 0:
+        sys.stderr.write("mao profile: --period must be positive\n")
+        return 2
+
+    from repro import pgo
+
+    pairs = []
+    for name in args.inputs:
+        source = name
+        if os.path.exists(name) or not name.isidentifier():
+            try:
+                with open(name) as handle:
+                    source = handle.read()
+            except OSError as exc:
+                sys.stderr.write("mao profile: %s\n" % exc)
+                return 1
+        else:
+            try:
+                source = api._resolve_source(source)
+            except ValueError as exc:
+                sys.stderr.write("mao profile: %s\n" % exc)
+                return 1
+        pairs.append((name, source))
+
+    results = pgo.profile_many(pairs, period=args.period, seed=args.seed,
+                               jobs=args.jobs,
+                               parallel_backend=args.parallel_backend,
+                               entry_symbol=args.entry,
+                               max_steps=args.max_steps)
+    failed = [(name, error) for name, doc, error in results if doc is None]
+    for name, error in failed:
+        sys.stderr.write("mao profile: %s: %s\n" % (name, error))
+    documents = [doc for _, doc, _ in results if doc is not None]
+    if args.weight is not None:
+        for doc in documents:
+            doc["weight"] = args.weight
+    if args.ingest and documents:
+        store = pgo.ProfileStore(args.profile_dir)
+        for doc in documents:
+            entry = store.ingest(doc)
+            sys.stderr.write("mao profile: ingested %s epoch=%d\n"
+                             % (entry.digest[:12], entry.epoch))
+    rendered = _json.dumps(documents[0] if len(documents) == 1
+                           else documents, indent=2, sort_keys=True)
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(rendered + "\n")
+        except OSError as exc:
+            sys.stderr.write("mao profile: %s\n" % exc)
+            return 1
+    else:
+        sys.stdout.write(rendered + "\n")
+    return 1 if failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -384,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return predict_main(argv[1:])
     if argv and argv[0] == "tune":
         return tune_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)

@@ -1,0 +1,109 @@
+"""Hotness classifier: sample weight → spec tier.
+
+Entries are ranked by weight (ties broken by digest so classification
+is fully deterministic) and split into three tiers:
+
+* **hot** — the smallest weight-descending prefix covering at least
+  ``hot_fraction`` of total profiled weight, optionally capped by
+  ``max_hot``.  Hot inputs earn the full autotune search.
+* **warm** — profiled above ``cold_weight`` but not hot.  Warm inputs
+  get the hand-written default spec.
+* **cold** — unprofiled, or weight ≤ ``cold_weight``.  Cold inputs pass
+  through untouched (empty spec).
+
+The budget knobs (``tune_budget`` total pass executions per decision
+run, ``tune_budget_per_input`` per tune call) are consumed by
+:mod:`repro.pgo.engine`, which walks hot inputs hottest-first and
+degrades the remainder to warm once the budget runs out — that is what
+concentrates tuning spend on the hottest deciles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro import obs
+from repro.obs import metrics
+from repro.pgo.store import ProfileEntry, ProfileStore
+from repro.tune import DEFAULT_SPEC
+
+TIER_HOT = "hot"
+TIER_WARM = "warm"
+TIER_COLD = "cold"
+
+
+@dataclass(frozen=True)
+class PgoPolicy:
+    """Knobs for tiering and for how much tuning the tiers may spend."""
+
+    hot_fraction: float = 0.9
+    cold_weight: float = 0.0
+    tune_budget: int = 96
+    tune_budget_per_input: int = 24
+    max_hot: Optional[int] = None
+    warm_spec: str = DEFAULT_SPEC
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if self.cold_weight < 0:
+            raise ValueError("cold_weight must be >= 0")
+        if self.tune_budget < 0 or self.tune_budget_per_input <= 0:
+            raise ValueError("tune budgets must be positive")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One input's tier assignment."""
+
+    digest: str
+    tier: str
+    weight: float
+    epoch: int
+
+
+def classify(entries: Union[ProfileStore, Iterable[ProfileEntry]],
+             policy: Optional[PgoPolicy] = None) -> Dict[str, Decision]:
+    """Tier every stored entry; returns ``digest -> Decision``.
+
+    Inputs absent from the result are implicitly cold (see
+    :func:`tier_for`).
+    """
+    policy = policy or PgoPolicy()
+    if isinstance(entries, ProfileStore):
+        entries = entries.entries()
+    with obs.span("pgo.classify"):
+        ranked: List[ProfileEntry] = sorted(
+            entries, key=lambda entry: (-entry.weight, entry.digest))
+        live = [e for e in ranked if e.weight > policy.cold_weight]
+        total = sum(entry.weight for entry in live)
+        decisions: Dict[str, Decision] = {}
+        cumulative = 0.0
+        hot_count = 0
+        for entry in ranked:
+            if entry.weight <= policy.cold_weight:
+                tier = TIER_COLD
+            elif (cumulative < policy.hot_fraction * total
+                  and (policy.max_hot is None or hot_count < policy.max_hot)):
+                tier = TIER_HOT
+                cumulative += entry.weight
+                hot_count += 1
+            else:
+                tier = TIER_WARM
+            decisions[entry.digest] = Decision(
+                digest=entry.digest, tier=tier,
+                weight=entry.weight, epoch=entry.epoch)
+            metrics.REGISTRY.inc("pgo.classify.%s" % tier)
+    return decisions
+
+
+def tier_for(digest: str,
+             entries: Union[ProfileStore, Iterable[ProfileEntry]],
+             policy: Optional[PgoPolicy] = None) -> Decision:
+    """The decision for one digest; unknown digests are cold, epoch 0."""
+    decisions = classify(entries, policy)
+    found = decisions.get(digest)
+    if found is not None:
+        return found
+    return Decision(digest=digest, tier=TIER_COLD, weight=0.0, epoch=0)

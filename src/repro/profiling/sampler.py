@@ -8,6 +8,7 @@ instruction", §III.E.m).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -37,14 +38,35 @@ class SampleSet:
         return counts
 
 
+def sample_phase_for(seed: Optional[int], period: int) -> int:
+    """The sampling phase a given *seed* selects within *period*.
+
+    ``seed=None`` keeps the historical phase 0 (sample at every multiple
+    of the period).  Any explicit seed picks a phase purely from
+    ``(seed, period)`` — no global RNG state, no wall clock — so the
+    same seed reproduces the same sample stream regardless of worker
+    count or scheduling.
+    """
+    if seed is None or period <= 1:
+        return 0
+    return random.Random(seed).randrange(period)
+
+
 def collect_samples(unit: MaoUnit, period: int,
                     entry_symbol: str = "main",
                     args: Optional[List[int]] = None,
-                    max_steps: int = 5_000_000) -> SampleSet:
-    """Run the program sampling every *period* instructions."""
+                    max_steps: int = 5_000_000,
+                    seed: Optional[int] = None) -> SampleSet:
+    """Run the program sampling every *period* instructions.
+
+    *seed* deterministically offsets which step within each period is
+    sampled (see :func:`sample_phase_for`); ``None`` preserves the
+    historical phase-0 behavior byte for byte.
+    """
     program = load_unit(unit, entry_symbol)
     interp = Interpreter(program, max_steps=max_steps)
-    result = interp.run(sample_period=period, args=args)
+    result = interp.run(sample_period=period, args=args,
+                        sample_phase=sample_phase_for(seed, period))
     sample_set = SampleSet(program, steps=result.steps)
     for address, snapshot in result.samples or []:
         entry = program.code_index.get(address)

@@ -95,6 +95,9 @@ class ServerConfig:
     max_cache_bytes: int = DEFAULT_MAX_BYTES
     trace_out: Optional[str] = None   # pymao.trace/1 JSONL, flushed on drain
     drain_grace_s: float = 60.0
+    #: Root of the PGO profile store served by ``/v1/profile``;
+    #: ``None`` = :func:`repro.pgo.default_profile_dir`.
+    profile_dir: Optional[str] = None
     #: Artificial pre-execution delay per work item.  Test/bench hook for
     #: holding execution slots open deterministically; never set in
     #: production configs.
@@ -282,7 +285,7 @@ class MaoServer:
                                    headers=headers)
             if request.method == "POST" and request.path in (
                     "/v1/optimize", "/v1/batch", "/v1/simulate",
-                    "/v1/predict", "/v1/tune"):
+                    "/v1/predict", "/v1/tune", "/v1/profile"):
                 return await self._dispatch_work(request, rid, keep_alive,
                                                  headers)
             self.registry.inc("server.not_found")
@@ -383,6 +386,8 @@ class MaoServer:
                     return await self._handle_predict(request, rid, span)
                 if request.path == "/v1/tune":
                     return await self._handle_tune(request, rid, span)
+                if request.path == "/v1/profile":
+                    return await self._handle_profile(request, rid, span)
                 return await self._handle_simulate(request, rid, span)
             finally:
                 self._executing -= 1
@@ -591,6 +596,45 @@ class MaoServer:
                         stop=doc["early_stop"]["reason"])
         return {"schema": SERVER_SCHEMA, "request_id": rid,
                 "core": core, "tune": doc, "asm": outcome["asm"]}
+
+    async def _handle_profile(self, request: Request, rid: str,
+                              span) -> Dict[str, Any]:
+        """``/v1/profile``: ingest or read back one ``pymao.profile/1``.
+
+        Exactly one profile document per request — that keeps the fleet's
+        digest-based routing well defined (profile affinity = cache
+        affinity: the worker that ingests an input's profile is the one
+        holding its warm tune prefixes).  A ``{"digest": ...}``-only body
+        reads the stored entry back without ingesting.
+        """
+        data = self._body_object(request)
+        document = data.get("profile")
+        digest = data.get("digest")
+        if (document is None) == (digest is None):
+            raise ProtocolError(400, "pass exactly one of 'profile' "
+                                     "(a pymao.profile/1 document) or "
+                                     "'digest'")
+        if document is not None:
+            if not isinstance(document, dict):
+                raise ProtocolError(400, "field 'profile' must be an object")
+        elif not isinstance(digest, str):
+            raise ProtocolError(400, "field 'digest' must be a string")
+        payload = {"profile": document, "digest": digest,
+                   "want_spans": obs.enabled(),
+                   "profile_dir": self.config.profile_dir}
+        outcome = await self._await_pool(work.profile_worker, payload)
+        if outcome["status"] == "error":
+            self.registry.inc("server.client_errors")
+            return {"_status": 400, "error": outcome["error"],
+                    "status": 400, "request_id": rid}
+        self.registry.inc("server.profile.requests")
+        stored = outcome["profile"]
+        if span:
+            span.attach(found=outcome["found"],
+                        ingested=document is not None,
+                        epoch=stored["epoch"] if stored else 0)
+        return {"schema": SERVER_SCHEMA, "request_id": rid,
+                "found": outcome["found"], "profile": stored}
 
     @staticmethod
     def _tune_param(data: Dict[str, Any], name: str,

@@ -62,6 +62,10 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="disable the shared artifact cache")
     parser.add_argument("--cache-salt", default=None,
                         help=argparse.SUPPRESS)   # test/fleet isolation
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="PGO profile-store directory served at "
+                             "/v1/profile (default: $PYMAO_PROFILE_DIR, "
+                             "else ~/.cache/pymao-profiles)")
     parser.add_argument("--test-delay-s", type=float, default=0.0,
                         help=argparse.SUPPRESS)   # deterministic slot-holding
     parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
@@ -82,6 +86,7 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                           cache=not args.no_cache,
                           cache_dir=args.cache_dir,
                           cache_salt=args.cache_salt,
+                          profile_dir=args.profile_dir,
                           test_delay_s=args.test_delay_s,
                           trace_out=args.trace_out)
     if config.trace_out:
@@ -138,6 +143,11 @@ def build_fleet_parser() -> argparse.ArgumentParser:
                         help="disable the shared artifact cache")
     parser.add_argument("--cache-salt", default=None,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--profile-dir", default=None, metavar="DIR",
+                        help="shared PGO profile-store directory all "
+                             "workers serve at /v1/profile (default: "
+                             "$PYMAO_PROFILE_DIR, else "
+                             "~/.cache/pymao-profiles)")
     parser.add_argument("--test-delay-s", type=float, default=0.0,
                         help=argparse.SUPPRESS)
     return parser
@@ -158,6 +168,7 @@ def fleet_main(argv: Optional[List[str]] = None) -> int:
                          cache=not args.no_cache,
                          cache_dir=args.cache_dir,
                          cache_salt=args.cache_salt,
+                         profile_dir=args.profile_dir,
                          worker_test_delay_s=args.test_delay_s)
 
     def ready(fleet: FleetServer) -> None:

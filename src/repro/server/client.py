@@ -287,6 +287,19 @@ class Client:
         return self.request("POST", "/v1/tune", payload,
                             request_id=request_id)
 
+    def profile(self, profile: Optional[Dict[str, Any]] = None, *,
+                digest: Optional[str] = None,
+                request_id: Optional[str] = None) -> Dict[str, Any]:
+        """Ingest a ``pymao.profile/1`` document, or read one back by
+        digest (pass exactly one of the two)."""
+        payload: Dict[str, Any] = {}
+        if profile is not None:
+            payload["profile"] = profile
+        if digest is not None:
+            payload["digest"] = digest
+        return self.request("POST", "/v1/profile", payload,
+                            request_id=request_id)
+
     def healthz(self) -> Dict[str, Any]:
         return self.request("GET", "/healthz")
 

@@ -108,6 +108,9 @@ class FleetConfig:
     max_cache_bytes: int = DEFAULT_MAX_BYTES
     ring_replicas: int = DEFAULT_REPLICAS
     drain_grace_s: float = 60.0
+    #: Root of the shared PGO profile store each worker serves at
+    #: ``/v1/profile``; ``None`` = :func:`repro.pgo.default_profile_dir`.
+    profile_dir: Optional[str] = None
     worker_start_timeout_s: float = 30.0
     #: Artificial pre-execution delay per work item inside each worker
     #: (the server's ``test_delay_s`` hook) — the fleet bench uses it as
@@ -197,6 +200,8 @@ class FleetServer:
                 argv += ["--cache-salt", config.cache_salt]
         else:
             argv += ["--no-cache"]
+        if config.profile_dir:
+            argv += ["--profile-dir", config.profile_dir]
         if config.worker_test_delay_s:
             argv += ["--test-delay-s", "%g" % config.worker_test_delay_s]
         return argv
@@ -414,10 +419,29 @@ class FleetServer:
         **input digest** alone (salt + source sha): every prefix the
         tuner materializes for one input lands on one worker, so a
         re-tune — or a tune after related tunes of the same input —
-        replays that worker's warm prefixes.  Anything unparsable
-        falls back to a raw body hash; the routed worker answers the
-        400 with the real diagnostics.
+        replays that worker's warm prefixes.  ``/v1/profile`` hashes
+        the **same input-digest key** as ``/v1/tune`` (the profile
+        document's digest *is* the source sha), so an input's profile
+        ingests land on the worker already holding its warm tune
+        prefixes — profile affinity = cache affinity.  Anything
+        unparsable falls back to a raw body hash; the routed worker
+        answers the 400 with the real diagnostics.
         """
+        if request.path == "/v1/profile":
+            try:
+                data = json.loads(request.body.decode("utf-8"))
+                value = data.get("digest")
+                if value is None and isinstance(data.get("profile"), dict):
+                    value = data["profile"].get("digest")
+                if isinstance(value, str):
+                    digest = hashlib.sha256()
+                    digest.update(self._key_salt)
+                    digest.update(b"\x00")
+                    digest.update(value.encode("utf-8"))
+                    return "input\x00" + digest.hexdigest()
+            except (ValueError, UnicodeDecodeError, TypeError,
+                    AttributeError):
+                pass
         if request.path == "/v1/tune":
             try:
                 data = json.loads(request.body.decode("utf-8"))

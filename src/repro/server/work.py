@@ -184,6 +184,56 @@ def tune_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
                 "error": "%s: %s" % (type(exc).__name__, exc)}
 
 
+#: One long-lived :class:`~repro.pgo.ProfileStore` handle per root per
+#: process — same rationale as :data:`_CACHE_HANDLES`.
+_STORE_HANDLES: Dict[str, Any] = {}
+_STORE_HANDLES_LOCK = threading.Lock()
+
+
+def _open_store(profile_dir: Optional[str]):
+    from repro.pgo import ProfileStore
+
+    root = profile_dir or ""
+    with _STORE_HANDLES_LOCK:
+        store = _STORE_HANDLES.get(root)
+        if store is None:
+            store = _STORE_HANDLES[root] = ProfileStore(profile_dir or None)
+    return store
+
+
+def profile_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One ``/v1/profile`` body: ingest or look up a profile document.
+
+    With a ``"profile"`` document the store ingests it (epoch bumps only
+    when the weight changed) and returns the stored entry.  With only a
+    ``"digest"`` the stored entry is returned (``"found": false`` when
+    absent) — that read-back path is what lets tests and operators
+    confirm the store survives worker restarts.
+    """
+    from repro import obs
+
+    obs.set_enabled(payload.get("want_spans", False))
+    try:
+        store = _open_store(payload.get("profile_dir"))
+        document = payload.get("profile")
+        with obs.detached_span("pgo.ingest" if document is not None
+                               else "pgo.lookup") as span:
+            if document is not None:
+                entry = store.ingest(document)
+                outcome = {"status": "ok", "found": True,
+                           "profile": entry.to_dict()}
+            else:
+                entry = store.get(payload["digest"])
+                outcome = {"status": "ok", "found": entry is not None,
+                           "profile": entry.to_dict() if entry else None}
+            if span:
+                span.attach(found=outcome["found"])
+        return outcome
+    except Exception as exc:
+        return {"status": "error", "kind": type(exc).__name__,
+                "error": "%s: %s" % (type(exc).__name__, exc)}
+
+
 def simulate_worker(payload: Dict[str, Any]) -> Dict[str, Any]:
     """One ``/v1/simulate`` body over :func:`repro.api.simulate`."""
     import repro.passes  # noqa: F401

@@ -375,11 +375,16 @@ class Interpreter:
             collect_trace: bool = False,
             trace_callback: Optional[Callable[[ExecRecord], None]] = None,
             sample_period: Optional[int] = None,
-            args: Optional[List[int]] = None) -> RunResult:
+            args: Optional[List[int]] = None,
+            sample_phase: int = 0) -> RunResult:
         """Execute from *entry* until return/halt.
 
         ``args`` seeds ``rdi``, ``rsi``, ``rdx``, ``rcx``, ``r8``, ``r9``
         (SysV integer argument order).
+
+        ``sample_phase`` offsets which step within each period is
+        sampled (``steps % period == phase``); phase 0 reproduces the
+        historical behavior exactly.
         """
         if entry is None:
             entry = self.program.entry_point
@@ -397,17 +402,20 @@ class Interpreter:
         trace: Optional[List[ExecRecord]] = [] if collect_trace else None
         samples: Optional[List[Tuple[int, Dict[str, int]]]] = (
             [] if sample_period else None)
+        if sample_period:
+            sample_phase = int(sample_phase) % int(sample_period)
 
         if _BLOCK_CACHE_ENABLED:
             if trace is not None or trace_callback is not None:
                 return self._run_blocks_traced(trace, trace_callback,
-                                               sample_period, samples)
-            return self._run_blocks(sample_period, samples)
+                                               sample_period, samples,
+                                               sample_phase)
+            return self._run_blocks(sample_period, samples, sample_phase)
         return self._run_interpreted(trace, trace_callback, sample_period,
-                                     samples)
+                                     samples, sample_phase)
 
     def _run_interpreted(self, trace, trace_callback, sample_period,
-                         samples) -> RunResult:
+                         samples, sample_phase=0) -> RunResult:
         """Reference loop: decode static facts on every dynamic step.
 
         Kept verbatim from the pre-block-cache engine; differential tests
@@ -435,7 +443,7 @@ class Interpreter:
             steps += 1
             self._tsc += 1
 
-            if sample_period and steps % sample_period == 0:
+            if sample_period and steps % sample_period == sample_phase:
                 samples.append((address, state.snapshot()))
 
             taken: Optional[bool] = None
@@ -561,7 +569,8 @@ class Interpreter:
             1 if last is not None else 0)
         return block
 
-    def _run_blocks(self, sample_period, samples) -> RunResult:
+    def _run_blocks(self, sample_period, samples,
+                    sample_phase=0) -> RunResult:
         """Hot path: no trace, no ExecRecord allocation, no ea computation."""
         state = self.state
         blocks = self.program.block_cache
@@ -585,7 +594,7 @@ class Interpreter:
                         state.rip = step.next_rip
                         steps += 1
                         self._tsc += 1
-                        if sample_period and steps % sample_period == 0:
+                        if sample_period and steps % sample_period == sample_phase:
                             samples.append((step.address, state.snapshot()))
                         step.handler(self, step.insn)
                     if steps >= max_steps:
@@ -611,7 +620,7 @@ class Interpreter:
             state.rip = step.next_rip
             steps += 1
             self._tsc += 1
-            if sample_period and steps % sample_period == 0:
+            if sample_period and steps % sample_period == sample_phase:
                 samples.append((step.address, state.snapshot()))
             outcome = step.handler(self, step.insn)
             if outcome is not None:
@@ -632,7 +641,7 @@ class Interpreter:
                          memory=self.memory, trace=None, samples=samples)
 
     def _run_blocks_traced(self, trace, trace_callback, sample_period,
-                           samples) -> RunResult:
+                           samples, sample_phase=0) -> RunResult:
         """Traced path: per-step records, ea derived from compiled facts."""
         state = self.state
         gp = state.gp
@@ -655,7 +664,7 @@ class Interpreter:
                 state.rip = step.next_rip
                 steps += 1
                 self._tsc += 1
-                if sample_period and steps % sample_period == 0:
+                if sample_period and steps % sample_period == sample_phase:
                     samples.append((step.address, state.snapshot()))
                 mode = step.ea_mode
                 if mode == _EA_NONE:
@@ -689,7 +698,7 @@ class Interpreter:
             state.rip = step.next_rip
             steps += 1
             self._tsc += 1
-            if sample_period and steps % sample_period == 0:
+            if sample_period and steps % sample_period == sample_phase:
                 samples.append((step.address, state.snapshot()))
             mode = step.ea_mode
             if mode == _EA_NONE:
@@ -1441,7 +1450,8 @@ def run_unit(unit: MaoUnit, entry_symbol: str = "main",
              collect_trace: bool = False,
              max_steps: int = 5_000_000,
              args: Optional[List[int]] = None,
-             sample_period: Optional[int] = None) -> RunResult:
+             sample_period: Optional[int] = None,
+             sample_phase: int = 0) -> RunResult:
     """Convenience: load a unit and run it from *entry_symbol*."""
     from repro import obs
 
@@ -1450,7 +1460,8 @@ def run_unit(unit: MaoUnit, entry_symbol: str = "main",
     with obs.span("execute", entry=entry_symbol) as span:
         interp = Interpreter(program, max_steps=max_steps)
         result = interp.run(collect_trace=collect_trace, args=args,
-                            sample_period=sample_period)
+                            sample_period=sample_period,
+                            sample_phase=sample_phase)
         if span:
             span.attach(steps=result.steps, reason=result.reason)
     return result

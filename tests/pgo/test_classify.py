@@ -1,0 +1,80 @@
+"""Hotness tiers: fraction-of-weight hot set, cold floor, caps."""
+
+import pytest
+
+from repro.pgo import PgoPolicy, ProfileEntry, classify, tier_for
+
+
+def entry(digest_char, weight, epoch=1):
+    return ProfileEntry(digest=digest_char * 64, epoch=epoch, weight=weight)
+
+
+class TestTiers:
+    def test_heaviest_prefix_is_hot_rest_is_warm(self):
+        entries = [entry("a", 90.0), entry("b", 6.0), entry("c", 4.0)]
+        decisions = classify(entries, PgoPolicy(hot_fraction=0.9))
+        assert decisions["a" * 64].tier == "hot"
+        assert decisions["b" * 64].tier == "warm"
+        assert decisions["c" * 64].tier == "warm"
+
+    def test_hot_fraction_one_makes_everything_profiled_hot(self):
+        entries = [entry("a", 5.0), entry("b", 3.0)]
+        decisions = classify(entries, PgoPolicy(hot_fraction=1.0))
+        assert {d.tier for d in decisions.values()} == {"hot"}
+
+    def test_zero_weight_is_cold_by_default(self):
+        decisions = classify([entry("a", 10.0), entry("b", 0.0)])
+        assert decisions["b" * 64].tier == "cold"
+
+    def test_cold_weight_floor_applies(self):
+        decisions = classify([entry("a", 10.0), entry("b", 2.0)],
+                             PgoPolicy(cold_weight=3.0))
+        assert decisions["a" * 64].tier == "hot"
+        assert decisions["b" * 64].tier == "cold"
+
+    def test_max_hot_caps_the_hot_set(self):
+        entries = [entry("a", 50.0), entry("b", 40.0), entry("c", 9.0)]
+        decisions = classify(entries,
+                             PgoPolicy(hot_fraction=1.0, max_hot=1))
+        tiers = {d.digest[0]: d.tier for d in decisions.values()}
+        assert tiers == {"a": "hot", "b": "warm", "c": "warm"}
+
+    def test_ties_break_by_digest_deterministically(self):
+        entries = [entry("b", 10.0), entry("a", 10.0)]
+        first = classify(entries, PgoPolicy(hot_fraction=0.5, max_hot=1))
+        second = classify(list(reversed(entries)),
+                          PgoPolicy(hot_fraction=0.5, max_hot=1))
+        assert first == second
+        assert first["a" * 64].tier == "hot"
+        assert first["b" * 64].tier == "warm"
+
+    def test_decision_carries_weight_and_epoch(self):
+        decisions = classify([entry("a", 10.0, epoch=4)])
+        decision = decisions["a" * 64]
+        assert decision.weight == 10.0
+        assert decision.epoch == 4
+
+
+class TestTierFor:
+    def test_unknown_digest_is_cold_epoch_zero(self):
+        decision = tier_for("f" * 64, [entry("a", 10.0)])
+        assert decision.tier == "cold"
+        assert decision.epoch == 0
+        assert decision.weight == 0.0
+
+    def test_known_digest_matches_classify(self):
+        entries = [entry("a", 10.0)]
+        assert tier_for("a" * 64, entries) == classify(entries)["a" * 64]
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"hot_fraction": 0.0},
+        {"hot_fraction": 1.5},
+        {"cold_weight": -1.0},
+        {"tune_budget": -1},
+        {"tune_budget_per_input": 0},
+    ])
+    def test_bad_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PgoPolicy(**kwargs)

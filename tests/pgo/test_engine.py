@@ -1,0 +1,144 @@
+"""Re-optimization decisions and the profile-guided api surfaces."""
+
+import pytest
+
+from repro import api
+from repro.batch.cache import ArtifactCache, source_sha256
+from repro.pgo import (
+    PgoPolicy,
+    ProfileStore,
+    build_profile,
+    decide_many,
+    decide_one,
+)
+from repro.workloads.kernels import eon_loop, fig4_loop, mcf_fig1
+
+PERIOD = 101
+
+
+@pytest.fixture()
+def seeded(tmp_path):
+    """A store with one heavy, one light, and one absent input."""
+    store = ProfileStore(str(tmp_path / "profiles"))
+    hot_src, warm_src = mcf_fig1(), eon_loop()
+    store.ingest(build_profile(hot_src, period=PERIOD, weight=1000.0))
+    store.ingest(build_profile(warm_src, period=PERIOD, weight=10.0))
+    cache = ArtifactCache(str(tmp_path / "cache"), salt="engine-test")
+    return store, cache, hot_src, warm_src
+
+
+class TestDecisions:
+    def test_tiers_map_to_origins(self, seeded):
+        store, cache, hot_src, warm_src = seeded
+        cold_src = ".text\n.globl main\nmain:\n  ret\n"
+        decisions = decide_many(
+            [("h", hot_src), ("w", warm_src), ("c", cold_src)],
+            store=store, cache=cache,
+            policy=PgoPolicy(tune_budget=64, tune_budget_per_input=8))
+        hot = decisions[source_sha256(hot_src)]
+        warm = decisions[source_sha256(warm_src)]
+        cold = decisions[source_sha256(cold_src)]
+        assert hot.tier == "hot" and hot.origin == "tune-winner"
+        assert warm.tier == "warm" and warm.origin == "warm-default"
+        assert warm.spec == "REDTEST:LOOP16"
+        assert cold.tier == "cold" and cold.origin == "cold-baseline"
+        assert cold.spec == "" and cold.spec_items == []
+        assert cold.epoch == 0 and warm.epoch == 1
+
+    def test_zero_budget_degrades_hot_to_warm_spec(self, seeded):
+        store, cache, hot_src, _ = seeded
+        decision = decide_one(hot_src, store=store, cache=cache,
+                              policy=PgoPolicy(tune_budget=0))
+        assert decision.tier == "hot"
+        assert decision.origin == "budget-exhausted"
+        assert decision.spec == "REDTEST:LOOP16"
+
+    def test_duplicate_sources_share_one_decision(self, seeded):
+        store, cache, hot_src, _ = seeded
+        decisions = decide_many([("x", hot_src), ("y", hot_src)],
+                                store=store, cache=cache,
+                                policy=PgoPolicy(tune_budget=32,
+                                                 tune_budget_per_input=8))
+        assert len(decisions) == 1
+
+
+class TestOptimizeProfileGuided:
+    def test_decision_rides_on_the_result(self, seeded):
+        store, cache, _, warm_src = seeded
+        result = api.optimize(warm_src, profile_guided=True,
+                              profile_dir=store.root, cache=cache)
+        assert result.pgo["tier"] == "warm"
+        assert result.pgo["spec"] == "REDTEST:LOOP16"
+        assert result.to_dict()["pgo"] == result.pgo
+
+    def test_round_trips_through_the_document(self, seeded):
+        from repro.api import OptimizeResult
+
+        store, cache, _, warm_src = seeded
+        result = api.optimize(warm_src, profile_guided=True,
+                              profile_dir=store.root, cache=cache)
+        again = OptimizeResult.from_dict(result.to_dict())
+        assert again.pgo == result.pgo
+
+    def test_explicit_spec_conflicts(self, seeded):
+        store, cache, _, warm_src = seeded
+        with pytest.raises(ValueError):
+            api.optimize(warm_src, "LOOP16", profile_guided=True,
+                         profile_dir=store.root, cache=cache)
+
+    def test_plain_optimize_has_no_pgo_doc(self):
+        result = api.optimize(fig4_loop(), "LOOP16")
+        assert result.pgo is None
+        assert "pgo" not in result.to_dict()
+
+
+class TestOptimizeManyProfileGuided:
+    def test_items_carry_their_decisions_in_input_order(self, seeded):
+        store, cache, hot_src, warm_src = seeded
+        cold_src = ".text\n.globl main\nmain:\n  ret\n"
+        result = api.optimize_many(
+            [("h", hot_src), ("c", cold_src), ("w", warm_src)],
+            profile_guided=True, cache=cache, profile_dir=store.root,
+            pgo_policy=PgoPolicy(tune_budget=64, tune_budget_per_input=8))
+        assert [item.name for item in result] == ["h", "c", "w"]
+        assert result.spec == "<profile-guided>"
+        tiers = [item.pgo["tier"] for item in result]
+        assert tiers == ["hot", "cold", "warm"]
+        assert all(item.ok for item in result)
+        summary = result.to_dict()
+        assert [row["pgo"]["tier"] for row in summary["files"]] == tiers
+
+    def test_explicit_spec_conflicts(self, seeded):
+        store, cache, _, warm_src = seeded
+        with pytest.raises(ValueError):
+            api.optimize_many([("w", warm_src)], "LOOP16",
+                              profile_guided=True, cache=cache,
+                              profile_dir=store.root)
+
+    def test_unreadable_path_stays_an_error_item(self, seeded, tmp_path):
+        store, cache, _, warm_src = seeded
+        result = api.optimize_many(
+            [("w", warm_src), str(tmp_path / "missing.s")],
+            profile_guided=True, cache=cache, profile_dir=store.root)
+        assert result.items[0].ok
+        assert not result.items[1].ok
+        assert result.items[1].pgo is None
+
+    def test_second_run_hits_the_epoch_salted_cache(self, seeded):
+        store, cache, _, warm_src = seeded
+        inputs = [("w", warm_src)]
+        first = api.optimize_many(inputs, profile_guided=True, cache=cache,
+                                  profile_dir=store.root)
+        second = api.optimize_many(inputs, profile_guided=True, cache=cache,
+                                   profile_dir=store.root)
+        assert first.items[0].cache == "miss"
+        assert second.items[0].cache == "hit"
+
+    def test_guided_emission_matches_static_default_for_warm(self, seeded):
+        """A warm input's guided output is byte-identical to optimizing
+        it with the default spec directly."""
+        store, cache, _, warm_src = seeded
+        guided = api.optimize_many([("w", warm_src)], profile_guided=True,
+                                   cache=cache, profile_dir=store.root)
+        static = api.optimize(warm_src, "REDTEST:LOOP16")
+        assert guided.items[0].asm == static.unit.to_asm()

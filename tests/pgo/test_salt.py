@@ -1,0 +1,114 @@
+"""Profile-epoch cache-salt injectivity and targeted invalidation.
+
+The epoch-salting contract: folding an input's profile epoch into the
+artifact-cache salt must (a) never collide across distinct ``(digest,
+epoch, spec)`` triples, and (b) invalidate exactly the re-profiled
+input's cached entries on an epoch bump — never the whole store.
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch.cache import ArtifactCache
+from repro.pgo import ProfileStore, build_profile, pgo_cache_salt
+
+SOURCES = st.text(min_size=1, max_size=40)
+EPOCHS = st.integers(min_value=0, max_value=10_000)
+SPECS = st.text(alphabet="ABCDEF:16", min_size=0, max_size=12)
+
+
+def cache_key(base_salt, epoch, source, spec_encoding):
+    # key_for never touches the disk, so a dummy root is fine here.
+    cache = ArtifactCache("/nonexistent",
+                          salt=pgo_cache_salt(base_salt, epoch))
+    return cache.key_for(source, spec_encoding)
+
+
+class TestSaltInjectivity:
+    def test_salt_is_injective_in_the_epoch(self):
+        salts = {pgo_cache_salt("base", epoch) for epoch in range(1000)}
+        assert len(salts) == 1000
+
+    def test_epoch_salt_never_collides_with_an_unsalted_epoch_suffix(self):
+        # "base|pgo-epoch=1" under epoch 2 vs "base" under... there is no
+        # way to confuse the two while the base salt is fixed: a decimal
+        # suffix cannot contain '|pgo-epoch=' again.
+        assert pgo_cache_salt("base", 12) != pgo_cache_salt("base|pgo-epoch=1", 2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=st.tuples(SOURCES, EPOCHS, SPECS),
+           b=st.tuples(SOURCES, EPOCHS, SPECS))
+    def test_distinct_triples_never_share_a_key(self, a, b):
+        if a == b:
+            return
+        key_a = cache_key("base", a[1], a[0], a[2])
+        key_b = cache_key("base", b[1], b[0], b[2])
+        assert key_a != key_b
+
+    def test_key_depends_on_each_component(self):
+        base = cache_key("base", 1, "src", "SPEC")
+        assert cache_key("base", 2, "src", "SPEC") != base
+        assert cache_key("base", 1, "src2", "SPEC") != base
+        assert cache_key("base", 1, "src", "SPEC2") != base
+
+
+class TestTargetedInvalidation:
+    def test_epoch_bump_misses_exactly_the_reprofiled_input(self, tmp_path):
+        """Two profiled inputs, one gets a new profile: the other's
+        profile-guided cache entries must keep hitting."""
+        from repro import api
+        from repro.workloads.kernels import eon_loop, fig4_loop
+
+        store = ProfileStore(str(tmp_path / "profiles"))
+        cache = ArtifactCache(str(tmp_path / "cache"), salt="inv-test")
+        src_a, src_b = fig4_loop(), eon_loop()
+        store.ingest(build_profile(src_a, period=101, weight=50.0))
+        store.ingest(build_profile(src_b, period=101, weight=40.0))
+
+        def run():
+            result = api.optimize_many(
+                [("a", src_a), ("b", src_b)], profile_guided=True,
+                cache=cache, profile_dir=str(tmp_path / "profiles"))
+            return {item.name: item.cache for item in result}
+
+        assert run() == {"a": "miss", "b": "miss"}
+        assert run() == {"a": "hit", "b": "hit"}
+
+        # Re-profile input a with a different weight: its epoch bumps.
+        store.ingest(build_profile(src_a, period=101, weight=75.0))
+        assert run() == {"a": "miss", "b": "hit"}
+        assert run() == {"a": "hit", "b": "hit"}
+
+    def test_identical_reingest_invalidates_nothing(self, tmp_path):
+        from repro import api
+        from repro.workloads.kernels import fig4_loop
+
+        store = ProfileStore(str(tmp_path / "profiles"))
+        cache = ArtifactCache(str(tmp_path / "cache"), salt="noop-test")
+        source = fig4_loop()
+        document = build_profile(source, period=101, weight=50.0)
+        store.ingest(document)
+
+        def run():
+            result = api.optimize_many(
+                [("k", source)], profile_guided=True, cache=cache,
+                profile_dir=str(tmp_path / "profiles"))
+            return result.items[0].cache
+
+        assert run() == "miss"
+        store.ingest(document)     # same weight: no epoch bump
+        assert run() == "hit"
+
+    def test_profile_store_never_shares_the_cache_root(self, tmp_path):
+        """An eviction sweep of the artifact cache walks every *.json
+        under its root and unlinks them — the profile store must live
+        elsewhere or profiles evaporate under cache pressure."""
+        store = ProfileStore(str(tmp_path / "profiles"))
+        cache = ArtifactCache(str(tmp_path / "cache"), salt="roots",
+                              max_bytes=1)   # evict everything on put
+        digest = hashlib.sha256(b"x").hexdigest()
+        store.ingest({"digest": digest, "weight": 9.0})
+        cache.put(cache.key_for("src", "SPEC"), ".text\n", {"schema": "x"})
+        assert store.get(digest) is not None

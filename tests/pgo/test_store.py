@@ -1,0 +1,152 @@
+"""ProfileStore: atomic publish, epoch semantics, corruption tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.pgo import (
+    PROFILE_SCHEMA,
+    ProfileStore,
+    build_profile,
+    default_profile_dir,
+    validate_profile,
+)
+
+DIGEST_A = "a" * 64
+DIGEST_B = "b" * 64
+
+
+def doc(digest=DIGEST_A, weight=100.0, **extra):
+    base = {"schema": PROFILE_SCHEMA, "digest": digest, "weight": weight,
+            "samples": 10, "steps": 1000, "period": 100, "seed": 7}
+    base.update(extra)
+    return base
+
+
+class TestIngestAndEpochs:
+    def test_new_entry_starts_at_epoch_one(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        entry = store.ingest(doc())
+        assert entry.epoch == 1
+        assert entry.weight == 100.0
+        assert store.epoch(DIGEST_A) == 1
+
+    def test_identical_reingest_is_idempotent(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc())
+        entry = store.ingest(doc())
+        assert entry.epoch == 1
+
+    def test_weight_change_bumps_epoch(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc(weight=100.0))
+        entry = store.ingest(doc(weight=250.0))
+        assert entry.epoch == 2
+        assert store.get(DIGEST_A).weight == 250.0
+
+    def test_unknown_digest_is_epoch_zero(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        assert store.epoch(DIGEST_B) == 0
+        assert store.get(DIGEST_B) is None
+
+    def test_client_supplied_epoch_is_ignored(self, tmp_path):
+        """Epochs belong to the store, not the sender — a forged epoch in
+        the ingested document must not leak into versioning."""
+        store = ProfileStore(str(tmp_path))
+        entry = store.ingest(doc(epoch=99))
+        assert entry.epoch == 1
+
+    def test_entries_sorted_by_digest_and_total_weight(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc(digest=DIGEST_B, weight=5.0))
+        store.ingest(doc(digest=DIGEST_A, weight=7.0))
+        entries = store.entries()
+        assert [e.digest for e in entries] == [DIGEST_A, DIGEST_B]
+        assert store.total_weight() == 12.0
+
+
+class TestRobustness:
+    def test_publish_leaves_no_temp_files(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc())
+        leftovers = [name for _, _, names in os.walk(str(tmp_path))
+                     for name in names if name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc())
+        path = os.path.join(str(tmp_path), DIGEST_A[:2],
+                            DIGEST_A + ".json")
+        with open(path, "w") as handle:
+            handle.write("{ torn")
+        assert store.get(DIGEST_A) is None
+        assert not os.path.exists(path)
+
+    def test_wrong_digest_inside_entry_is_a_miss(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc())
+        path = os.path.join(str(tmp_path), DIGEST_A[:2],
+                            DIGEST_A + ".json")
+        with open(path, "w") as handle:
+            json.dump(doc(digest=DIGEST_B), handle)
+        assert store.get(DIGEST_A) is None
+
+    def test_corrupt_entries_are_skipped_by_entries_walk(self, tmp_path):
+        store = ProfileStore(str(tmp_path))
+        store.ingest(doc(digest=DIGEST_A))
+        store.ingest(doc(digest=DIGEST_B))
+        path = os.path.join(str(tmp_path), DIGEST_A[:2],
+                            DIGEST_A + ".json")
+        with open(path, "w") as handle:
+            handle.write("not json")
+        assert [e.digest for e in store.entries()] == [DIGEST_B]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        None, [], "x",
+        {"schema": "pymao.other/1", "digest": DIGEST_A, "weight": 1},
+        {"schema": PROFILE_SCHEMA, "digest": "short", "weight": 1},
+        {"schema": PROFILE_SCHEMA, "digest": "Z" * 64, "weight": 1},
+        {"schema": PROFILE_SCHEMA, "digest": DIGEST_A, "weight": "heavy"},
+        {"schema": PROFILE_SCHEMA, "digest": DIGEST_A, "weight": -1},
+        {"schema": PROFILE_SCHEMA, "digest": DIGEST_A, "weight": True},
+        {"schema": PROFILE_SCHEMA, "digest": DIGEST_A, "weight": 1,
+         "samples": -2},
+        {"schema": PROFILE_SCHEMA, "digest": DIGEST_A, "weight": 1,
+         "seed": "lucky"},
+    ])
+    def test_bad_documents_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            validate_profile(bad)
+
+    def test_schema_defaults_when_absent(self):
+        entry = validate_profile({"digest": DIGEST_A, "weight": 3})
+        assert entry.weight == 3.0
+
+    def test_env_override_picks_the_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("PYMAO_PROFILE_DIR", str(tmp_path / "pp"))
+        assert default_profile_dir() == str(tmp_path / "pp")
+
+
+class TestBuildProfile:
+    def test_document_matches_schema_and_digest(self):
+        from repro.batch.cache import source_sha256
+        from repro.workloads.kernels import fig4_loop
+
+        source = fig4_loop()
+        document = build_profile(source, period=50, seed=3)
+        assert document["schema"] == PROFILE_SCHEMA
+        assert document["digest"] == source_sha256(source)
+        assert document["steps"] > 0
+        assert document["weight"] == float(document["steps"])
+        assert document["samples"] > 0
+        validate_profile(document)
+
+    def test_explicit_weight_overrides_steps(self):
+        from repro.workloads.kernels import fig4_loop
+
+        document = build_profile(fig4_loop(), period=50, weight=123.5)
+        assert document["weight"] == 123.5

@@ -1,0 +1,117 @@
+"""Fleet routing of ``/v1/profile``: profile affinity = cache affinity,
+and the profile store survives rolling restarts."""
+
+import json
+import uuid
+
+import pytest
+
+from repro.pgo import build_profile
+from repro.server import FleetConfig, FleetThread
+from repro.workloads.kernels import hash_bench
+
+from tests.server.test_fleet import raw_request
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    config = FleetConfig(
+        port=0, workers=2, worker_inflight=1, max_queue=32,
+        cache_dir=str(tmp_path_factory.mktemp("fleet-pgo-cache")),
+        cache_salt="fleet-pgo-%s" % uuid.uuid4().hex,
+        profile_dir=str(tmp_path_factory.mktemp("fleet-pgo-profiles")))
+    with FleetThread(config) as handle:
+        yield handle
+
+
+class TestProfileRouting:
+    def test_profile_ingest_shares_the_tune_worker(self, fleet):
+        """The worker that ingests an input's profile is the one holding
+        its warm tune prefixes: both routes hash the input digest."""
+        source = hash_bench()
+        document = build_profile(source, period=211, seed=4)
+        _s, tune_headers, _ = raw_request(
+            fleet.port, "POST", "/v1/tune",
+            {"source": source, "core": "core2", "budget": 8})
+        status, profile_headers, payload = raw_request(
+            fleet.port, "POST", "/v1/profile", {"profile": document})
+        assert status == 200
+        assert payload["found"] is True
+        assert profile_headers["X-Worker"] == tune_headers["X-Worker"]
+
+    def test_repeated_ingests_land_on_one_worker(self, fleet):
+        document = build_profile(hash_bench(), period=307, seed=4)
+        seen = set()
+        for _ in range(4):
+            _s, headers, _ = raw_request(fleet.port, "POST", "/v1/profile",
+                                         {"profile": document})
+            seen.add(headers["X-Worker"])
+        assert len(seen) == 1
+
+    def test_lookup_routes_like_ingest(self, fleet):
+        document = build_profile(hash_bench(), period=401, seed=4)
+        _s, ingest_headers, _ = raw_request(
+            fleet.port, "POST", "/v1/profile", {"profile": document})
+        _s, lookup_headers, payload = raw_request(
+            fleet.port, "POST", "/v1/profile",
+            {"digest": document["digest"]})
+        assert lookup_headers["X-Worker"] == ingest_headers["X-Worker"]
+        assert payload["found"] is True
+
+
+class TestRoutingKeyUnit:
+    """routing_key contract for /v1/profile — no sockets."""
+
+    @staticmethod
+    def _front_door():
+        from repro.server.fleet import FleetServer
+        return FleetServer(FleetConfig(port=0, workers=1,
+                                       cache_salt="rk-pgo-test"))
+
+    @staticmethod
+    def _request(path, payload):
+        from repro.server.http import Request
+        return Request(method="POST", path=path, version="HTTP/1.1",
+                       body=json.dumps(payload).encode())
+
+    def test_profile_key_equals_tune_key_for_the_same_input(self):
+        source = hash_bench()
+        document = build_profile(source, period=211, seed=4)
+        door = self._front_door()
+        tune_key = door.routing_key(self._request(
+            "/v1/tune", {"source": source, "core": "core2"}))
+        ingest_key = door.routing_key(self._request(
+            "/v1/profile", {"profile": document}))
+        lookup_key = door.routing_key(self._request(
+            "/v1/profile", {"digest": document["digest"]}))
+        assert ingest_key == tune_key
+        assert lookup_key == tune_key
+        assert ingest_key.startswith("input\x00")
+
+    def test_unparsable_profile_body_falls_back_to_body_hash(self):
+        from repro.server.http import Request
+        door = self._front_door()
+        key = door.routing_key(Request(method="POST", path="/v1/profile",
+                                       version="HTTP/1.1",
+                                       body=b"\xff not json"))
+        assert key.startswith("body\x00/v1/profile\x00")
+
+
+class TestRestartPersistence:
+    def test_rolling_restart_preserves_the_profile_store(self, fleet):
+        """Ingest before the restart, read back after it: the replacement
+        worker generation opens the same on-disk store."""
+        document = build_profile(hash_bench(), period=503, seed=6,
+                                 weight=987.0)
+        _s, _h, stored = raw_request(fleet.port, "POST", "/v1/profile",
+                                     {"profile": document})
+        epoch_before = stored["profile"]["epoch"]
+        status, _h, report = raw_request(fleet.port, "POST",
+                                         "/admin/restart", {})
+        assert status == 200
+        assert [w["member"] for w in report["restarted"]] == ["w0", "w1"]
+        _s, _h, after = raw_request(fleet.port, "POST", "/v1/profile",
+                                    {"digest": document["digest"]})
+        assert after["found"] is True
+        assert after["profile"]["weight"] == 987.0
+        assert after["profile"]["epoch"] == epoch_before
