@@ -3,7 +3,8 @@ PYTHON ?= python
 .PHONY: test bench bench-quick bench-suite bench-batch-smoke \
 	bench-predict-smoke perf-report trace-smoke server-smoke \
 	bench-server-smoke fleet-smoke bench-fleet-smoke tune-smoke \
-	bench-tune-smoke pgo-smoke bench-pgo-smoke clean
+	bench-tune-smoke pgo-smoke bench-pgo-smoke discover-smoke \
+	bench-discover-smoke check-tracked-artifacts clean
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -17,6 +18,7 @@ bench:
 	$(PYTHON) benchmarks/bench_predict.py
 	$(PYTHON) benchmarks/bench_tune.py
 	$(PYTHON) benchmarks/bench_pgo.py
+	$(PYTHON) benchmarks/bench_discover.py
 	$(PYTHON) scripts/perf_report.py --check
 
 bench-quick:
@@ -75,6 +77,33 @@ bench-pgo-smoke:
 	$(PYTHON) benchmarks/bench_pgo.py --quick \
 		-o /tmp/pymao_bench_pgo.json
 	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_pgo.json
+
+# Discovery CLI smoke: `mao discover --seed` must recover every drawn
+# parameter of the hidden blinded profile exactly, the emitted
+# pymao.uarch/1 doc must predict identically via --core file, the
+# profile registry must list the data-only cores, and a corrupt
+# profile must die with a clean one-line error.
+discover-smoke:
+	$(PYTHON) scripts/discover_smoke.py
+
+# Discovery bench smoke: two distinct seeds, every drawn parameter
+# exact and the assembled model cycle-exact on the cross-check
+# battery; the report gate re-checks the recorded JSON.
+bench-discover-smoke:
+	$(PYTHON) benchmarks/bench_discover.py --quick \
+		-o /tmp/pymao_bench_discover.json
+	$(PYTHON) scripts/perf_report.py --check /tmp/pymao_bench_discover.json
+
+# Fail if any compiled artifact is tracked: __pycache__ directories
+# and *.pyc files must never re-enter the index.
+check-tracked-artifacts:
+	@bad=$$(git ls-files | grep -E '(^|/)__pycache__(/|$$)|\.py[cod]$$' \
+		|| true); \
+	if [ -n "$$bad" ]; then \
+		echo "tracked compiled artifacts:" >&2; echo "$$bad" >&2; \
+		exit 1; \
+	fi
+	@echo "no tracked compiled artifacts"
 
 # Service lifecycle smoke: start `mao serve` on an ephemeral port, one
 # optimize + one metrics scrape through repro.server.client, SIGTERM,

@@ -285,17 +285,89 @@ def rank_candidates(rows, predictions):
     }
 
 
+#: Kernels the ``--profile-matrix`` mode cross-validates on every
+#: registry profile, and the broad sanity band applied there (new
+#: data-only profiles have no hand-pinned per-kernel bands yet — the
+#: matrix asserts the model stays within the same order of magnitude).
+MATRIX_KERNELS = ("fig4_loop", "hash_bench", "hash_bench+sched")
+MATRIX_BAND = (0.05, 3.0)
+
+
+def run_profile_matrix(quick):
+    """Every registry profile x MATRIX_KERNELS, broad-band validated.
+
+    This is the payoff of data-driven profiles: ``skylake``/``zen``
+    (and any future drop-in document) flow through predict + simulate
+    with zero code changes.
+    """
+    from repro.uarch import tables
+
+    profiles = tables.profile_names()
+    configs = [c for c in CONFIGS if c["name"] in MATRIX_KERNELS]
+    rows = []
+    for config in configs:
+        for core in profiles:
+            _lo, hi = (config["quick_scales"] if quick
+                       else config["scales"])
+            source = config["factory"](hi)
+            prediction = api.predict(source, core, loop=config["loop"])
+            steady, _sim_s = steady_state_cycles(config, core, quick)
+            ratio = prediction.cycles / steady if steady else 0.0
+            lo_band, hi_band = MATRIX_BAND
+            rows.append({
+                "kernel": config["name"],
+                "core": core,
+                "predicted_cycles": round(prediction.cycles, 4),
+                "simulated_cycles": round(steady, 4),
+                "ratio": round(ratio, 4),
+                "band": [lo_band, hi_band],
+                "within_band": bool(lo_band <= ratio <= hi_band),
+            })
+            print("%-22s %-10s pred %6.2f  sim %6.2f  ratio %.2f %s"
+                  % (config["name"], core, prediction.cycles, steady,
+                     ratio,
+                     "ok" if rows[-1]["within_band"] else "OUT OF BAND"))
+    return {"profiles": profiles, "kernels": list(MATRIX_KERNELS),
+            "band": list(MATRIX_BAND), "rows": rows}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="cross-validate the static throughput predictor "
                     "against the trace simulator")
     parser.add_argument("--quick", action="store_true",
                         help="smaller simulation scales for CI smoke")
+    parser.add_argument("--profile-matrix", action="store_true",
+                        help="cross-validate over the FULL profile "
+                             "registry (core2/opteron/pentium4 plus "
+                             "every data-only profile) instead of the "
+                             "pinned two-core accuracy matrix")
     parser.add_argument("-o", "--output",
                         default=os.path.join(_REPO_ROOT,
                                              "BENCH_predict.json"),
                         help="output JSON path (default: repo root)")
     args = parser.parse_args(argv)
+
+    if args.profile_matrix:
+        matrix = run_profile_matrix(args.quick)
+        results = {
+            "schema": PREDICT_BENCH_SCHEMA,
+            "config": {"quick": bool(args.quick), "mode": "profile-matrix"},
+            "profile_matrix": matrix,
+        }
+        output = args.output
+        if output.endswith("BENCH_predict.json"):
+            output = output.replace("BENCH_predict.json",
+                                    "BENCH_predict_matrix.json")
+        with open(output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote %s" % output)
+        in_band = all(row["within_band"] for row in matrix["rows"])
+        if not in_band:
+            print("FAIL: profile-matrix rows out of band", file=sys.stderr)
+            return 1
+        return 0
 
     rows, predictions, timing = run_matrix(args.quick)
     ranking = rank_candidates(rows, predictions)

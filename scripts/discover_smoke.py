@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI smoke for `mao discover` + `mao profiles`: the full loop in seconds.
+
+Runs the real CLI end to end:
+
+1. ``mao discover --seed 5 --json -o prof.json`` — every drawn
+   parameter of the hidden ``blinded_profile(5)`` must be recovered
+   exactly and the cross-check battery must be cycle-exact;
+2. the emitted ``pymao.uarch/1`` document is fed back through
+   ``mao predict --core prof.json`` and must predict the same cycle
+   count as the hidden model itself;
+3. ``mao profiles list`` must include the data-only profiles
+   (``skylake``, ``zen``) next to the legacy trio, and
+   ``mao profiles show core2`` must emit a valid ``pymao.uarch/1`` doc;
+4. a corrupt profile file must produce a one-line ``mao: ...`` error
+   (exit 1, no traceback).
+
+Run via ``make discover-smoke``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro import api  # noqa: E402
+from repro.uarch import profiles, tables  # noqa: E402
+
+SEED = 5
+
+
+def run_cli(args, expect_rc=0):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run([sys.executable, "-m", "repro.cli"] + args,
+                          capture_output=True, text=True, env=env)
+    if proc.returncode != expect_rc:
+        print("FAIL: mao %s exited %d (expected %d):\n%s"
+              % (" ".join(args), proc.returncode, expect_rc, proc.stderr),
+              file=sys.stderr)
+        sys.exit(1)
+    return proc
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="pymao-discover-smoke-") as work:
+        prof_path = os.path.join(work, "discovered.json")
+        proc = run_cli(["discover", "--seed", str(SEED), "--json",
+                        "-o", prof_path])
+        doc = json.loads(proc.stdout)
+        assert doc["schema"] == "pymao.discover/1", doc["schema"]
+
+        hidden = profiles.blinded_profile(SEED)
+        discovered = tables.doc_to_model(doc["profile"])
+        mismatches = []
+        drawn = tables.drawn_paths(tables.load_ranges())
+        for path in drawn:
+            want = tables.param_value(hidden, path)
+            got = tables.param_value(discovered, path)
+            if got != want:
+                mismatches.append((path, want, got))
+        if mismatches:
+            for path, want, got in mismatches:
+                print("FAIL: %s hidden %r inferred %r" % (path, want, got),
+                      file=sys.stderr)
+            return 1
+        cc = doc["crosscheck"]
+        if cc["matched"] != cc["total"]:
+            print("FAIL: crosscheck %s/%s" % (cc["matched"], cc["total"]),
+                  file=sys.stderr)
+            return 1
+        print("discover: ok (seed %d, %d drawn parameters exact, "
+              "crosscheck %d/%d)"
+              % (SEED, len(drawn), cc["matched"], cc["total"]))
+
+        # The emitted profile must behave identically to the hidden model.
+        from repro.workloads import kernels
+        asm = kernels.fig4_loop()
+        unit = api.optimize(asm).unit
+        want = api.predict(unit, hidden).cycles
+        got = api.predict(unit, prof_path).cycles
+        if want != got:
+            print("FAIL: --core %s predicted %.2f, hidden model %.2f"
+                  % (prof_path, got, want), file=sys.stderr)
+            return 1
+        print("profile round-trip: ok (--core file predicts %.2f cycles, "
+              "identical to the hidden model)" % got)
+
+        listing = run_cli(["profiles", "list"]).stdout
+        for name in ("core2", "opteron", "pentium4", "skylake", "zen"):
+            if name not in listing:
+                print("FAIL: `mao profiles list` missing %r" % name,
+                      file=sys.stderr)
+                return 1
+        shown = json.loads(run_cli(["profiles", "show", "core2"]).stdout)
+        tables.validate_doc(shown, where="profiles show core2")
+        print("profiles: ok (5 registry profiles listed, core2 doc valid)")
+
+        corrupt = os.path.join(work, "corrupt.json")
+        with open(corrupt, "w") as handle:
+            handle.write('{"schema": "pymao.uarch/99"}\n')
+        proc = run_cli(["predict",
+                        os.path.join(_REPO_ROOT, "examples", "hot_loop.s"),
+                        "--core", corrupt], expect_rc=1)
+        if "Traceback" in proc.stderr or not proc.stderr.startswith("mao"):
+            print("FAIL: corrupt profile did not produce a clean mao: "
+                  "error:\n%s" % proc.stderr, file=sys.stderr)
+            return 1
+        print("corrupt profile: ok (clean one-line error, exit 1)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

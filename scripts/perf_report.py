@@ -83,7 +83,8 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _DEFAULT_FILES = ("BENCH_hotpath.json", "BENCH_sim.json",
                   "BENCH_batch.json", "BENCH_server.json",
                   "BENCH_fleet.json", "BENCH_predict.json",
-                  "BENCH_tune.json", "BENCH_pgo.json")
+                  "BENCH_tune.json", "BENCH_pgo.json",
+                  "BENCH_discover.json")
 
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
@@ -667,6 +668,68 @@ class PgoReport:
         if not totals.get("hot_inputs"):
             failures.append("no input classified hot — the mix exercises "
                             "nothing")
+        return failures
+
+
+@register("mao-bench-discover/1")
+class DiscoverReport:
+    """Discovery-harness exactness: inferred vs hidden blinded models."""
+
+    @staticmethod
+    def render(results: dict) -> None:
+        config = results.get("config", {})
+        print("discovery benchmark (%s)" % results.get("schema", "?"))
+        _row("seeds", ", ".join(str(s) for s in config.get("seeds", ())))
+        _row("parameters per seed", str(len(config.get("paths", ()))))
+        for row in results.get("rows", ()):
+            params = row.get("params", ())
+            matched = sum(1 for p in params if p.get("match"))
+            check = row.get("crosscheck", {})
+            _row("seed %s" % row.get("seed"),
+                 "%d/%d exact, crosscheck %s/%s, %.1fs"
+                 % (matched, len(params), check.get("matched"),
+                    check.get("total"), row.get("wall_s", 0.0)))
+            for p in params:
+                if not p.get("match"):
+                    _row("  MISMATCH %s" % p.get("path"),
+                         "hidden %r inferred %r"
+                         % (p.get("hidden"), p.get("inferred")))
+        determinism = results.get("determinism")
+        if determinism:
+            _row("jobs determinism",
+                 "seed %s jobs %s: %s"
+                 % (determinism.get("seed"), determinism.get("jobs"),
+                    "byte-identical" if determinism.get("byte_identical")
+                    else "DIFFERS"))
+
+    @staticmethod
+    def check(results: dict, min_speedup: float) -> list:
+        failures = []
+        rows = results.get("rows") or []
+        seeds = {row.get("seed") for row in rows}
+        if len(seeds) < 2:
+            failures.append("needs >= 2 distinct blinded seeds, got %d"
+                            % len(seeds))
+        for row in rows:
+            params = row.get("params") or []
+            if not params:
+                failures.append("seed %s carries no parameter rows"
+                                % row.get("seed"))
+                continue
+            for p in params:
+                if not p.get("match"):
+                    failures.append(
+                        "seed %s: %s inferred %r != hidden %r"
+                        % (row.get("seed"), p.get("path"),
+                           p.get("inferred"), p.get("hidden")))
+            check = row.get("crosscheck") or {}
+            if check.get("matched") != check.get("total"):
+                failures.append("seed %s: crosscheck %s/%s not cycle-exact"
+                                % (row.get("seed"), check.get("matched"),
+                                   check.get("total")))
+        determinism = results.get("determinism")
+        if determinism is not None and not determinism.get("byte_identical"):
+            failures.append("discovery output differs across jobs counts")
         return failures
 
 

@@ -83,7 +83,7 @@ from repro.passes.manager import (
 from repro.result import ApiResult
 from repro.sim.interp import RunResult
 from repro.sim.loader import load_unit
-from repro.uarch import profiles
+from repro.uarch import profiles, tables
 from repro.uarch.model import ProcessorModel
 from repro.uarch.pipeline import SimStats, simulate_program
 
@@ -177,15 +177,17 @@ def _source_text(resolved: Union[str, MaoUnit]) -> str:
     return resolved.to_asm() if isinstance(resolved, MaoUnit) else resolved
 
 
-def _resolve_model(core: Union[str, ProcessorModel]) -> ProcessorModel:
-    if isinstance(core, ProcessorModel):
-        return core
-    factory = getattr(profiles, str(core), None)
-    if factory is None or not callable(factory):
-        raise ValueError("unknown processor model %r (try %s)"
-                         % (core, ", ".join(
-                             n for n in ("core2", "opteron", "pentium4"))))
-    return factory()
+def _resolve_model(core: Union[str, Dict[str, Any], ProcessorModel]
+                   ) -> ProcessorModel:
+    """One ``core=`` convention: model, registry name, ``.json`` path, or
+    inline ``pymao.uarch/1`` document (see :func:`repro.uarch.tables.
+    resolve_core`).  ``blinded_profile`` stays accepted by name for the
+    detection surfaces."""
+    if isinstance(core, str):
+        factory = getattr(profiles, core, None)
+        if callable(factory) and core == "blinded_profile":
+            return factory()
+    return tables.resolve_core(core)
 
 
 def _resolve_spec(spec: Union[None, str, SpecItems]) -> SpecItems:
@@ -628,3 +630,25 @@ def tune(source: Union[None, str, MaoUnit, _Unset] = _UNSET,
                       parallel_backend=parallel_backend, cache=cache_obj,
                       entry_symbol=entry_symbol, max_steps=max_steps,
                       **kwargs)
+
+
+def discover(core: Any = None, *, seed: Optional[int] = None,
+             name: Optional[str] = None, jobs: int = 1,
+             parallel_backend: str = "thread"):
+    """Infer a processor's µarch parameters from microbenchmarks alone.
+
+    Runs the :mod:`repro.discover` ladder harness against an oracle —
+    either ``core`` (anything :func:`_resolve_model` accepts) or a
+    blinded-profile ``seed`` — and returns a
+    :class:`repro.discover.DiscoverResult` whose ``profile_doc()`` is a
+    complete ``pymao.uarch/1`` document; written to a file it is
+    accepted by every ``core=`` surface.  For a fixed oracle the result
+    document is byte-identical at any ``jobs`` count under either
+    backend.
+    """
+    from repro import discover as _discover
+
+    if core is not None and seed is None:
+        core = _resolve_model(core)
+    return _discover.discover(core, seed=seed, name=name, jobs=jobs,
+                              parallel_backend=parallel_backend)

@@ -84,18 +84,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "registry)")
     parser.add_argument("--time", action="store_true",
                         help="report wall-clock time per pass pipeline")
-    parser.add_argument("--predict", choices=("core2", "opteron",
-                                              "pentium4"),
-                        default=None, metavar="CORE",
+    parser.add_argument("--predict", default=None, metavar="CORE",
                         help="batch mode: annotate each output with the "
-                             "static throughput prediction for CORE and "
-                             "print the corpus ranked by predicted "
-                             "cycles (see also the 'mao predict' verb)")
-    parser.add_argument("--sim", choices=("core2", "opteron", "pentium4"),
-                        default=None, metavar="MODEL",
+                             "static throughput prediction for CORE — a "
+                             "profile name ('mao profiles list') or a "
+                             "pymao.uarch/1 .json path — and print the "
+                             "corpus ranked by predicted cycles (see "
+                             "also the 'mao predict' verb)")
+    parser.add_argument("--sim", default=None, metavar="MODEL",
                         help="simulate the optimized unit on a processor "
-                             "model (core2, opteron, pentium4) and report "
-                             "cycles")
+                             "model (a profile name or a pymao.uarch/1 "
+                             ".json path) and report cycles")
     parser.add_argument("--trace-out", default=None, metavar="FILE.jsonl",
                         help="write the run's trace (nested spans + "
                              "metrics snapshot) as pymao.trace/1 JSONL")
@@ -175,6 +174,7 @@ def print_version(stream) -> None:
     import repro.api            # noqa: F401  optimize / sim
     import repro.batch.cache    # noqa: F401  artifact
     import repro.batch.engine   # noqa: F401  batch
+    import repro.discover       # noqa: F401  discover / bench-discover
     import repro.obs.span       # noqa: F401  trace
     import repro.passes.manager  # noqa: F401  pipeline
     import repro.pgo.store      # noqa: F401  profile
@@ -182,6 +182,7 @@ def print_version(stream) -> None:
     import repro.server.fleet   # noqa: F401  fleet
     import repro.tune           # noqa: F401  tune / bench-tune
     import repro.uarch.static_model  # noqa: F401  predict / bench-predict
+    import repro.uarch.tables   # noqa: F401  uarch / uarch-ranges
 
     stream.write("mao (PyMAO) %s\n" % __version__)
     for label, schema in result.iter_schemas():
@@ -203,9 +204,10 @@ def predict_main(argv: List[str]) -> int:
         prog="mao predict",
         description="statically predict steady-state cycles-per-iteration "
                     "(port binding + latency critical path + front end)")
-    parser.add_argument("--core", default="core2",
-                        choices=("core2", "opteron", "pentium4"),
-                        help="processor profile to predict for")
+    parser.add_argument("--core", default="core2", metavar="CORE",
+                        help="processor profile to predict for: a name "
+                             "from 'mao profiles list' or a pymao.uarch/1 "
+                             ".json path")
     parser.add_argument("--mao", action="append", default=[], metavar="SPEC",
                         help="pass pipeline to apply before predicting")
     parser.add_argument("--function", default=None, metavar="NAME",
@@ -281,9 +283,10 @@ def tune_main(argv: List[str]) -> int:
         prog="mao tune",
         description="search candidate pass pipelines for the lowest "
                     "predicted cycles/iteration on a target core")
-    parser.add_argument("--core", default="core2",
-                        choices=("core2", "opteron", "pentium4"),
-                        help="processor profile to tune for")
+    parser.add_argument("--core", default="core2", metavar="CORE",
+                        help="processor profile to tune for: a name from "
+                             "'mao profiles list' or a pymao.uarch/1 "
+                             ".json path")
     parser.add_argument("--budget", type=int, default=None, metavar="N",
                         help="max pass executions to spend (default 48)")
     parser.add_argument("--n-select", type=int, default=None, metavar="N",
@@ -473,6 +476,115 @@ def profile_main(argv: List[str]) -> int:
     return 1 if failed else 0
 
 
+def discover_main(argv: List[str]) -> int:
+    """``mao discover`` — infer a processor's parameters (paper §IV).
+
+    ``mao discover --seed 7`` runs the generated-microbenchmark harness
+    against the seeded blinded profile and reports every parameter it
+    recovered; ``mao discover --core skylake`` targets a registry
+    profile instead.  ``-o profile.json`` writes a ``pymao.uarch/1``
+    document every ``--core`` surface accepts.  Output is byte-identical
+    at any ``--jobs`` count and either backend.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="mao discover",
+        description="infer µarch parameters by running generated "
+                    "microbenchmark ladders against a processor oracle")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="discover blinded_profile(N) (the paper's "
+                             "hidden-parameter experiment)")
+    parser.add_argument("--core", default=None, metavar="CORE",
+                        help="discover a named/inline profile instead of "
+                             "a blinded seed (name or .json path)")
+    parser.add_argument("--name", default=None, metavar="NAME",
+                        help="name for the discovered profile")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parallel ladder tasks per stage (default 1)")
+    parser.add_argument("--parallel-backend", default="thread",
+                        choices=("thread", "process"),
+                        help="worker pool backend")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the pymao.discover/1 document instead "
+                             "of the summary")
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the discovered pymao.uarch/1 profile "
+                             "here (usable as --core FILE everywhere)")
+    args = parser.parse_args(argv)
+
+    if (args.seed is None) == (args.core is None):
+        sys.stderr.write("mao discover: pass exactly one of --seed or "
+                         "--core\n")
+        return 2
+    try:
+        result = api.discover(core=args.core, seed=args.seed,
+                              name=args.name, jobs=args.jobs,
+                              parallel_backend=args.parallel_backend)
+    except ValueError as exc:
+        sys.stderr.write("mao discover: %s\n" % exc)
+        return 1
+
+    if args.output:
+        from repro.uarch import tables
+        try:
+            tables.save_profile(result.profile_doc(), args.output)
+        except (OSError, ValueError) as exc:
+            sys.stderr.write("mao discover: %s\n" % exc)
+            return 1
+    if args.json:
+        _json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(result.explain())
+    return 0
+
+
+def profiles_main(argv: List[str]) -> int:
+    """``mao profiles`` — inspect the on-disk µarch profile registry.
+
+    ``mao profiles list`` names every ``pymao.uarch/1`` document under
+    ``repro/uarch/data/``; ``mao profiles show CORE`` prints one (a
+    registry name or a ``.json`` path) after validation.
+    """
+    import argparse
+    import json as _json
+
+    from repro.uarch import tables
+
+    parser = argparse.ArgumentParser(
+        prog="mao profiles",
+        description="list or show the versioned µarch profile data files")
+    sub = parser.add_subparsers(dest="verb")
+    sub.add_parser("list", help="name every registry profile")
+    show = sub.add_parser("show", help="print one profile document")
+    show.add_argument("core", help="profile name or .json path")
+    args = parser.parse_args(argv)
+
+    if args.verb == "list":
+        for name in tables.profile_names():
+            model = tables.get_profile(name)
+            print("%-12s line=%dB width=%d ports=%d %s" % (
+                name, model.decode_line_bytes, model.decode_width,
+                model.num_ports,
+                "lsd=%d-line" % model.lsd_max_lines if model.lsd_enabled
+                else "no-lsd"))
+        return 0
+    if args.verb == "show":
+        try:
+            model = tables.resolve_core(args.core)
+        except ValueError as exc:
+            sys.stderr.write("mao profiles: %s\n" % exc)
+            return 1
+        _json.dump(tables.model_to_doc(model), sys.stdout, indent=2,
+                   sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    parser.print_help(sys.stderr)
+    return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -493,6 +605,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return tune_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "discover":
+        return discover_main(argv[1:])
+    if argv and argv[0] == "profiles":
+        return profiles_main(argv[1:])
 
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -560,7 +676,11 @@ def _run_single(args, parser, input_path: str, spec_items) -> int:
     if args.sim:
         names = [f.name for f in result.unit.functions]
         entry = "main" if "main" in names or not names else names[0]
-        sim = api.simulate(result.unit, args.sim, entry_symbol=entry)
+        try:
+            sim = api.simulate(result.unit, args.sim, entry_symbol=entry)
+        except ValueError as exc:
+            sys.stderr.write("mao: --sim: %s\n" % exc)
+            return 1
 
     if args.stats:
         for report in result.reports:
@@ -587,6 +707,9 @@ def _run_single(args, parser, input_path: str, spec_items) -> int:
         except PredictError as exc:
             sys.stderr.write("predict[%s]: unanalyzable: %s\n"
                              % (args.predict, exc))
+        except ValueError as exc:
+            sys.stderr.write("mao: --predict: %s\n" % exc)
+            return 1
     return 0
 
 

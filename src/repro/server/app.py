@@ -73,7 +73,28 @@ from repro.server.http import (
 #: Schema tag carried by every JSON response envelope.
 SERVER_SCHEMA = register_schema("server", "pymao.server/1")
 
-_KNOWN_CORES = ("core2", "opteron", "pentium4")
+def _validate_core(core: Any) -> Any:
+    """Validate a request's ``core`` field against the profile registry.
+
+    Accepts a registry name (``core2`` … plus any data-only profile
+    dropped into ``repro/uarch/data/``) or an inline ``pymao.uarch/1``
+    document; filesystem paths are deliberately rejected server-side.
+    """
+    from repro.uarch import tables
+
+    if isinstance(core, dict):
+        try:
+            tables.validate_doc(core, where="request core")
+        except ValueError as exc:
+            raise ProtocolError(400, "invalid inline core profile: %s"
+                                % (exc,))
+        return core
+    names = tables.profile_names()
+    if not isinstance(core, str) or core not in names:
+        raise ProtocolError(400, "field 'core' must be one of %s or an "
+                            "inline pymao.uarch/1 document"
+                            % ", ".join(names))
+    return core
 
 
 @dataclass
@@ -518,9 +539,7 @@ class MaoServer:
         """
         data = self._body_object(request)
         core = data.get("core")
-        if not isinstance(core, str) or core not in _KNOWN_CORES:
-            raise ProtocolError(400, "field 'core' must be one of %s"
-                                % ", ".join(_KNOWN_CORES))
+        core = _validate_core(core)
         source = data.get("source")
         workload = data.get("workload")
         if (source is None) == (workload is None):
@@ -562,9 +581,7 @@ class MaoServer:
         """
         data = self._body_object(request)
         core = data.get("core")
-        if not isinstance(core, str) or core not in _KNOWN_CORES:
-            raise ProtocolError(400, "field 'core' must be one of %s"
-                                % ", ".join(_KNOWN_CORES))
+        core = _validate_core(core)
         source = data.get("source")
         workload = data.get("workload")
         if (source is None) == (workload is None):
@@ -652,9 +669,7 @@ class MaoServer:
                                span) -> Dict[str, Any]:
         data = self._body_object(request)
         core = data.get("core")
-        if not isinstance(core, str) or core not in _KNOWN_CORES:
-            raise ProtocolError(400, "field 'core' must be one of %s"
-                                % ", ".join(_KNOWN_CORES))
+        core = _validate_core(core)
         source = data.get("source")
         workload = data.get("workload")
         if (source is None) == (workload is None):

@@ -517,12 +517,12 @@ def tune(source: str, core, *,
     if isinstance(core, ProcessorModel):
         model = core
     else:
-        from repro.uarch import profiles
+        from repro.uarch import tables
 
-        factory = getattr(profiles, str(core), None)
-        if factory is None or not callable(factory):
-            raise TuneError("unknown processor model %r" % (core,))
-        model = factory()
+        try:
+            model = tables.resolve_core(core)
+        except tables.ProfileError as exc:
+            raise TuneError(str(exc)) from exc
 
     start = time.perf_counter()
     obs.REGISTRY.inc("tune.requests")

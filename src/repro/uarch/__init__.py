@@ -28,7 +28,7 @@ from repro.uarch.pipeline import (
     simulate_trace,
     simulate_unit,
 )
-from repro.uarch import counters
+from repro.uarch import counters, tables
 
 __all__ = [
     "ProcessorModel",
@@ -45,4 +45,5 @@ __all__ = [
     "fast_forward_stats",
     "SimStats",
     "counters",
+    "tables",
 ]

@@ -1,37 +1,46 @@
-"""Processor parameter profiles.
+"""Processor parameter profiles — loaded from ``pymao.uarch/1`` data.
 
 ``core2`` and ``opteron`` correspond to the paper's two evaluation
-platforms.  The parameters are chosen so the documented cliffs appear:
+platforms.  The parameters live in ``src/repro/uarch/data/<name>.json``
+(the :mod:`repro.uarch.tables` schema); the factories here load those
+documents, so each call returns a fresh, independently mutable
+:class:`~repro.uarch.model.ProcessorModel`.  Golden tests pin the data
+files field-wise against the historical constructor values — the
+documented cliffs stay put:
 
 * **core2** — 16-byte decode lines, a 4-line Loop Stream Detector with a
   64-iteration threshold, branch-predictor tables indexed by ``PC >> 5``,
   the asymmetric ports from §III.F ("lea can only be executed on port 0,
   sarl on ports 0 and 5"), and a forwarding-bandwidth limit.
 
-* **opteron** — wider 32-byte fetch windows (16-byte alignment matters
-  less), 3-wide decode, symmetric integer ALUs, *no documented LSD* but a
-  single-window loop buffer: the paper observed an LSD-like effect on AMD
-  ("we are not aware of a published LSD-like structure on AMD platforms,
-  therefore this result points to yet another unknown micro-architectural
-  effect") — modelled here as streaming for loops that fit one 32-byte
-  window.
+* **opteron** — wider 32-byte fetch windows, 3-wide decode, symmetric
+  integer ALUs, and the paper's "unknown LSD-like structure" modelled as
+  streaming for loops that fit one 32-byte window.
 
-* **pentium4** — narrow decode and a long pipeline (the Nopinizer found an
-  unexplained 4% on "an older Pentium 4 platform").
+* **pentium4** — narrow decode and a long pipeline (the Nopinizer found
+  an unexplained 4% on "an older Pentium 4 platform").
+
+New flavors (``skylake``, ``zen``) are data-only: drop a document in the
+data directory and every surface accepting a core name picks it up —
+there is deliberately no Python factory for them here.
 
 ``blinded_profile`` returns a processor with *hidden, randomized*
 parameters for the Section-IV detection experiments: the detection code
-must recover them through microbenchmarks alone.
+(and the :mod:`repro.discover` engine) must recover them through
+microbenchmarks alone.  The draw ranges live in
+``data/blinded.ranges.json`` — the same document the discovery tests use
+as their hypothesis space, so the seed contract and the search space
+cannot drift apart.
 
 Seed contract: ``blinded_profile(seed)`` is a pure function of its
 ``seed`` argument.  The same seed always yields a model whose *every*
 field compares equal (``ProcessorModel`` is a dataclass, so ``==`` is
 field-wise), across processes and Python versions — the draws go through
-a private ``random.Random(seed)`` instance, never the global RNG, so
-calling it neither perturbs nor is perturbed by other randomness.
-Experiments should therefore record only the seed; the hidden
-parameters are reproducible from it.  ``name=`` is cosmetic and the
-only way two same-seed models may differ.
+a private ``random.Random(seed)`` instance, never the global RNG, and
+consume one ``rng.choice`` per ``draws`` entry *in file order*.  New
+parameters may only be appended to the end of ``draws``: appending
+leaves every existing seed's values for the older parameters untouched.
+``name=`` is cosmetic and the only way two same-seed models may differ.
 """
 
 from __future__ import annotations
@@ -39,135 +48,36 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.uarch import model as M
+from repro.uarch import tables
 from repro.uarch.model import ProcessorModel
 
 
 def core2() -> ProcessorModel:
-    return ProcessorModel(
-        name="core2",
-        decode_line_bytes=16,
-        decode_width=4,
-        lsd_enabled=True,
-        lsd_max_lines=4,
-        lsd_min_iterations=64,
-        lsd_max_branches=4,
-        bp_table_size=512,
-        bp_index_shift=5,
-        bp_mispredict_penalty=15,
-        issue_width=4,
-        num_ports=6,
-        port_map={
-            M.ALU: (0, 1, 5),
-            M.LEA: (0,),            # §III.F: lea only on port 0
-            M.SHIFT: (0, 5),        # §III.F: sarl on ports 0 and 5
-            M.MUL: (1,),
-            M.DIV: (0,),
-            M.LOAD: (2,),
-            M.STORE: (3,),
-            M.BRANCH: (5,),
-            M.FP_ADD: (1,),
-            M.FP_MUL: (0,),
-            M.FP_DIV: (0,),
-            M.FP_MOV: (0, 1, 5),
-            M.CMOV: (0, 1),
-            M.NOP: (),
-        },
-        latency={
-            M.ALU: 1, M.LEA: 1, M.SHIFT: 1, M.MUL: 3, M.DIV: 22,
-            M.LOAD: 3, M.STORE: 1, M.BRANCH: 1,
-            M.FP_ADD: 3, M.FP_MUL: 5, M.FP_DIV: 18, M.FP_MOV: 1,
-            M.CMOV: 2, M.NOP: 0,
-        },
-        forwarding_bw=3,
-        memory_latency=35,
-    )
+    return tables.get_profile("core2")
 
 
 def opteron() -> ProcessorModel:
-    return ProcessorModel(
-        name="opteron",
-        decode_line_bytes=32,
-        decode_width=3,
-        lsd_enabled=True,           # the "unknown LSD-like structure"
-        lsd_max_lines=1,
-        lsd_min_iterations=32,
-        lsd_max_branches=1,
-        lsd_stream_width=6,         # the loop buffer bypasses decode limits
-        bp_table_size=1024,
-        bp_index_shift=4,
-        bp_mispredict_penalty=12,
-        issue_width=3,
-        num_ports=6,
-        port_map={
-            M.ALU: (0, 1, 2),       # symmetric integer ALUs
-            M.LEA: (0, 1, 2),
-            M.SHIFT: (0, 1, 2),
-            M.MUL: (0,),
-            M.DIV: (0,),
-            M.LOAD: (3,),
-            M.STORE: (4,),
-            M.BRANCH: (2,),
-            M.FP_ADD: (5,),
-            M.FP_MUL: (5,),
-            M.FP_DIV: (5,),
-            M.FP_MOV: (5, 0),
-            M.CMOV: (0, 1),
-            M.NOP: (),
-        },
-        latency={
-            M.ALU: 1, M.LEA: 2, M.SHIFT: 1, M.MUL: 3, M.DIV: 23,
-            M.LOAD: 3, M.STORE: 1, M.BRANCH: 1,
-            M.FP_ADD: 4, M.FP_MUL: 4, M.FP_DIV: 20, M.FP_MOV: 1,
-            M.CMOV: 2, M.NOP: 0,
-        },
-        forwarding_bw=3,
-        memory_latency=40,
-    )
+    return tables.get_profile("opteron")
 
 
 def pentium4() -> ProcessorModel:
-    return ProcessorModel(
-        name="pentium4",
-        decode_line_bytes=16,
-        decode_width=1,
-        lsd_enabled=False,
-        bp_table_size=256,
-        bp_index_shift=5,
-        bp_mispredict_penalty=24,
-        issue_width=3,
-        forwarding_bw=2,
-        memory_latency=50,
-    )
+    return tables.get_profile("pentium4")
 
 
 def blinded_profile(seed: int = 0,
                     name: Optional[str] = None) -> ProcessorModel:
     """A processor with hidden parameters for detection experiments.
 
-    The returned model's parameters are drawn from realistic ranges; the
-    Section-IV microbenchmark framework must *infer* them (decode-line
-    size, branch-predictor index shift, LSD capacity, latencies) from
+    The returned model's parameters are drawn from the realistic ranges
+    in ``data/blinded.ranges.json``; the Section-IV microbenchmark
+    framework and ``mao discover`` must *infer* them (decode-line size,
+    decode width, LSD capacity and threshold, branch-predictor shift and
+    penalty, latencies, port sets, forwarding bandwidth) from
     measurements only.
     """
+    ranges = tables.load_ranges()
     rng = random.Random(seed)
-    return ProcessorModel(
-        name=name or ("blinded-%d" % seed),
-        decode_line_bytes=rng.choice([16, 32]),
-        decode_width=rng.choice([3, 4]),
-        lsd_enabled=True,
-        lsd_max_lines=rng.choice([2, 3, 4, 6]),
-        lsd_min_iterations=rng.choice([32, 64]),
-        bp_table_size=512,
-        bp_index_shift=rng.choice([4, 5, 6]),
-        bp_mispredict_penalty=rng.choice([12, 15, 20]),
-        latency={
-            M.ALU: 1,
-            M.MUL: rng.choice([3, 4, 5]),
-            M.DIV: rng.choice([20, 22, 26]),
-            M.LOAD: rng.choice([3, 4]),
-            M.FP_ADD: rng.choice([3, 4]),
-            M.FP_MUL: rng.choice([4, 5, 6]),
-        },
-        forwarding_bw=rng.choice([2, 3]),
-    )
+    params = {entry["path"]: rng.choice(entry["choices"])
+              for entry in ranges["draws"]}
+    params.update(ranges["fixed"])
+    return tables.model_from_params(name or ("blinded-%d" % seed), params)

@@ -1,0 +1,40 @@
+"""Repository hygiene: no compiled artifacts may ever be tracked.
+
+``src/repro/uarch/__pycache__`` once risked riding into the index; the
+``.gitignore`` patterns plus this test (and the matching
+``make check-tracked-artifacts`` CI step) keep every ``__pycache__``
+directory and ``*.pyc`` byte-code file out of version control for good.
+"""
+
+import os
+import re
+import subprocess
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+_ARTIFACT = re.compile(r"(^|/)__pycache__(/|$)|\.py[cod]$")
+
+
+def _git(*args):
+    return subprocess.run(["git"] + list(args), cwd=REPO_ROOT,
+                          capture_output=True, text=True)
+
+
+@pytest.mark.skipif(not os.path.isdir(os.path.join(REPO_ROOT, ".git")),
+                    reason="not a git checkout")
+def test_no_tracked_compiled_artifacts():
+    proc = _git("ls-files")
+    assert proc.returncode == 0, proc.stderr
+    bad = [line for line in proc.stdout.splitlines()
+           if _ARTIFACT.search(line)]
+    assert not bad, "compiled artifacts tracked: %s" % bad
+
+
+@pytest.mark.skipif(not os.path.isdir(os.path.join(REPO_ROOT, ".git")),
+                    reason="not a git checkout")
+def test_gitignore_covers_bytecode():
+    proc = _git("check-ignore", "src/repro/uarch/__pycache__/model.cpython-312.pyc")
+    assert proc.returncode == 0, "gitignore no longer covers __pycache__"
